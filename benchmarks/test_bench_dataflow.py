@@ -1,0 +1,24 @@
+"""E6 / Figure 2.2 model: granularities on the MIT-style machine.
+
+Shape assertions: relation-level granularity is slowest (one firing per
+node caps concurrency), page-level is fastest, and tuple-level floods the
+arbitration network by an order of magnitude.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import dataflow_machine
+
+PROCESSORS = (8,)
+
+
+def test_bench_dataflow_granularities(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: dataflow_machine.run(processors=PROCESSORS, scale=0.08),
+    )
+    benchmark.extra_info["table"] = result.render()
+
+    row = result.rows[0]
+    assert row["relation_ms"] > row["page_ms"], row
+    assert row["tuple_ms"] >= row["page_ms"], row
+    assert row["tuple_traffic_blowup"] > 5.0, row

@@ -1,0 +1,26 @@
+"""E13 (extension): graceful degradation under processor failures.
+
+Shape assertions: every run remains exactly correct, and slowdown grows
+monotonically (within tolerance) as more processors are disabled — the
+machine degrades, never breaks.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fault_tolerance
+
+KILLS = (0, 2, 4)
+
+
+def test_bench_fault_tolerance(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: fault_tolerance.run(processors=6, kill_counts=KILLS, scale=0.08),
+    )
+    benchmark.extra_info["table"] = result.render()
+
+    assert all(result.column("all_correct"))
+    slowdowns = result.column("slowdown")
+    assert slowdowns[0] == 1.0
+    # Losing processors never speeds the machine up (small tolerance for
+    # scheduling noise at tiny scales).
+    assert all(b >= a * 0.98 for a, b in zip(slowdowns, slowdowns[1:])), slowdowns

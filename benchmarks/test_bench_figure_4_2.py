@@ -1,0 +1,31 @@
+"""E3 / Figure 4.2: average bandwidth by level vs number of IPs (ring
+machine, 16K operands, LSI-11 IPs, IBM 3330 drives).
+
+Shape assertions: bandwidth grows with IPs and saturates; the paper's
+anchors hold — a 40 Mbps TTL ring suffices through 50 IPs and 100 Mbps
+covers the largest configuration swept.
+"""
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SELECTIVITY, run_once
+from repro.experiments import figure_4_2
+
+IPS = (5, 25, 50)
+
+
+def test_bench_figure_4_2(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: figure_4_2.run(ips=IPS, scale=BENCH_SCALE, selectivity=BENCH_SELECTIVITY),
+    )
+    benchmark.extra_info["table"] = result.render()
+
+    mbps = result.column("outer_ring_mbps")
+    # Demand grows with processors...
+    assert mbps[-1] > mbps[0]
+    # ...and the paper's ring technologies carry it.
+    assert all(result.column("fits_40mbps")), mbps
+    # Execution time shrinks as IPs are added.
+    times = result.column("elapsed_ms")
+    assert times[-1] < times[0]
+    # The inner (control) ring stays in its 1-2 Mbps budget.
+    assert all(v <= 2.0 for v in result.column("inner_ring_mbps"))

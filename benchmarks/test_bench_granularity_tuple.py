@@ -1,0 +1,25 @@
+"""E8 (extension): tuple-level granularity measured on the simulator.
+
+Shape assertions: tuple granularity is never faster than page granularity
+and pushes several times the bytes through the interconnect — the
+measured counterpart of Section 3.3's analysis.
+"""
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SELECTIVITY, run_once
+from repro.experiments import granularity_tuple
+
+PROCESSORS = (10, 30)
+
+
+def test_bench_granularity_tuple(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: granularity_tuple.run(
+            processors=PROCESSORS, scale=BENCH_SCALE, selectivity=BENCH_SELECTIVITY
+        ),
+    )
+    benchmark.extra_info["table"] = result.render()
+
+    for row in result.rows:
+        assert row["tuple_ms"] >= row["page_ms"] * 0.95, row
+        assert row["traffic_blowup"] > 2.0, row

@@ -1,0 +1,88 @@
+"""Micro-benchmarks of the relational substrate and packet codecs.
+
+These time real Python throughput (not simulated time): the oracle's
+operators, page packing, and the ring packet encode/decode path — the
+hot loops everything else is built on.
+"""
+
+import pytest
+
+from repro.relational import operators
+from repro.relational.page import pack_rows_into_pages
+from repro.relational.predicate import attr
+from repro.relational.relation import Relation
+from repro.relational.schema import DataType, Schema
+from repro.ring.packets import InstructionPacket, SourceOperand
+
+SCHEMA = Schema.build(("k", DataType.INT), ("g", DataType.INT), ("pad", DataType.CHAR, 48))
+ROWS = [(i, i % 97, "") for i in range(5_000)]
+RELATION = Relation.from_rows("bench", SCHEMA, ROWS, page_bytes=4096)
+SMALL = Relation.from_rows("small", SCHEMA, ROWS[:800], page_bytes=4096)
+
+
+def test_bench_restrict_oracle(benchmark):
+    out = benchmark(lambda: operators.restrict(RELATION, attr("g") < 10))
+    assert out.cardinality == sum(1 for r in ROWS if r[1] < 10)
+
+
+def test_bench_hash_join_oracle(benchmark):
+    cond = attr("g").equals_attr("g")
+    out = benchmark(lambda: operators.hash_join(SMALL, SMALL, cond))
+    assert out.cardinality > 0
+
+
+def test_bench_sort_merge_join_oracle(benchmark):
+    cond = attr("g").equals_attr("g")
+    expected = operators.hash_join(SMALL, SMALL, cond)
+    out = benchmark(lambda: operators.sort_merge_join(SMALL, SMALL, cond))
+    assert out.cardinality == expected.cardinality
+
+
+def test_bench_project_dedup_oracle(benchmark):
+    out = benchmark(lambda: operators.project(RELATION, ["g"]))
+    assert out.cardinality == 97
+
+
+def test_bench_page_packing(benchmark):
+    pages = benchmark(lambda: pack_rows_into_pages(SCHEMA, ROWS, 4096))
+    assert sum(p.row_count for p in pages) == len(ROWS)
+
+
+def test_bench_page_serialization(benchmark):
+    page = RELATION.page(0)
+
+    def roundtrip():
+        from repro.relational.page import Page
+
+        return Page.from_bytes(SCHEMA, page.to_bytes())
+
+    out = benchmark(roundtrip)
+    assert out.row_count == page.row_count
+
+
+def test_bench_instruction_packet_codec(benchmark):
+    raw = RELATION.page(0).to_bytes()
+    packet = InstructionPacket(
+        ip_id=1,
+        query_id=2,
+        sender_ic=3,
+        destination_ic=4,
+        flush_when_done=False,
+        opcode="join",
+        result_relation="r",
+        result_schema=SCHEMA,
+        operands=[SourceOperand("a", SCHEMA, raw), SourceOperand("b", SCHEMA, raw)],
+    )
+
+    def roundtrip():
+        return InstructionPacket.decode(packet.encode())
+
+    out = benchmark(roundtrip)
+    assert out == packet
+
+
+def test_bench_benchmark_database_generation(benchmark):
+    from repro.workload import generate_benchmark_database
+
+    db = benchmark(lambda: generate_benchmark_database(scale=0.1, seed=3))
+    assert len(db.specs) == 15

@@ -1,0 +1,27 @@
+"""E11 (extension): parallel project (duplicate elimination) strategies.
+
+Shape assertions: the hash-partition strategy sustains speedup as
+processors grow (resolving the paper's open problem the way history did),
+while the sort-merge strategy's serial merge caps it.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import project_operator
+
+PROCESSORS = (1, 4, 16)
+
+
+def test_bench_project_operator(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: project_operator.run(processors=PROCESSORS, rows=10_000, scale=0.2),
+    )
+    benchmark.extra_info["table"] = result.render()
+
+    last = result.rows[-1]
+    first = result.rows[0]
+    # Hash partitioning scales with processors.
+    assert last["hash_partition_speedup"] > 3.0, last
+    assert last["hash_partition_ms"] < first["hash_partition_ms"]
+    # The sort-merge serial phase caps its speedup well below hash.
+    assert last["sort_merge_speedup"] < last["hash_partition_speedup"], last

@@ -1,0 +1,29 @@
+"""E10 (extension): distributed vs centralized control + IP->IP routing.
+
+Shape assertions: the ring machine (distributed arbitration/distribution)
+stays within a small factor of the centralized DIRECT organization —
+distributing control does not wreck performance, which is the bet
+Section 4 makes — and direct IP->IP routing changes outer-ring traffic by
+a bounded amount in either direction (the paper's open tradeoff).
+"""
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SELECTIVITY, run_once
+from repro.experiments import ring_vs_direct
+
+IPS = (10, 25)
+
+
+def test_bench_ring_vs_direct(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: ring_vs_direct.run(ips=IPS, scale=BENCH_SCALE, selectivity=BENCH_SELECTIVITY),
+    )
+    benchmark.extra_info["table"] = result.render()
+
+    for row in result.rows:
+        # Distributed control holds up against centralized control.
+        assert row["ring_ms"] < 3.0 * row["direct_ms"], row
+        # Routing is a tradeoff, not a collapse: traffic moves by less
+        # than half in either direction, and time stays comparable.
+        assert abs(row["routing_byte_delta"]) < 0.5, row
+        assert row["ring_routed_ms"] < 2.0 * row["ring_ms"], row

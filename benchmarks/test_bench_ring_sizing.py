@@ -1,0 +1,31 @@
+"""E7 / Section 4.1: ring technology sizing at measured demand.
+
+Shape assertion: the 40 Mbps TTL shift-register ring is feasible at every
+configuration up to 50 IPs (the paper's claim), and the linear
+extrapolation of the heaviest per-IP demand keeps the TTL limit in the
+tens of IPs — the regime where the paper places its "~50".
+"""
+
+from repro import hw
+from benchmarks.conftest import BENCH_SCALE, BENCH_SELECTIVITY, run_once
+from repro.experiments import ring_sizing_exp
+
+IPS = (5, 25, 50)
+
+
+def test_bench_ring_sizing(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: ring_sizing_exp.run(ips=IPS, scale=BENCH_SCALE, selectivity=BENCH_SELECTIVITY),
+    )
+    benchmark.extra_info["table"] = result.render()
+    benchmark.extra_info["ttl_limit"] = result.parameters["ttl_ring_ip_limit_linear"]
+
+    ttl = hw.OUTER_RING_TTL.name
+    assert all(row[ttl] for row in result.rows)
+    # Every measured point also fits the bigger technologies.
+    assert all(row[hw.OUTER_RING_FIBER.name] for row in result.rows)
+    assert all(row[hw.OUTER_RING_ECL.name] for row in result.rows)
+    # The extrapolated TTL limit is a real bound, larger than the largest
+    # configuration we verified directly.
+    assert result.parameters["ttl_ring_ip_limit_linear"] >= 50

@@ -1,0 +1,27 @@
+"""E2 / Section 3.3: tuple- vs page-level arbitration traffic (analytic).
+
+Shape assertions are the paper's exact claims: 10x at 1,000-byte pages,
+another order of magnitude at 10,000-byte pages.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import section_3_3
+
+
+def test_bench_section_3_3(benchmark):
+    result = run_once(benchmark, section_3_3.run)
+    benchmark.extra_info["table"] = result.render()
+
+    no_overhead = [r for r in result.rows if r["overhead"] == 0]
+    by_page = {r["page_bytes"]: r for r in no_overhead if r["granularity"] == "page"}
+
+    # "the bandwidth requirements of the page approach is 1/10 that of
+    # the tuple level approach"
+    assert by_page[1_000]["ratio_vs_tuple"] == pytest.approx(10.0)
+    # "increasing the page size to 10,000 bytes will obviously decrease
+    # the ... requirements by another order of magnitude"
+    assert by_page[10_000]["ratio_vs_tuple"] == pytest.approx(100.0)
+    # The paper's headline anchor function.
+    assert section_3_3.paper_anchor_ratio() == pytest.approx(10.0)

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""The MIT-model data-flow machine (Figure 2.2) executing a query tree.
+
+Shows a query compiled into memory cells, fired through the arbitration
+network at each granularity, and the resulting concurrency/traffic
+trade-off the paper's Section 3 argues from.
+
+Run:  python examples/dataflow_machine.py
+"""
+
+from repro import Catalog, DataType, Relation, Schema, attr, execute, scan
+from repro.dataflow import DataflowMachine, compile_query
+
+
+def build_catalog() -> Catalog:
+    schema = Schema.build(("k", DataType.INT), ("g", DataType.INT), ("pad", DataType.CHAR, 32))
+    catalog = Catalog()
+    catalog.register(
+        Relation.from_rows("orders", schema, [(i, i % 20, "") for i in range(800)], 1024)
+    )
+    catalog.register(
+        Relation.from_rows("items", schema, [(i, i % 20, "") for i in range(500)], 1024)
+    )
+    return catalog
+
+
+def build_query():
+    return (
+        scan("orders")
+        .restrict(attr("k") < 400)
+        .equijoin(scan("items").restrict(attr("k") < 300), "g", "g")
+        .tree("orders-items")
+    )
+
+
+def main() -> None:
+    catalog = build_catalog()
+    oracle = execute(build_query(), catalog)
+    print(f"oracle: {oracle.cardinality} rows\n")
+
+    # Show the compiled cell graph once.
+    program = compile_query(build_query(), catalog, page_bytes=1024)
+    print("compiled data-flow program:")
+    for cell in program.cells:
+        dests = [f"cell{d.cell_id}.slot{s}" for d, s in cell.destinations] or ["host"]
+        slots = [f"{op.name}({op.page_count}p{'*' if op.complete else ''})" for op in cell.operands]
+        print(f"  {cell}: operands {slots} -> {', '.join(dests)}")
+    print("  (* = operand preloaded and complete at start)\n")
+
+    print(f"{'granularity':<10} {'time ms':>9} {'firings':>8} {'arbitration':>12} {'Mbps':>7}")
+    for granularity in ("relation", "page", "tuple"):
+        machine = DataflowMachine(
+            catalog, processors=8, granularity=granularity, page_bytes=1024
+        )
+        tree = build_query()
+        machine.submit(tree)
+        report = machine.run()
+        assert report.results[tree.name].same_rows_as(oracle), granularity
+        print(
+            f"{granularity:<10} {report.elapsed_ms:>9.1f} {report.firings:>8} "
+            f"{report.arbitration_bytes:>11}B {report.arbitration_mbps():>7.1f}"
+        )
+
+    print(
+        "\nthe paper's Section 3 argument, measured: relation-level caps "
+        "concurrency\n(one firing per node), tuple-level floods the "
+        "arbitration network, and\npage-level balances both."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Quickstart: build a database, write a query tree, run it three ways.
+
+The same query executes on (1) the reference interpreter, (2) the
+DIRECT-style centralized machine, and (3) the Section 4 ring machine —
+and all three produce identical rows.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Catalog,
+    DataType,
+    DirectMachine,
+    Relation,
+    RingMachine,
+    Schema,
+    attr,
+    execute,
+    scan,
+)
+
+
+def build_database() -> Catalog:
+    """A tiny employees/departments database."""
+    catalog = Catalog()
+
+    emp_schema = Schema.build(
+        ("emp_id", DataType.INT),
+        ("name", DataType.CHAR, 16),
+        ("dept_id", DataType.INT),
+        ("salary", DataType.FLOAT),
+    )
+    employees = Relation.from_rows(
+        "employees",
+        emp_schema,
+        [
+            (i, f"emp{i:03d}", i % 8, 30_000.0 + (i * 137) % 50_000)
+            for i in range(400)
+        ],
+        page_bytes=1024,
+    )
+    catalog.register(employees)
+
+    dept_schema = Schema.build(
+        ("dept_id", DataType.INT),
+        ("dept_name", DataType.CHAR, 16),
+        ("floor", DataType.INT),
+    )
+    departments = Relation.from_rows(
+        "departments",
+        dept_schema,
+        [(d, f"dept{d}", d % 3) for d in range(8)],
+        page_bytes=1024,
+    )
+    catalog.register(departments)
+    return catalog
+
+
+def build_query():
+    """Well-paid employees joined with their second-floor departments."""
+    return (
+        scan("employees")
+        .restrict(attr("salary") > 60_000.0)
+        .equijoin(scan("departments").restrict(attr("floor") == 2), "dept_id", "dept_id")
+        .project(["name", "dept_name"])
+        .tree("well-paid-floor-2")
+    )
+
+
+def main() -> None:
+    catalog = build_database()
+
+    # 1. Reference interpreter — the correctness oracle.
+    oracle = execute(build_query(), catalog)
+    print(f"oracle: {oracle.cardinality} rows, schema {oracle.schema.names}")
+
+    # 2. DIRECT-style machine (centralized control, page-level data flow).
+    direct = DirectMachine(catalog, processors=4, page_bytes=1024)
+    tree = build_query()
+    direct.submit(tree)
+    direct_report = direct.run()
+    direct_result = direct_report.results[tree.name]
+    print(
+        f"DIRECT: {direct_result.cardinality} rows in "
+        f"{direct_report.elapsed_ms:.1f} simulated ms "
+        f"({direct_report.bandwidth_mbps():.2f} Mbps interconnect)"
+    )
+    assert direct_result.same_rows_as(oracle), "DIRECT answer differs from oracle!"
+
+    # 3. Ring machine (distributed control, Section 4 protocol).
+    ring = RingMachine(catalog, processors=4, controllers=8, page_bytes=1024)
+    tree = build_query()
+    ring.submit(tree)
+    ring_report = ring.run()
+    ring_result = ring_report.results[tree.name]
+    print(
+        f"ring:   {ring_result.cardinality} rows in "
+        f"{ring_report.elapsed_ms:.1f} simulated ms "
+        f"(outer ring {ring_report.outer_ring_mbps:.2f} Mbps, "
+        f"{ring_report.broadcasts} broadcasts)"
+    )
+    assert ring_result.same_rows_as(oracle), "ring answer differs from oracle!"
+
+    print("\nall three engines agree.")
+    for row in list(oracle.rows())[:5]:
+        print("  ", row)
+
+
+if __name__ == "__main__":
+    main()

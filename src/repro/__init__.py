@@ -1,0 +1,89 @@
+"""dataflow-dbm: a reproduction of Boral & DeWitt's *Design Considerations
+for Data-flow Database Machines* (SIGMOD 1980 / Wisconsin TR #369).
+
+The library has four layers:
+
+1. **Relational substrate** (:mod:`repro.relational`, :mod:`repro.query`,
+   :mod:`repro.workload`): schemas, byte-accurate pages, relations, a
+   predicate DSL, reference operators (the correctness oracle), query
+   trees, and the paper's ten-query / 5.5 MB benchmark.
+2. **Simulation kernel** (:mod:`repro.sim`): a deterministic
+   discrete-event engine with FIFO resources and monitors.
+3. **Machines** (:mod:`repro.direct`, :mod:`repro.ring`): the
+   centralized-control DIRECT-style simulator used for the granularity
+   study (Figure 3.1) and bandwidth curves (Figure 4.2), and the
+   ring-based machine of Section 4 with its packet formats and broadcast
+   join protocol.
+4. **Analysis and experiments** (:mod:`repro.analysis`,
+   :mod:`repro.experiments`): the closed-form models of Sections 3.3/4.1
+   and one runnable experiment per table/figure.
+
+Quickstart::
+
+    from repro import (
+        generate_benchmark_database, benchmark_queries, execute,
+        DirectMachine, RingMachine,
+    )
+
+    db = generate_benchmark_database(scale=0.1)
+    trees = benchmark_queries(db.catalog, db.relation_names)
+    oracle = execute(trees[0], db.catalog)          # reference answer
+
+    machine = RingMachine(db.catalog, processors=8, page_bytes=db.page_bytes)
+    machine.submit(trees[0])
+    report = machine.run()
+    assert report.results[trees[0].name].same_rows_as(oracle)
+"""
+
+from repro.errors import ReproError
+from repro.relational import (
+    Attribute,
+    Catalog,
+    DataType,
+    HeapFile,
+    Page,
+    Relation,
+    Schema,
+    attr,
+    operators,
+)
+from repro.query import QueryTree, execute, explain, scan
+from repro.query.builder import delete_from
+from repro.workload import benchmark_queries, generate_benchmark_database
+from repro.sim import Simulator
+from repro.direct import DirectMachine, DirectReport, ExecModel, Granularity
+from repro.direct.machine import run_benchmark
+from repro.ring import RingMachine, RingReport
+from repro.ring.machine import run_ring_benchmark
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "Attribute",
+    "DataType",
+    "Schema",
+    "Page",
+    "Relation",
+    "HeapFile",
+    "Catalog",
+    "attr",
+    "operators",
+    "QueryTree",
+    "scan",
+    "delete_from",
+    "execute",
+    "explain",
+    "generate_benchmark_database",
+    "benchmark_queries",
+    "Simulator",
+    "DirectMachine",
+    "DirectReport",
+    "ExecModel",
+    "Granularity",
+    "run_benchmark",
+    "RingMachine",
+    "RingReport",
+    "run_ring_benchmark",
+    "__version__",
+]

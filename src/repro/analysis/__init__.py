@@ -1,0 +1,38 @@
+"""Closed-form models from the paper.
+
+* :mod:`repro.analysis.bandwidth` — Section 3.3's arbitration-network
+  traffic formulas for tuple- vs page-level granularity.
+* :mod:`repro.analysis.ring_sizing` — Section 4.1's ring technology
+  feasibility (40 Mbps TTL shift registers support ~50 IPs; ECL and fiber
+  optics for larger configurations).
+* :mod:`repro.analysis.concurrency` — degree-of-parallelism bounds per
+  granularity (the "unless there are millions of processors" argument).
+"""
+
+from repro.analysis.bandwidth import (
+    GranularityTraffic,
+    join_traffic_page_level,
+    join_traffic_tuple_level,
+    traffic_comparison,
+)
+from repro.analysis.ring_sizing import (
+    RingChoice,
+    max_ips_supported,
+    recommend_ring,
+)
+from repro.analysis.concurrency import (
+    max_concurrency,
+    useful_processors,
+)
+
+__all__ = [
+    "GranularityTraffic",
+    "join_traffic_tuple_level",
+    "join_traffic_page_level",
+    "traffic_comparison",
+    "RingChoice",
+    "max_ips_supported",
+    "recommend_ring",
+    "max_concurrency",
+    "useful_processors",
+]

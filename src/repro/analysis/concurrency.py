@@ -1,0 +1,79 @@
+"""Degree-of-parallelism bounds per operand granularity.
+
+Section 3.3's closing argument: "If, for example, the number of processors
+available for query execution is approximately equal to n * m, then
+tuple-level granularity is optimal.  We feel that this is unlikely as
+typically the value of n * m will be in the millions.  Therefore for
+typical queries (unless there are millions of processors), tuple-level
+granularity places an unnecessary burden on the arbitration network
+without an apparent increase in performance."
+
+These helpers quantify that: the maximum useful processor count per
+granularity for a nested-loops join, and the smallest granularity whose
+concurrency bound still exceeds a machine's processor count.
+"""
+
+from __future__ import annotations
+
+from repro import hw
+
+
+def max_concurrency(
+    n_outer: int,
+    m_inner: int,
+    granularity: str,
+    tuple_bytes: int = hw.ANALYSIS_TUPLE_BYTES,
+    page_bytes: int = hw.ANALYSIS_PAGE_BYTES,
+) -> int:
+    """Most processors a nested-loops join can use at ``granularity``.
+
+    * tuple level: every (outer, inner) tuple pair in parallel — n*m;
+    * page level: every outer page in parallel (each streams the inner) —
+      ceil(n / tuples-per-page);
+    * relation level: the join is one instruction, but its outer pages
+      still fan out once enabled — same bound as page level *within* the
+      instruction; across the tree it is the number of enabled nodes,
+      which this function cannot know, so the within-join bound is
+      returned.
+    """
+    if granularity == "tuple":
+        return n_outer * m_inner
+    if granularity in ("page", "relation"):
+        tuples_per_page = max(1, page_bytes // tuple_bytes)
+        return -(-n_outer // tuples_per_page)  # ceil
+    raise ValueError(f"unknown granularity {granularity!r}")
+
+
+def useful_processors(
+    n_outer: int,
+    m_inner: int,
+    processors: int,
+    tuple_bytes: int = hw.ANALYSIS_TUPLE_BYTES,
+    page_bytes: int = hw.ANALYSIS_PAGE_BYTES,
+) -> dict:
+    """How many of ``processors`` each granularity can actually employ.
+
+    The paper's point falls out immediately: page-level saturates any
+    realistic machine (tens of processors) on realistic relations, so
+    tuple-level's extra concurrency is unusable.
+    """
+    out = {}
+    for granularity in ("relation", "page", "tuple"):
+        bound = max_concurrency(n_outer, m_inner, granularity, tuple_bytes, page_bytes)
+        out[granularity] = min(processors, bound)
+    return out
+
+
+def tuple_level_pays_off(
+    n_outer: int,
+    m_inner: int,
+    processors: int,
+    tuple_bytes: int = hw.ANALYSIS_TUPLE_BYTES,
+    page_bytes: int = hw.ANALYSIS_PAGE_BYTES,
+) -> bool:
+    """True only when the machine is so large that page-level cannot keep
+    every processor busy but tuple-level can — the paper's "millions of
+    processors" condition."""
+    page_bound = max_concurrency(n_outer, m_inner, "page", tuple_bytes, page_bytes)
+    tuple_bound = max_concurrency(n_outer, m_inner, "tuple", tuple_bytes, page_bytes)
+    return page_bound < processors <= tuple_bound

@@ -1,0 +1,101 @@
+"""Section 4.1: ring technology sizing.
+
+"If 25 ns shift registers are used (AM25LS164 and 299), a ring bandwidth
+of 40 Mbps can be [ob]tained.  As indicated by Figure 4.2, this is
+sufficient for up to 50 instruction processors.  For larger configurations
+requiring bandwidths of up to 100 Mbps there appear to be two
+alternatives": ECL shift registers (1 bit/ns) or fiber optics (400 Mbps).
+
+Given a measured/estimated per-IP bandwidth demand curve, this module
+answers the paper's sizing questions: how many IPs a ring technology
+supports, and which technology a target configuration needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+from repro import hw
+
+#: The technologies Section 4.1 prices, in preference (cost) order.
+RING_TECHNOLOGIES: List[hw.RingModel] = [
+    hw.OUTER_RING_TTL,
+    hw.OUTER_RING_FIBER,
+    hw.OUTER_RING_ECL,
+]
+
+
+@dataclass(frozen=True)
+class RingChoice:
+    """A sizing recommendation."""
+
+    ring: hw.RingModel
+    ips: int
+    demand_mbps: float
+
+    @property
+    def headroom(self) -> float:
+        """Capacity divided by demand (>1 means feasible)."""
+        if self.demand_mbps <= 0:
+            return float("inf")
+        return self.ring.bit_rate_mbps / self.demand_mbps
+
+
+DemandCurve = Callable[[int], float]
+"""Maps a number of IPs to average outer-ring demand in Mbps."""
+
+
+def linear_demand(per_ip_mbps: float) -> DemandCurve:
+    """The simplest demand model: each IP adds a fixed average load.
+
+    The paper's anchor — 40 Mbps "sufficient for up to 50 IPs" — implies
+    ~0.8 Mbps per IP on its benchmark; our simulated machine measures the
+    curve directly (see experiments E3/E7), and this helper exists for
+    closed-form what-ifs.
+    """
+    if per_ip_mbps <= 0:
+        raise ValueError("per-IP demand must be positive")
+    return lambda ips: per_ip_mbps * ips
+
+
+def max_ips_supported(ring: hw.RingModel, demand: DemandCurve, limit: int = 10_000) -> int:
+    """Largest IP count whose demand fits the ring's bit rate."""
+    supported = 0
+    for ips in range(1, limit + 1):
+        if demand(ips) <= ring.bit_rate_mbps:
+            supported = ips
+        else:
+            break
+    return supported
+
+
+def recommend_ring(ips: int, demand: DemandCurve) -> RingChoice:
+    """Cheapest ring technology that carries ``ips`` processors' demand.
+
+    Raises :class:`ValueError` if even the fastest option cannot.
+    """
+    need = demand(ips)
+    for ring in RING_TECHNOLOGIES:
+        if need <= ring.bit_rate_mbps:
+            return RingChoice(ring=ring, ips=ips, demand_mbps=need)
+    raise ValueError(
+        f"{ips} IPs demand {need:.1f} Mbps, beyond every ring technology "
+        f"(max {max(r.bit_rate_mbps for r in RING_TECHNOLOGIES)} Mbps)"
+    )
+
+
+def sizing_table(
+    demand_points: Sequence[Tuple[int, float]],
+) -> List[dict]:
+    """Feasibility of each technology at each measured (ips, mbps) point.
+
+    ``demand_points`` usually comes from simulator sweeps (experiment E3).
+    """
+    rows: List[dict] = []
+    for ips, mbps in demand_points:
+        row = {"ips": ips, "demand_mbps": mbps}
+        for ring in RING_TECHNOLOGIES:
+            row[ring.name] = mbps <= ring.bit_rate_mbps
+        rows.append(row)
+    return rows

@@ -1,0 +1,164 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list``                    — the experiment catalog with one-line summaries
+* ``run <experiment> [...]``  — regenerate one paper artifact (table + chart)
+* ``bench-info``              — how to run the benchmark suite
+* ``workload``                — describe the Section 3.2 benchmark database
+
+Examples::
+
+    python -m repro list
+    python -m repro run figure_3_1 --scale 0.25 --processors 5,15,30
+    python -m repro run section_3_3
+    python -m repro run figure_4_2 --ips 5,25,50
+    python -m repro workload --scale 0.1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments import (
+    dataflow_machine,
+    fault_tolerance,
+    figure_3_1,
+    figure_4_2,
+    granularity_tuple,
+    packets_demo,
+    project_operator,
+    ring_sizing_exp,
+    ring_vs_direct,
+    section_3_3,
+)
+from repro.experiments.ascii_chart import figure_3_1_chart, figure_4_2_chart
+
+_EXPERIMENTS: Dict[str, tuple] = {
+    "figure_3_1": (figure_3_1, "E1: page- vs relation-level granularity (DIRECT)"),
+    "section_3_3": (section_3_3, "E2: tuple vs page arbitration traffic (analytic)"),
+    "figure_4_2": (figure_4_2, "E3: bandwidth by level vs number of IPs (ring)"),
+    "packets": (packets_demo, "E4: packet formats of Figures 4.3-4.5"),
+    "dataflow": (dataflow_machine, "E6: granularities on the MIT-model machine"),
+    "ring_sizing": (ring_sizing_exp, "E7: ring technology feasibility"),
+    "tuple_granularity": (granularity_tuple, "E8: tuple granularity measured"),
+    "ring_vs_direct": (ring_vs_direct, "E10: distributed vs centralized control"),
+    "project": (project_operator, "E11: parallel duplicate elimination"),
+    "fault_tolerance": (fault_tolerance, "E13: survive disabled processors"),
+}
+
+
+def _int_list(text: str) -> List[int]:
+    return [int(part) for part in text.split(",") if part]
+
+
+def _cmd_list(_args) -> int:
+    width = max(len(name) for name in _EXPERIMENTS)
+    print("experiments (python -m repro run <name>):\n")
+    for name, (_module, summary) in _EXPERIMENTS.items():
+        print(f"  {name.ljust(width)}  {summary}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    if args.experiment not in _EXPERIMENTS:
+        print(f"unknown experiment {args.experiment!r}; try 'python -m repro list'")
+        return 2
+    module, _summary = _EXPERIMENTS[args.experiment]
+    kwargs = {}
+    if args.scale is not None:
+        kwargs["scale"] = args.scale
+    if args.selectivity is not None:
+        kwargs["selectivity"] = args.selectivity
+    if args.processors is not None:
+        kwargs["processors"] = tuple(args.processors)
+    if args.ips is not None:
+        kwargs["ips"] = tuple(args.ips)
+    try:
+        result = module.run(**kwargs)
+    except TypeError as exc:
+        print(f"experiment {args.experiment!r} rejected options: {exc}")
+        return 2
+    print(result.render())
+    if args.experiment == "figure_3_1" and len(result.rows) > 1:
+        print()
+        print(figure_3_1_chart(result.rows))
+    if args.experiment == "figure_4_2" and len(result.rows) > 1:
+        print()
+        print(figure_4_2_chart(result.rows))
+    return 0
+
+
+def _cmd_workload(args) -> int:
+    from repro.workload import benchmark_queries, generate_benchmark_database
+
+    db = generate_benchmark_database(scale=args.scale, seed=args.seed)
+    print(
+        f"Section 3.2 benchmark database at scale={args.scale} (seed {args.seed}):\n"
+    )
+    print(db.catalog.summary())
+    trees = benchmark_queries(db.catalog, db.relation_names)
+    print(f"\nten-query mix (19 joins, 28 restricts):")
+    for tree in trees:
+        print(f"  {tree.name}: {tree.join_count} joins, {tree.restrict_count} restricts, "
+              f"relations {tree.leaf_relations()}")
+    return 0
+
+
+def _cmd_bench_info(_args) -> int:
+    print(
+        "benchmark suite (one per paper table/figure):\n\n"
+        "  pytest benchmarks/ --benchmark-only\n\n"
+        "options:\n"
+        "  REPRO_BENCH_SCALE=1.0   run at the paper's full 5.5 MB scale\n"
+        "  --benchmark-json=out.json   machine-readable results\n"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of Boral & DeWitt, 'Design Considerations "
+        "for Data-flow Database Machines' (SIGMOD 1980).",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    sub.add_parser("list", help="list available experiments")
+
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("experiment", help="experiment name (see 'list')")
+    run.add_argument("--scale", type=float, default=None, help="database scale (1.0 = 5.5 MB)")
+    run.add_argument("--selectivity", type=float, default=None, help="restrict selectivity")
+    run.add_argument("--processors", type=_int_list, default=None, help="e.g. 5,15,30")
+    run.add_argument("--ips", type=_int_list, default=None, help="e.g. 5,25,50")
+
+    workload = sub.add_parser("workload", help="describe the benchmark database")
+    workload.add_argument("--scale", type=float, default=0.1)
+    workload.add_argument("--seed", type=int, default=1979)
+
+    sub.add_parser("bench-info", help="how to run the benchmark suite")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    commands: Dict[str, Callable] = {
+        "list": _cmd_list,
+        "run": _cmd_run,
+        "workload": _cmd_workload,
+        "bench-info": _cmd_bench_info,
+    }
+    if args.command is None:
+        parser.print_help()
+        return 0
+    return commands[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

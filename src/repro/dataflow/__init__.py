@@ -1,0 +1,39 @@
+"""The MIT-model data-flow machine (Section 2.2, Figure 2.2).
+
+"A data-flow machine is an architecture devoid of a program counter where
+instructions are enabled for execution as soon as their operands are
+present.  Such a machine consists of a memory section, a processing
+section, and an interconnection device between the two sections."
+
+This package models the paper's reference architecture [6] directly:
+
+* **memory cells** (:mod:`repro.dataflow.cell`) hold one relational
+  instruction each, with operand slots filled by page tables;
+* the **arbitration network** carries enabled operation packets from
+  cells to processors; the **distribution network** carries result
+  packets back to destination cells (:mod:`repro.dataflow.machine`);
+* the **operand granularity** decides what a single firing is: the whole
+  relation (one firing per instruction — the concurrency ceiling the
+  paper criticizes), a page (one firing per page or page pair), or a
+  tuple (page-pair firings that pay per-tuple packet accounting).
+
+Unlike :mod:`repro.direct`, this machine is memory-resident ("we assume
+that at the time that a memory cell fires, the associated data pages are
+retrieved from a cache"): it isolates the *network and concurrency*
+consequences of granularity from the storage-hierarchy consequences the
+DIRECT simulator measures.  Both machines validate against the reference
+interpreter.
+"""
+
+from repro.dataflow.cell import Cell, FiringUnit, OperandSlot
+from repro.dataflow.machine import DataflowMachine, DataflowReport
+from repro.dataflow.program import compile_query
+
+__all__ = [
+    "Cell",
+    "OperandSlot",
+    "FiringUnit",
+    "DataflowMachine",
+    "DataflowReport",
+    "compile_query",
+]

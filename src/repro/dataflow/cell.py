@@ -1,0 +1,294 @@
+"""Memory cells: one relational instruction plus operand slots.
+
+"A memory cell contains an instruction and room for the operand data.  As
+soon as all the required data is present, the contents of the cell are
+sent to some processor for execution."
+
+For relational data-flow, "all the required data" depends on the operand
+granularity (Section 3.0):
+
+* relation level — every operand slot complete;
+* page level — at least one page in every slot ("an operator can be
+  initiated as soon as at least one page of each participating
+  relation(s) exists");
+* tuple level — same enabling as page level here, since pages are the
+  containers our tuples travel in; the difference is per-tuple packet
+  accounting, handled by the machine.
+
+A cell does not execute anything itself; it *fires* :class:`FiringUnit`
+packets — (page), (outer page x inner page), or (whole relations) — that
+the machine routes through the arbitration network to a processor.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, List, Set, Tuple
+
+from repro.errors import MachineError
+from repro.relational.page import Page
+from repro.relational.schema import Row, Schema
+from repro.query.tree import (
+    JoinNode,
+    ProjectNode,
+    QueryNode,
+    RestrictNode,
+    UnionNode,
+)
+
+
+class OperandSlot:
+    """Room for one operand's data: a growing list of pages."""
+
+    def __init__(self, name: str, schema: Schema):
+        self.name = name
+        self.schema = schema
+        self.pages: List[Page] = []
+        self.complete = False
+
+    def deliver(self, page: Page) -> int:
+        """A result (or base) page arrives; returns its index in the slot."""
+        if self.complete:
+            raise MachineError(f"operand slot {self.name!r} grew after completion")
+        self.pages.append(page)
+        return len(self.pages) - 1
+
+    def finish(self) -> None:
+        """No more pages will arrive."""
+        self.complete = True
+
+    @property
+    def page_count(self) -> int:
+        """Pages delivered so far."""
+        return len(self.pages)
+
+    @property
+    def row_count(self) -> int:
+        """Rows delivered so far."""
+        return sum(p.row_count for p in self.pages)
+
+
+@dataclass(frozen=True)
+class FiringUnit:
+    """One enabled instruction instance travelling to a processor.
+
+    ``pages`` holds (slot_index, page_index) pairs naming the operand
+    pages this firing consumes; relation-level firings name every page.
+    """
+
+    cell: "Cell"
+    pages: Tuple[Tuple[int, int], ...]
+    sequence: int
+
+    @property
+    def payload_bytes(self) -> int:
+        """Operand bytes this firing pushes through the arbitration network."""
+        return sum(
+            self.cell.operands[slot].pages[page].used_bytes for slot, page in self.pages
+        )
+
+    @property
+    def payload_rows(self) -> int:
+        """Operand rows carried."""
+        return sum(
+            self.cell.operands[slot].pages[page].row_count for slot, page in self.pages
+        )
+
+
+class Cell:
+    """One memory cell: instruction, operand slots, firing bookkeeping."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, node: QueryNode, operand_schemas: List[Tuple[str, Schema]], output_schema: Schema):
+        self.cell_id = next(self._ids)
+        self.node = node
+        self.output_schema = output_schema
+        self.operands = [OperandSlot(name, schema) for name, schema in operand_schemas]
+        #: Cells whose slot receives this cell's output: (cell, slot index).
+        self.destinations: List[Tuple["Cell", int]] = []
+        # Incremental firing cursors: pages below these indices have fired.
+        self._emitted_per_slot = [0 for _ in self.operands]
+        self._emitted_outer = 0
+        self._emitted_inner = 0
+        self._relation_fired = False
+        self._fire_seq = itertools.count()
+        self.firings_outstanding = 0
+        self.done = False
+        self._kernel = _make_kernel(node, [s for _, s in operand_schemas], output_schema)
+
+    # -- enabling -----------------------------------------------------------------
+
+    def enabled(self, granularity: str) -> bool:
+        """The Section 3.0 enabling rules."""
+        if granularity == "relation":
+            return all(slot.complete for slot in self.operands)
+        if granularity in ("page", "tuple"):
+            return all(slot.page_count > 0 or slot.complete for slot in self.operands)
+        raise MachineError(f"unknown granularity {granularity!r}")
+
+    def ready_firings(self, granularity: str) -> List[FiringUnit]:
+        """Take every enabled firing that has not fired yet (consuming).
+
+        Generation is incremental — cursors remember what already fired —
+        so the cost is proportional to *new* firings, not to the cell's
+        whole firing history (essential for large joins).
+        """
+        if self.done or not self.enabled(granularity):
+            return []
+        out: List[FiringUnit] = []
+        if granularity == "relation":
+            if not self._relation_fired:
+                self._relation_fired = True
+                everything = tuple(
+                    (slot_idx, page_idx)
+                    for slot_idx, slot in enumerate(self.operands)
+                    for page_idx in range(slot.page_count)
+                )
+                out.append(FiringUnit(self, everything, next(self._fire_seq)))
+            return out
+        if isinstance(self.node, JoinNode):
+            outer_count = self.operands[0].page_count
+            inner_count = self.operands[1].page_count
+            # New outer pages meet every inner page...
+            for o in range(self._emitted_outer, outer_count):
+                for i in range(inner_count):
+                    out.append(FiringUnit(self, ((0, o), (1, i)), next(self._fire_seq)))
+            # ...and old outer pages meet only the new inner pages.
+            for o in range(self._emitted_outer):
+                for i in range(self._emitted_inner, inner_count):
+                    out.append(FiringUnit(self, ((0, o), (1, i)), next(self._fire_seq)))
+            self._emitted_outer = outer_count
+            self._emitted_inner = inner_count
+            return out
+        for slot_idx, slot in enumerate(self.operands):
+            for page_idx in range(self._emitted_per_slot[slot_idx], slot.page_count):
+                out.append(FiringUnit(self, ((slot_idx, page_idx),), next(self._fire_seq)))
+            self._emitted_per_slot[slot_idx] = slot.page_count
+        return out
+
+    def has_unfired(self, granularity: str) -> bool:
+        """Non-consuming peek: would :meth:`ready_firings` yield anything?"""
+        if self.done or not self.enabled(granularity):
+            return False
+        if granularity == "relation":
+            return not self._relation_fired
+        if isinstance(self.node, JoinNode):
+            return (
+                self._emitted_outer < self.operands[0].page_count
+                or self._emitted_inner < self.operands[1].page_count
+            )
+        return any(
+            emitted < slot.page_count
+            for emitted, slot in zip(self._emitted_per_slot, self.operands)
+        )
+
+    def all_work_fired_and_done(self, granularity: str) -> bool:
+        """Every possible firing has fired and returned."""
+        if not all(slot.complete for slot in self.operands):
+            return False
+        if self.firings_outstanding:
+            return False
+        return not self.has_unfired(granularity)
+
+    # -- execution ------------------------------------------------------------------
+
+    def execute(self, unit: FiringUnit) -> List[Row]:
+        """The processor-side computation for one firing (row-exact)."""
+        return self._kernel(unit)
+
+    def cpu_cost_rows(self, unit: FiringUnit) -> int:
+        """Row-operations this firing costs (the time model's input).
+
+        Restrict/project/union: one operation per input row.  Join: one
+        comparison per (outer row x inner row) pair.
+        """
+        if isinstance(self.node, JoinNode):
+            outer_rows = sum(
+                self.operands[0].pages[p].row_count for s, p in unit.pages if s == 0
+            )
+            inner_rows = sum(
+                self.operands[1].pages[p].row_count for s, p in unit.pages if s == 1
+            )
+            return outer_rows * inner_rows
+        return unit.payload_rows
+
+    def __repr__(self) -> str:
+        return f"Cell{self.cell_id}({self.node.opcode}{self.node.node_id})"
+
+
+def _make_kernel(
+    node: QueryNode, operand_schemas: List[Schema], output_schema: Schema
+) -> Callable[[FiringUnit], List[Row]]:
+    """Compile the node into a firing-unit kernel."""
+    if isinstance(node, RestrictNode):
+        test = node.predicate.compile(operand_schemas[0])
+
+        def restrict_kernel(unit: FiringUnit) -> List[Row]:
+            out: List[Row] = []
+            for slot, page in unit.pages:
+                out.extend(r for r in unit.cell.operands[slot].pages[page].rows() if test(r))
+            return out
+
+        return restrict_kernel
+
+    if isinstance(node, ProjectNode):
+        indices = [operand_schemas[0].index_of(a) for a in node.attributes]
+        seen: Set[Row] = set()
+        dedup = node.eliminate_duplicates
+
+        def project_kernel(unit: FiringUnit) -> List[Row]:
+            out: List[Row] = []
+            for slot, page in unit.pages:
+                for row in unit.cell.operands[slot].pages[page].rows():
+                    cut = tuple(row[i] for i in indices)
+                    if dedup:
+                        if cut in seen:
+                            continue
+                        seen.add(cut)
+                    out.append(cut)
+            return out
+
+        return project_kernel
+
+    if isinstance(node, UnionNode):
+        seen_union: Set[Row] = set()
+
+        def union_kernel(unit: FiringUnit) -> List[Row]:
+            out: List[Row] = []
+            for slot, page in unit.pages:
+                for row in unit.cell.operands[slot].pages[page].rows():
+                    if row not in seen_union:
+                        seen_union.add(row)
+                        out.append(row)
+            return out
+
+        return union_kernel
+
+    if isinstance(node, JoinNode):
+        from repro.direct.exec_model import join_pages
+
+        outer_index = operand_schemas[0].index_of(node.condition.outer_attr)
+        inner_index = operand_schemas[1].index_of(node.condition.inner_attr)
+
+        def join_kernel(unit: FiringUnit) -> List[Row]:
+            outer_pages = [p for s, p in unit.pages if s == 0]
+            inner_pages = [p for s, p in unit.pages if s == 1]
+            out: List[Row] = []
+            for o in outer_pages:
+                for i in inner_pages:
+                    out.extend(
+                        join_pages(
+                            unit.cell.operands[0].pages[o],
+                            unit.cell.operands[1].pages[i],
+                            node.condition,
+                            outer_index,
+                            inner_index,
+                        )
+                    )
+            return out
+
+        return join_kernel
+
+    raise MachineError(f"the data-flow machine cannot execute {node.opcode!r} nodes")

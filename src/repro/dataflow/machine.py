@@ -1,0 +1,280 @@
+"""The Dennis-style machine loop: cells -> arbitration -> processors ->
+distribution -> cells (Figure 2.2).
+
+Timing model (all constants from :class:`repro.direct.exec_model.ExecModel`
+and :mod:`repro.hw`):
+
+* the **arbitration network** is ``network_width`` parallel paths, each
+  carrying one operation packet at ``network_rate`` bytes/ms; a packet's
+  size is its operand pages plus the overhead constant ``c`` — or, at
+  tuple granularity, the per-tuple formula of Section 3.3
+  (rows * (record + c) for unary firings, pairs * (w_o + w_i + c) for
+  join firings);
+* **processors** charge the per-row/per-pair CPU constants;
+* the **distribution network** mirrors the arbitration network, carrying
+  result pages to destination cells.
+
+The machine is workload-agnostic: submit any query trees, run, and check
+the produced relations against the reference interpreter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro import hw
+from repro.errors import MachineError
+from repro.direct.exec_model import ExecModel
+from repro.relational.catalog import Catalog
+from repro.relational.page import Page
+from repro.relational.relation import Relation
+from repro.relational.schema import Row
+from repro.query.tree import JoinNode, QueryTree
+from repro.dataflow.cell import Cell, FiringUnit
+from repro.dataflow.program import DataflowProgram, compile_query
+from repro.sim.engine import Simulator
+from repro.sim.resources import Resource
+
+
+@dataclass
+class DataflowReport:
+    """Outcome of one data-flow machine run."""
+
+    granularity: str
+    processors: int
+    elapsed_ms: float
+    firings: int
+    arbitration_bytes: int
+    distribution_bytes: int
+    results: Dict[str, Relation]
+    query_times: Dict[str, float]
+    events_processed: int
+
+    def arbitration_mbps(self) -> float:
+        """Average arbitration-network load (the Section 3.3 quantity)."""
+        if self.elapsed_ms <= 0:
+            return 0.0
+        return self.arbitration_bytes * 8.0 / 1e6 / (self.elapsed_ms / 1000.0)
+
+
+class DataflowMachine:
+    """The MIT-model machine executing relational query trees."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        processors: int = 4,
+        granularity: str = "page",
+        page_bytes: int = 2048,
+        model: Optional[ExecModel] = None,
+        network_width: int = 4,
+        network_rate: float = 2048.0,  # bytes per ms per path (~2 MB/s)
+        max_events: int = 2_000_000,
+    ):
+        if granularity not in ("relation", "page", "tuple"):
+            raise MachineError(f"unknown granularity {granularity!r}")
+        if processors < 1:
+            raise MachineError("need at least one processor")
+        self.catalog = catalog
+        self.granularity = granularity
+        self.page_bytes = page_bytes
+        self.model = model or ExecModel(page_bytes=page_bytes)
+        self.network_rate = network_rate
+        self.max_events = max_events
+
+        self.sim = Simulator()
+        self.arbitration = Resource(self.sim, "arbitration", capacity=network_width)
+        self.distribution = Resource(self.sim, "distribution", capacity=network_width)
+        self.processors = Resource(self.sim, "processors", capacity=processors)
+        self._processor_count = processors
+
+        self._programs: List[DataflowProgram] = []
+        self._assemblies: Dict[int, List[Row]] = {}
+        self._results: Dict[str, List[Row]] = {}
+        self._query_done_at: Dict[str, float] = {}
+        self.firings = 0
+        self.arbitration_bytes = 0
+        self.distribution_bytes = 0
+
+    # ------------------------------------------------------------------ host API
+
+    def submit(self, tree: QueryTree) -> DataflowProgram:
+        """Compile ``tree`` into cells and add it to the memory section."""
+        program = compile_query(tree, self.catalog, self.page_bytes)
+        self._programs.append(program)
+        for cell in program.cells:
+            self._assemblies[cell.cell_id] = []
+        return program
+
+    def run(self) -> DataflowReport:
+        """Fire enabled cells until every query's root completes."""
+        if not self._programs:
+            raise MachineError("no queries submitted")
+        self.sim.schedule(0.0, self._pump, label="pump")
+        self.sim.run(max_events=self.max_events)
+        unfinished = [
+            p.tree.name for p in self._programs if not p.root.done
+        ]
+        if unfinished:
+            raise MachineError(f"data-flow machine stalled on: {unfinished}")
+        return DataflowReport(
+            granularity=self.granularity,
+            processors=self._processor_count,
+            elapsed_ms=self.sim.now,
+            firings=self.firings,
+            arbitration_bytes=self.arbitration_bytes,
+            distribution_bytes=self.distribution_bytes,
+            results={
+                p.tree.name: self._result_relation(p) for p in self._programs
+            },
+            query_times=dict(self._query_done_at),
+            events_processed=self.sim.events_processed,
+        )
+
+    def _result_relation(self, program: DataflowProgram) -> Relation:
+        out = Relation(
+            f"{program.tree.name}.result",
+            program.root.output_schema,
+            page_bytes=self.page_bytes,
+        )
+        out.insert_many(self._results.get(program.tree.name, []))
+        return out
+
+    # ------------------------------------------------------------------ firing loop
+
+    def _pump(self) -> None:
+        """Scan the memory section; enqueue every newly enabled firing."""
+        for program in self._programs:
+            for cell in program.cells:
+                for unit in cell.ready_firings(self.granularity):
+                    self._launch(unit)
+                self._check_cell_completion(cell)
+
+    def _launch(self, unit: FiringUnit) -> None:
+        cell = unit.cell
+        cell.firings_outstanding += 1
+        self.firings += 1
+        nbytes = self._packet_bytes(unit)
+        self.arbitration_bytes += nbytes
+
+        def at_processor() -> None:
+            cpu = self._cpu_ms(unit)
+            self.processors.submit(cpu, lambda: self._fired(unit), nbytes=0)
+
+        self.arbitration.submit(nbytes / self.network_rate, at_processor, nbytes=nbytes)
+
+    def _packet_bytes(self, unit: FiringUnit) -> int:
+        c = self.model.packet_overhead_bytes
+        if self.granularity != "tuple":
+            return unit.payload_bytes + c
+        # Section 3.3 accounting: every tuple (or tuple pair) is a packet.
+        cell = unit.cell
+        if isinstance(cell.node, JoinNode):
+            outer_rows = sum(
+                cell.operands[0].pages[p].row_count for s, p in unit.pages if s == 0
+            )
+            inner_rows = sum(
+                cell.operands[1].pages[p].row_count for s, p in unit.pages if s == 1
+            )
+            w_o = cell.operands[0].schema.record_width
+            w_i = cell.operands[1].schema.record_width
+            return outer_rows * inner_rows * (w_o + w_i + c)
+        width = cell.operands[unit.pages[0][0]].schema.record_width if unit.pages else 8
+        return unit.payload_rows * (width + c)
+
+    def _cpu_ms(self, unit: FiringUnit) -> float:
+        cell = unit.cell
+        ops = cell.cpu_cost_rows(unit)
+        if isinstance(cell.node, JoinNode):
+            return ops * self.model.join_pair_ms
+        return ops * self.model.restrict_tuple_ms
+
+    def _fired(self, unit: FiringUnit) -> None:
+        cell = unit.cell
+        rows = cell.execute(unit)
+        cell.firings_outstanding -= 1
+        self._emit(cell, rows)
+        # New results (or freed processors) may enable more firings.
+        self._pump()
+
+    # ------------------------------------------------------------------ distribution
+
+    def _emit(self, cell: Cell, rows: List[Row]) -> None:
+        """Assemble result rows into pages; distribute completed pages."""
+        buffer = self._assemblies[cell.cell_id]
+        buffer.extend(rows)
+        capacity = Page(cell.output_schema, self.page_bytes).capacity
+        while len(buffer) >= capacity:
+            page = Page(cell.output_schema, self.page_bytes)
+            for row in buffer[:capacity]:
+                page.append(row)
+            del buffer[:capacity]
+            self._distribute(cell, page)
+
+    def _flush(self, cell: Cell) -> None:
+        buffer = self._assemblies[cell.cell_id]
+        if buffer:
+            page = Page(cell.output_schema, self.page_bytes)
+            for row in buffer:
+                page.append(row)
+            buffer.clear()
+            self._distribute(cell, page, final=True)
+
+    def _distribute(self, cell: Cell, page: Page, final: bool = False) -> None:
+        nbytes = page.used_bytes + self.model.packet_overhead_bytes
+        self.distribution_bytes += nbytes
+        cell.firings_outstanding += 1  # page in flight counts as work
+
+        def delivered() -> None:
+            cell.firings_outstanding -= 1
+            if cell.destinations:
+                for destination, slot in cell.destinations:
+                    destination.operands[slot].deliver(page)
+            else:
+                tree_name = self._tree_name_of(cell)
+                self._results.setdefault(tree_name, []).extend(page.rows())
+            self._pump()
+
+        self.distribution.submit(nbytes / self.network_rate, delivered, nbytes=nbytes)
+
+    # ------------------------------------------------------------------ completion
+
+    def _check_cell_completion(self, cell: Cell) -> None:
+        if cell.done or not cell.all_work_fired_and_done(self.granularity):
+            return
+        if self._assemblies[cell.cell_id]:
+            self._flush(cell)
+            return  # completion re-checked when the flush page lands
+        cell.done = True
+        for destination, slot in cell.destinations:
+            destination.operands[slot].finish()
+        if not cell.destinations:
+            tree_name = self._tree_name_of(cell)
+            self._query_done_at.setdefault(tree_name, self.sim.now)
+        self._pump_soon()
+
+    def _pump_soon(self) -> None:
+        self.sim.schedule(0.0, self._pump, label="pump")
+
+    def _tree_name_of(self, cell: Cell) -> str:
+        for program in self._programs:
+            if cell in program.cells:
+                return program.tree.name
+        raise MachineError(f"orphan cell {cell!r}")
+
+
+def run_dataflow(
+    catalog: Catalog,
+    queries: Sequence[QueryTree],
+    processors: int = 4,
+    granularity: str = "page",
+    **kwargs,
+) -> DataflowReport:
+    """Build a machine, submit ``queries``, run, and report."""
+    machine = DataflowMachine(
+        catalog, processors=processors, granularity=granularity, **kwargs
+    )
+    for tree in queries:
+        machine.submit(tree)
+    return machine.run()

@@ -1,0 +1,86 @@
+"""Compile query trees into data-flow programs (cells + destination links).
+
+"We assume that the instruction in each memory cell corresponds to a node
+in the query tree and that the data is represented by page tables."
+
+Base-relation operands are pre-loaded into the leaf cells' slots (the
+machine model keeps data cache-resident); interior edges become
+destination links that the distribution network serves at run time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import MachineError
+from repro.relational.catalog import Catalog
+from repro.relational.page import pack_rows_into_pages
+from repro.relational.schema import Schema
+from repro.query.tree import QueryNode, QueryTree, ScanNode
+from repro.dataflow.cell import Cell
+
+
+@dataclass
+class DataflowProgram:
+    """One compiled query: its cells, root, and preloaded base pages."""
+
+    tree: QueryTree
+    cells: List[Cell] = field(default_factory=list)
+    root: Optional[Cell] = None
+    #: (cell, slot) pairs preloaded with base pages at start time.
+    preloaded: List[Tuple[Cell, int, int]] = field(default_factory=list)
+
+    def cell_for(self, node: QueryNode) -> Cell:
+        """The cell compiled from ``node``."""
+        for cell in self.cells:
+            if cell.node is node:
+                return cell
+        raise MachineError(f"no cell for node {node!r}")
+
+
+def compile_query(
+    tree: QueryTree, catalog: Catalog, page_bytes: int = 2048
+) -> DataflowProgram:
+    """Build the cell graph for ``tree`` and preload base operands."""
+    tree.validate(catalog)
+    program = DataflowProgram(tree=tree)
+    by_node: Dict[int, Cell] = {}
+
+    for node in tree.nodes():
+        if isinstance(node, ScanNode):
+            continue
+        operand_schemas: List[Tuple[str, Schema]] = []
+        for child in node.children:
+            operand_schemas.append(
+                (_operand_name(child), child.output_schema(catalog))
+            )
+        cell = Cell(node, operand_schemas, node.output_schema(catalog))
+        by_node[node.node_id] = cell
+        program.cells.append(cell)
+        program.root = cell
+
+    if program.root is None:
+        raise MachineError(f"query {tree.name} has no operator nodes")
+
+    # Wire destinations and preload base operands.
+    for node_id, cell in by_node.items():
+        for slot_index, child in enumerate(cell.node.children):
+            if isinstance(child, ScanNode):
+                relation = catalog.get(child.relation_name)
+                pages = pack_rows_into_pages(
+                    relation.schema, list(relation.rows()), page_bytes
+                )
+                for page in pages:
+                    cell.operands[slot_index].deliver(page)
+                cell.operands[slot_index].finish()
+                program.preloaded.append((cell, slot_index, len(pages)))
+            else:
+                by_node[child.node_id].destinations.append((cell, slot_index))
+    return program
+
+
+def _operand_name(node: QueryNode) -> str:
+    if isinstance(node, ScanNode):
+        return node.relation_name
+    return f"node{node.node_id}"

@@ -1,0 +1,96 @@
+"""Byte-level traffic accounting per storage level.
+
+Figure 4.2 plots "the bandwidth requirements of DIRECT with page-level
+granularity ... obtained by dividing the total number of bytes transferred
+by the execution time of the benchmark".  The meter tracks bytes per
+transfer level so the experiment can report that division per level and in
+total.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+#: Transfer levels of the three-level storage hierarchy plus control.
+DISK_TO_CACHE = "disk_to_cache"
+CACHE_TO_DISK = "cache_to_disk"
+CACHE_TO_PROC = "cache_to_proc"
+PROC_TO_CACHE = "proc_to_cache"
+#: Intermediate pages flowing processor -> controller local memory and back
+#: (the first level of the paper's three-level storage hierarchy).
+PROC_TO_IC = "proc_to_ic"
+IC_TO_PROC = "ic_to_proc"
+CONTROL = "control"
+
+ALL_LEVELS = [
+    DISK_TO_CACHE,
+    CACHE_TO_DISK,
+    CACHE_TO_PROC,
+    PROC_TO_CACHE,
+    PROC_TO_IC,
+    IC_TO_PROC,
+    CONTROL,
+]
+
+#: Levels that cross the processor interconnect (DIRECT's cross-point
+#: switch; the outer ring in the Section 4 machine).
+INTERCONNECT_LEVELS = [CACHE_TO_PROC, PROC_TO_CACHE, PROC_TO_IC, IC_TO_PROC, CONTROL]
+
+#: Levels that touch the mass-storage devices.
+DISK_LEVELS = [DISK_TO_CACHE, CACHE_TO_DISK]
+
+
+class TrafficMeter:
+    """Accumulates transferred bytes by level."""
+
+    def __init__(self):
+        self._bytes: Dict[str, int] = {level: 0 for level in ALL_LEVELS}
+
+    def add(self, level: str, nbytes: int) -> None:
+        """Record ``nbytes`` moved across ``level``."""
+        if level not in self._bytes:
+            raise KeyError(f"unknown traffic level {level!r}; use one of {ALL_LEVELS}")
+        if nbytes < 0:
+            raise ValueError(f"traffic cannot be negative ({nbytes})")
+        self._bytes[level] += nbytes
+
+    def bytes_at(self, level: str) -> int:
+        """Total bytes recorded at ``level``."""
+        return self._bytes[level]
+
+    def total(self, levels: List[str] = None) -> int:
+        """Total bytes across ``levels`` (default: every level)."""
+        chosen = levels if levels is not None else ALL_LEVELS
+        return sum(self._bytes[level] for level in chosen)
+
+    @property
+    def interconnect_bytes(self) -> int:
+        """Bytes that crossed the processor interconnect."""
+        return self.total(INTERCONNECT_LEVELS)
+
+    @property
+    def disk_bytes(self) -> int:
+        """Bytes that moved between cache and mass storage."""
+        return self.total(DISK_LEVELS)
+
+    def bandwidth_mbps(self, level_or_levels, elapsed_ms: float) -> float:
+        """Average bandwidth in megabits/second over ``elapsed_ms``.
+
+        This is exactly the paper's metric: average, not peak.
+        """
+        if elapsed_ms <= 0:
+            return 0.0
+        if isinstance(level_or_levels, str):
+            nbytes = self.bytes_at(level_or_levels)
+        else:
+            nbytes = self.total(list(level_or_levels))
+        return nbytes * 8.0 / 1e6 / (elapsed_ms / 1000.0)
+
+    def snapshot(self) -> Dict[str, int]:
+        """A copy of the per-level byte counts."""
+        return dict(self._bytes)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{k}={v}" for k, v in self._bytes.items())
+        return f"TrafficMeter({parts})"

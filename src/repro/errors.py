@@ -1,0 +1,52 @@
+"""Exception hierarchy for the dataflow-dbm reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A schema is malformed or a row does not match its schema."""
+
+
+class PageError(ReproError):
+    """A page operation failed (overflow, bad slot, corrupt bytes)."""
+
+
+class CatalogError(ReproError):
+    """A catalog lookup or registration failed."""
+
+
+class PredicateError(ReproError):
+    """A predicate or scalar expression is malformed or ill-typed."""
+
+
+class QueryTreeError(ReproError):
+    """A query tree is structurally invalid."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class PacketError(ReproError):
+    """A ring packet failed to encode or decode."""
+
+
+class MachineError(ReproError):
+    """A machine simulator (DIRECT or ring) reached an invalid state."""
+
+
+class ConcurrencyError(ReproError):
+    """A concurrency-control invariant was violated."""
+
+
+class WorkloadError(ReproError):
+    """The benchmark workload could not be generated as specified."""

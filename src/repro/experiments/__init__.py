@@ -1,0 +1,25 @@
+"""Experiment harness: one module per table/figure (see DESIGN.md §4).
+
+Every experiment returns plain row dictionaries and can render itself as
+an ASCII table, so the same code backs the unit tests, the pytest
+benchmarks, and the EXPERIMENTS.md records.
+
+* E1  :mod:`repro.experiments.figure_3_1` — page- vs relation-level
+  granularity on the DIRECT simulator.
+* E2  :mod:`repro.experiments.section_3_3` — tuple- vs page-level
+  arbitration traffic (analytic).
+* E3  :mod:`repro.experiments.figure_4_2` — bandwidth by storage level vs
+  number of IPs.
+* E4  :mod:`repro.experiments.packets_demo` — packet format round trips.
+* E7  :mod:`repro.experiments.ring_sizing_exp` — ring technology anchors.
+* E8  :mod:`repro.experiments.granularity_tuple` — tuple granularity
+  measured in the simulator (extension).
+* E10 :mod:`repro.experiments.ring_vs_direct` — distributed (ring) vs
+  centralized (DIRECT) control, and IP->IP direct routing (extension).
+* E11 :mod:`repro.experiments.project_operator` — parallel duplicate
+  elimination strategies (the paper's open problem; extension).
+"""
+
+from repro.experiments.common import ExperimentResult, render_table
+
+__all__ = ["ExperimentResult", "render_table"]

@@ -1,0 +1,146 @@
+"""Plain-text line charts for the figure experiments.
+
+The paper's figures are hand-drawn curves; an open-source reproduction
+should show the same curves without a plotting dependency.  These charts
+render one or more named series over a shared numeric x-axis into a
+fixed-size character grid, with per-series markers and a legend.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+#: Markers assigned to series in order.
+_MARKERS = "*o+x#@%&"
+
+
+def line_chart(
+    title: str,
+    x_label: str,
+    y_label: str,
+    x_values: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 18,
+) -> str:
+    """Render ``series`` (name -> y values over ``x_values``) as text.
+
+    >>> print(line_chart("t", "x", "y", [1, 2], {"a": [0.0, 1.0]})
+    ...       )  # doctest: +SKIP
+    """
+    if not x_values or not series:
+        return f"{title}\n(no data)"
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points for {len(x_values)} x values"
+            )
+
+    all_y = [y for ys in series.values() for y in ys]
+    y_min, y_max = min(all_y), max(all_y)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = min(x_values), max(x_values)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def col(x: float) -> int:
+        return round((x - x_min) / (x_max - x_min) * (width - 1))
+
+    def row(y: float) -> int:
+        return (height - 1) - round((y - y_min) / (y_max - y_min) * (height - 1))
+
+    for index, (name, ys) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        points = [(col(x), row(y)) for x, y in zip(x_values, ys)]
+        for (c0, r0), (c1, r1) in zip(points, points[1:]):
+            for c, r in _segment(c0, r0, c1, r1):
+                if grid[r][c] == " ":
+                    grid[r][c] = "."
+        for c, r in points:
+            grid[r][c] = marker
+
+    lines: List[str] = [title, ""]
+    y_top = _fmt(y_max)
+    y_bottom = _fmt(y_min)
+    gutter = max(len(y_top), len(y_bottom), len(y_label)) + 1
+    for i, grid_row in enumerate(grid):
+        if i == 0:
+            prefix = y_top.rjust(gutter)
+        elif i == height - 1:
+            prefix = y_bottom.rjust(gutter)
+        elif i == height // 2:
+            prefix = y_label.rjust(gutter)
+        else:
+            prefix = " " * gutter
+        lines.append(f"{prefix} |{''.join(grid_row)}")
+    lines.append(" " * gutter + " +" + "-" * width)
+    x_axis = _fmt(x_min).ljust(width // 2) + _fmt(x_max).rjust(width - width // 2)
+    lines.append(" " * gutter + "  " + x_axis)
+    lines.append(" " * gutter + "  " + x_label.center(width))
+    lines.append("")
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * gutter + "  " + legend)
+    return "\n".join(lines)
+
+
+def _segment(c0: int, r0: int, c1: int, r1: int) -> List[Tuple[int, int]]:
+    """Integer points along a line segment (Bresenham)."""
+    points: List[Tuple[int, int]] = []
+    dc, dr = abs(c1 - c0), -abs(r1 - r0)
+    sc = 1 if c0 < c1 else -1
+    sr = 1 if r0 < r1 else -1
+    err = dc + dr
+    c, r = c0, r0
+    while True:
+        points.append((c, r))
+        if c == c1 and r == r1:
+            return points
+        e2 = 2 * err
+        if e2 >= dr:
+            err += dr
+            c += sc
+        if e2 <= dc:
+            err += dc
+            r += sr
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e7:
+        return str(int(value))
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    return f"{value:.2f}"
+
+
+def figure_3_1_chart(rows: Sequence[dict]) -> str:
+    """Figure 3.1 as the paper drew it: time vs processors, two curves."""
+    return line_chart(
+        title="Figure 3.1 — Comparison of Page-Level and Relation-Level Granularities",
+        x_label="number of processors",
+        y_label="exec ms",
+        x_values=[r["processors"] for r in rows],
+        series={
+            "relation-level": [r["relation_ms"] for r in rows],
+            "page-level": [r["page_ms"] for r in rows],
+        },
+    )
+
+
+def figure_4_2_chart(rows: Sequence[dict]) -> str:
+    """Figure 4.2: average bandwidth per level vs number of IPs."""
+    return line_chart(
+        title="Figure 4.2 — Bandwidth Requirements vs Number of IPs (average Mbps)",
+        x_label="number of instruction processors",
+        y_label="Mbps",
+        x_values=[r["ips"] for r in rows],
+        series={
+            "outer ring": [r["outer_ring_mbps"] for r in rows],
+            "cache level": [r["cache_level_mbps"] for r in rows],
+            "disk level": [r["disk_level_mbps"] for r in rows],
+        },
+    )

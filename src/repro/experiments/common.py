@@ -1,0 +1,92 @@
+"""Shared experiment infrastructure: result containers and table rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.workload import generate_benchmark_database, benchmark_queries
+from repro.workload.generator import BenchmarkDatabase
+
+
+@dataclass
+class ExperimentResult:
+    """Rows plus enough metadata to regenerate and cite the run."""
+
+    experiment_id: str
+    title: str
+    parameters: Dict[str, object]
+    rows: List[dict] = field(default_factory=list)
+
+    def render(self) -> str:
+        """The experiment as an ASCII table with a header block."""
+        lines = [
+            f"== {self.experiment_id}: {self.title} ==",
+            "parameters: " + ", ".join(f"{k}={v}" for k, v in sorted(self.parameters.items())),
+            "",
+            render_table(self.rows),
+        ]
+        return "\n".join(lines)
+
+    def column(self, name: str) -> List:
+        """One column of the result rows."""
+        return [row[name] for row in self.rows]
+
+
+def render_table(rows: Sequence[dict]) -> str:
+    """Fixed-width ASCII table from row dictionaries (union of keys)."""
+    if not rows:
+        return "(no rows)"
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    rendered = [[_cell(row.get(c, "")) for c in columns] for row in rows]
+    widths = [
+        max(len(c), max(len(r[i]) for r in rendered)) for i, c in enumerate(columns)
+    ]
+    header = "  ".join(c.ljust(w) for c, w in zip(columns, widths))
+    rule = "  ".join("-" * w for w in widths)
+    body = "\n".join("  ".join(v.rjust(w) for v, w in zip(r, widths)) for r in rendered)
+    return "\n".join([header, rule, body])
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+#: Default workload parameters for the headline experiments.  Documented
+#: here once so every experiment and EXPERIMENTS.md agree; see DESIGN.md §6
+#: for why these specific values were chosen (the paper does not publish
+#: selectivities or its simulator's page size).
+DEFAULTS = {
+    "scale": 1.0,
+    "seed": 1979,
+    "selectivity": 0.25,
+    "direct_page_bytes": 4096,
+    "direct_cache_bytes": 2 * 1024 * 1024,
+    "ring_page_bytes": 16384,
+    "ring_cache_bytes": 2 * 1024 * 1024,
+}
+
+
+def benchmark_database(scale: float = None, page_bytes: int = None) -> BenchmarkDatabase:
+    """The Section 3.2 database at experiment defaults (overridable)."""
+    return generate_benchmark_database(
+        scale=scale if scale is not None else DEFAULTS["scale"],
+        seed=DEFAULTS["seed"],
+        page_bytes=page_bytes or DEFAULTS["direct_page_bytes"],
+    )
+
+
+def benchmark_workload(db: BenchmarkDatabase, selectivity: float = None):
+    """Fresh query trees for the ten-query benchmark (trees are stateful —
+    node ids are unique per construction — so each run builds its own)."""
+    return benchmark_queries(
+        db.catalog,
+        db.relation_names,
+        selectivity=selectivity if selectivity is not None else DEFAULTS["selectivity"],
+    )

@@ -1,0 +1,85 @@
+"""E1 / Figure 3.1: page- vs relation-level granularity.
+
+The paper: "Using a benchmark containing ten queries ..., a relational
+database containing 15 relations with a combined size of 5.5 megabytes,
+and two memory cells for each processor, these two granularities were
+compared.  The results are presented in Figure 3.1.  As illustrated by
+this experiment ..., the page-level granularity generally outperforms
+relational-level granularity by a factor of about two."
+
+We sweep the processor count on the DIRECT simulator and report both
+execution times and the ratio.  Expected shape: times fall with
+processors and flatten; the ratio grows toward ~2 once the machine has
+enough processors to expose relation-level's materialization stalls.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.direct.machine import run_benchmark
+from repro.direct import scheduler
+from repro.experiments.common import DEFAULTS, ExperimentResult, benchmark_database, benchmark_workload
+
+#: Processor counts swept by default (the paper's axis is unlabeled in our
+#: copy; 5..50 brackets the 50-IP anchor of Section 4.1).
+DEFAULT_PROCESSORS = (5, 10, 20, 30, 40, 50)
+
+
+def run(
+    processors: Sequence[int] = DEFAULT_PROCESSORS,
+    scale: Optional[float] = None,
+    selectivity: Optional[float] = None,
+) -> ExperimentResult:
+    """Run the Figure 3.1 sweep and return its rows.
+
+    Row fields: ``processors``, ``page_ms``, ``relation_ms``, ``ratio``,
+    ``page_mbps`` (average interconnect bandwidth at page level).
+    """
+    db = benchmark_database(scale=scale, page_bytes=DEFAULTS["direct_page_bytes"])
+    result = ExperimentResult(
+        experiment_id="E1 (Figure 3.1)",
+        title="Comparison of page-level and relation-level granularities",
+        parameters={
+            "scale": scale if scale is not None else DEFAULTS["scale"],
+            "selectivity": selectivity if selectivity is not None else DEFAULTS["selectivity"],
+            "page_bytes": DEFAULTS["direct_page_bytes"],
+            "cache_bytes": DEFAULTS["direct_cache_bytes"],
+            "memory_cells": 2,
+            "database_bytes": db.catalog.total_bytes,
+        },
+    )
+    for procs in processors:
+        reports = {}
+        for granularity in (scheduler.PAGE, scheduler.RELATION):
+            trees = benchmark_workload(db, selectivity=selectivity)
+            reports[granularity.key] = run_benchmark(
+                db.catalog,
+                trees,
+                processors=procs,
+                granularity=granularity,
+                page_bytes=DEFAULTS["direct_page_bytes"],
+                cache_bytes=DEFAULTS["direct_cache_bytes"],
+            )
+        page = reports["page"]
+        relation = reports["relation"]
+        result.rows.append(
+            {
+                "processors": procs,
+                "page_ms": round(page.elapsed_ms, 1),
+                "relation_ms": round(relation.elapsed_ms, 1),
+                "ratio": relation.elapsed_ms / page.elapsed_ms,
+                "page_mbps": page.bandwidth_mbps(),
+                "page_disk_bytes": page.disk_bytes,
+                "relation_disk_bytes": relation.disk_bytes,
+            }
+        )
+    return result
+
+
+def main() -> None:  # pragma: no cover - manual entry point
+    print(run().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,91 @@
+"""E3 / Figure 4.2: bandwidth requirements vs number of IPs.
+
+Paper setup: 16K-byte operands, LSI-11 IPs (16K page in 33 ms), Intel 2314
+CCD cache, two IBM 3330 drives, page-level granularity; "the bandwidth for
+each of the different processor levels was obtained by dividing the total
+number of bytes transferred by the execution time of the benchmark" —
+average, not peak.
+
+We run the benchmark on the *ring machine* (the design Figure 4.2 sizes)
+across IP counts, reporting the outer-ring offered load alongside the
+storage-hierarchy levels, and check the paper's anchors: <= 40 Mbps
+through 50 IPs, <= 100 Mbps for larger configurations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.direct import traffic as tlevels
+from repro.experiments.common import DEFAULTS, ExperimentResult, benchmark_database, benchmark_workload
+from repro.ring.machine import run_ring_benchmark
+
+#: The paper's anchor points.
+TTL_RING_MBPS = 40.0
+LARGE_CONFIG_MBPS = 100.0
+
+DEFAULT_IPS = (5, 10, 25, 50, 75, 100)
+
+
+def run(
+    ips: Sequence[int] = DEFAULT_IPS,
+    scale: Optional[float] = None,
+    selectivity: Optional[float] = None,
+    controllers: int = 24,
+) -> ExperimentResult:
+    """The Figure 4.2 sweep on the ring machine.
+
+    Row fields: ``ips``, ``elapsed_ms``, ``outer_ring_mbps``,
+    ``inner_ring_mbps``, ``cache_level_mbps``, ``disk_level_mbps``,
+    ``fits_40mbps``, ``fits_100mbps``.
+    """
+    db = benchmark_database(scale=scale, page_bytes=DEFAULTS["ring_page_bytes"])
+    result = ExperimentResult(
+        experiment_id="E3 (Figure 4.2)",
+        title="Average bandwidth by level vs number of instruction processors",
+        parameters={
+            "scale": scale if scale is not None else DEFAULTS["scale"],
+            "selectivity": selectivity if selectivity is not None else DEFAULTS["selectivity"],
+            "page_bytes": DEFAULTS["ring_page_bytes"],
+            "controllers": controllers,
+            "database_bytes": db.catalog.total_bytes,
+        },
+    )
+    for n in ips:
+        trees = benchmark_workload(db, selectivity=selectivity)
+        report = run_ring_benchmark(
+            db.catalog,
+            trees,
+            processors=n,
+            controllers=controllers,
+            page_bytes=DEFAULTS["ring_page_bytes"],
+            cache_bytes=DEFAULTS["ring_cache_bytes"],
+        )
+        elapsed_s = report.elapsed_ms / 1000.0
+        cache_bytes = (
+            report.traffic[tlevels.CACHE_TO_PROC] + report.traffic[tlevels.PROC_TO_CACHE]
+        )
+        disk_bytes = (
+            report.traffic[tlevels.DISK_TO_CACHE] + report.traffic[tlevels.CACHE_TO_DISK]
+        )
+        result.rows.append(
+            {
+                "ips": n,
+                "elapsed_ms": round(report.elapsed_ms, 1),
+                "outer_ring_mbps": report.outer_ring_mbps,
+                "inner_ring_mbps": report.inner_ring_mbps,
+                "cache_level_mbps": cache_bytes * 8.0 / 1e6 / elapsed_s,
+                "disk_level_mbps": disk_bytes * 8.0 / 1e6 / elapsed_s,
+                "fits_40mbps": report.outer_ring_mbps <= TTL_RING_MBPS,
+                "fits_100mbps": report.outer_ring_mbps <= LARGE_CONFIG_MBPS,
+            }
+        )
+    return result
+
+
+def main() -> None:  # pragma: no cover - manual entry point
+    print(run().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

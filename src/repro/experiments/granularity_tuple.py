@@ -1,0 +1,78 @@
+"""E8 (extension): tuple-level granularity *measured* in the simulator.
+
+The paper argues against tuple granularity analytically (Section 3.3) but
+never simulates it.  We do: the DIRECT simulator's TUPLE policy charges
+per-tuple packet overhead through the arbitration network (n*m*(w_o+w_i+c)
+bytes per join page pair plus per-tuple dispatch CPU).  Expected shape:
+execution time no better than page level, with an order of magnitude more
+interconnect traffic — confirming the paper's argument by measurement.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.direct.machine import run_benchmark
+from repro.direct import scheduler
+from repro.experiments.common import DEFAULTS, ExperimentResult, benchmark_database, benchmark_workload
+
+DEFAULT_PROCESSORS = (10, 30, 50)
+
+
+def run(
+    processors: Sequence[int] = DEFAULT_PROCESSORS,
+    scale: Optional[float] = None,
+    selectivity: Optional[float] = None,
+) -> ExperimentResult:
+    """Measure all three granularities on the same workload.
+
+    Row fields per processor count: times for page/relation/tuple and the
+    interconnect bytes for page vs tuple (the headline blowup).
+    """
+    db = benchmark_database(scale=scale, page_bytes=DEFAULTS["direct_page_bytes"])
+    result = ExperimentResult(
+        experiment_id="E8 (extension)",
+        title="Tuple-level granularity measured against page and relation",
+        parameters={
+            "scale": scale if scale is not None else DEFAULTS["scale"],
+            "selectivity": selectivity if selectivity is not None else DEFAULTS["selectivity"],
+            "page_bytes": DEFAULTS["direct_page_bytes"],
+        },
+    )
+    for procs in processors:
+        reports = {}
+        for granularity in (scheduler.PAGE, scheduler.RELATION, scheduler.TUPLE):
+            trees = benchmark_workload(db, selectivity=selectivity)
+            reports[granularity.key] = run_benchmark(
+                db.catalog,
+                trees,
+                processors=procs,
+                granularity=granularity,
+                page_bytes=DEFAULTS["direct_page_bytes"],
+                cache_bytes=DEFAULTS["direct_cache_bytes"],
+            )
+        page, tup = reports["page"], reports["tuple"]
+        result.rows.append(
+            {
+                "processors": procs,
+                "page_ms": round(page.elapsed_ms, 1),
+                "relation_ms": round(reports["relation"].elapsed_ms, 1),
+                "tuple_ms": round(tup.elapsed_ms, 1),
+                "page_net_bytes": page.interconnect_bytes,
+                "tuple_net_bytes": tup.interconnect_bytes,
+                "traffic_blowup": (
+                    tup.interconnect_bytes / page.interconnect_bytes
+                    if page.interconnect_bytes
+                    else float("inf")
+                ),
+            }
+        )
+    return result
+
+
+def main() -> None:  # pragma: no cover - manual entry point
+    print(run().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,195 @@
+"""E11 (extension): parallel project — the paper's open problem.
+
+Section 5.0: "We have been examining the problem of the project operator
+[attribute cut + duplicate elimination] for several months and have not
+yet developed an algorithm for which a high degree of parallelism can be
+maintained for the duration of the operator."
+
+We implement and compare four strategies, computing real answers (all
+must agree) and charging the library's device model for time:
+
+* ``serial``       — one processor, one hash table (what the ring machine
+                     does today: project is capped at 1 IP);
+* ``sort_merge``   — parallel run formation, then a serial merge that
+                     drops adjacent duplicates (the classic 1979 answer);
+* ``hash_partition`` — hash-repartition rows across processors, each
+                     deduplicates its partition independently (the answer
+                     the field converged on; full parallelism end-to-end);
+* ``hierarchical`` — local dedup per processor, then a serial global
+                     merge of the survivors (good when duplication is
+                     high, degrades to serial when rows are unique).
+
+Expected shape: ``hash_partition`` sustains near-linear speedup —
+resolving the paper's open problem in the direction history took.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from repro import hw
+from repro.experiments.common import ExperimentResult
+from repro.relational.schema import Row
+from repro.workload.generator import BENCHMARK_SCHEMA, generate_benchmark_database
+
+#: Cost constants (ms) from the device model.
+HASH_MS = hw.LSI11_HASH_TUPLE_MS
+COMPARE_MS = hw.LSI11_TUPLE_COMPARE_MS
+#: Interconnect cost to move one tuple between processors.
+MOVE_MS = hw.ANALYSIS_TUPLE_BYTES / hw.LSI11_SCAN_RATE
+
+
+def _cut(rows: List[Row], indices: List[int]) -> List[Row]:
+    return [tuple(r[i] for i in indices) for r in rows]
+
+
+def serial_dedup(rows: List[Row], processors: int) -> tuple:
+    """One processor, one hash table."""
+    seen: set = set()
+    out: List[Row] = []
+    for row in rows:
+        if row not in seen:
+            seen.add(row)
+            out.append(row)
+    time_ms = len(rows) * HASH_MS
+    return out, time_ms
+
+
+def sort_merge_dedup(rows: List[Row], processors: int) -> tuple:
+    """Parallel run sort, serial duplicate-dropping merge.
+
+    Time: the longest run sort (parallel) plus the merge over all rows
+    (serial) — the merge is why parallelism "cannot be maintained for the
+    duration of the operator".
+    """
+    p = max(1, processors)
+    chunk = -(-len(rows) // p)
+    runs = [sorted(rows[i : i + chunk]) for i in range(0, len(rows), chunk)]
+    import heapq
+
+    out: List[Row] = []
+    previous = None
+    for row in heapq.merge(*runs):
+        if row != previous:
+            out.append(row)
+            previous = row
+    n = len(rows)
+    sort_time = (chunk * math.log2(max(2, chunk))) * COMPARE_MS
+    merge_time = n * math.log2(max(2, p)) * COMPARE_MS
+    return out, sort_time + merge_time
+
+
+def hash_partition_dedup(rows: List[Row], processors: int) -> tuple:
+    """Hash-repartition, then independent per-partition dedup.
+
+    Fully parallel in both phases; the repartition pays one tuple move
+    across the interconnect per row.
+    """
+    p = max(1, processors)
+    partitions: List[List[Row]] = [[] for _ in range(p)]
+    for row in rows:
+        partitions[hash(row) % p].append(row)
+    out: List[Row] = []
+    for part in partitions:
+        seen: set = set()
+        for row in part:
+            if row not in seen:
+                seen.add(row)
+                out.append(row)
+    n = len(rows)
+    scatter_time = (n / p) * (HASH_MS / 4 + MOVE_MS)  # parallel producers
+    biggest = max((len(part) for part in partitions), default=0)
+    dedup_time = biggest * HASH_MS
+    return out, scatter_time + dedup_time
+
+
+def hierarchical_dedup(rows: List[Row], processors: int) -> tuple:
+    """Local dedup per processor, then a serial global merge."""
+    p = max(1, processors)
+    chunk = -(-len(rows) // p)
+    locals_: List[List[Row]] = []
+    longest = 0
+    for i in range(0, len(rows), chunk):
+        seen: set = set()
+        local: List[Row] = []
+        for row in rows[i : i + chunk]:
+            if row not in seen:
+                seen.add(row)
+                local.append(row)
+        locals_.append(local)
+        longest = max(longest, len(rows[i : i + chunk]))
+    seen_global: set = set()
+    out: List[Row] = []
+    survivors = 0
+    for local in locals_:
+        survivors += len(local)
+        for row in local:
+            if row not in seen_global:
+                seen_global.add(row)
+                out.append(row)
+    local_time = longest * HASH_MS
+    merge_time = survivors * HASH_MS  # serial pass over survivors
+    return out, local_time + merge_time
+
+
+STRATEGIES = {
+    "serial": serial_dedup,
+    "sort_merge": sort_merge_dedup,
+    "hash_partition": hash_partition_dedup,
+    "hierarchical": hierarchical_dedup,
+}
+
+
+def run(
+    processors: Sequence[int] = (1, 4, 16, 64),
+    rows: int = 20_000,
+    attributes: Sequence[str] = ("b",),
+    scale: Optional[float] = None,
+    seed: int = 1979,
+) -> ExperimentResult:
+    """Dedup the projection of benchmark rows under each strategy.
+
+    Projecting onto ``b`` (domain 1,000) makes duplication heavy — the
+    regime where duplicate elimination dominates the project operator.
+    """
+    db = generate_benchmark_database(scale=scale if scale is not None else 0.5, seed=seed)
+    source: List[Row] = []
+    for relation in db.catalog:
+        for row in relation.rows():
+            source.append(row)
+            if len(source) >= rows:
+                break
+        if len(source) >= rows:
+            break
+    indices = [BENCHMARK_SCHEMA.index_of(a) for a in attributes]
+    cut = _cut(source, indices)
+    expected = set(cut)
+
+    result = ExperimentResult(
+        experiment_id="E11 (extension)",
+        title="Parallel project (duplicate elimination) strategies",
+        parameters={"rows": len(cut), "attributes": list(attributes), "distinct": len(expected)},
+    )
+    for p in processors:
+        row: Dict[str, object] = {"processors": p}
+        serial_time = None
+        for name, strategy in STRATEGIES.items():
+            out, time_ms = strategy(list(cut), p)
+            if set(out) != expected or len(out) != len(expected):
+                raise AssertionError(f"strategy {name} produced a wrong answer")
+            if name == "serial":
+                serial_time = time_ms
+            row[f"{name}_ms"] = round(time_ms, 1)
+        for name in STRATEGIES:
+            row[f"{name}_speedup"] = round(serial_time / row[f"{name}_ms"], 2)
+        result.rows.append(row)
+    return result
+
+
+def main() -> None:  # pragma: no cover - manual entry point
+    print(run().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

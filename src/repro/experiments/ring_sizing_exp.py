@@ -1,0 +1,66 @@
+"""E7 / Section 4.1: ring technology sizing against measured demand.
+
+Combines the Figure 4.2 sweep with the technology table: which of the
+paper's ring options (40 Mbps TTL, 400 Mbps fiber, 1 Gbps ECL) carries
+each configuration, and where the TTL ring's ~50-IP limit falls under a
+linear extrapolation of measured per-IP demand.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro import hw
+from repro.analysis.ring_sizing import linear_demand, max_ips_supported, sizing_table
+from repro.experiments import figure_4_2
+from repro.experiments.common import ExperimentResult
+
+
+def run(
+    ips: Sequence[int] = figure_4_2.DEFAULT_IPS,
+    scale: Optional[float] = None,
+    selectivity: Optional[float] = None,
+) -> ExperimentResult:
+    """Measure demand (via E3), then evaluate each ring technology.
+
+    Adds a closing row with the TTL ring's supported IP count under the
+    per-IP demand measured at the smallest configuration (conservative:
+    small configurations have the highest per-IP load).
+    """
+    sweep = figure_4_2.run(ips=ips, scale=scale, selectivity=selectivity)
+    demand_points = [(row["ips"], row["outer_ring_mbps"]) for row in sweep.rows]
+    result = ExperimentResult(
+        experiment_id="E7 (Section 4.1)",
+        title="Ring technology feasibility at measured demand",
+        parameters=dict(sweep.parameters),
+    )
+    result.rows = sizing_table(demand_points)
+
+    # Size at the largest configuration's per-IP demand (the paper's
+    # framing: "sufficient for up to 50 instruction processors"), and also
+    # record the conservative bound from the heaviest per-IP point.
+    n_last, mbps_last = demand_points[-1]
+    per_ip = mbps_last / n_last
+    worst_per_ip = max(mbps / n for n, mbps in demand_points)
+    result.parameters["per_ip_demand_mbps"] = round(per_ip, 3)
+    result.parameters["worst_per_ip_demand_mbps"] = round(worst_per_ip, 3)
+    result.parameters["ttl_ring_ip_limit_linear"] = max_ips_supported(
+        hw.OUTER_RING_TTL, linear_demand(per_ip)
+    )
+    result.parameters["ttl_ring_ip_limit_conservative"] = max_ips_supported(
+        hw.OUTER_RING_TTL, linear_demand(worst_per_ip)
+    )
+    return result
+
+
+def main() -> None:  # pragma: no cover - manual entry point
+    res = run()
+    print(res.render())
+    print(
+        f"\nTTL 40 Mbps ring supports ~{res.parameters['ttl_ring_ip_limit_linear']} IPs "
+        f"at {res.parameters['per_ip_demand_mbps']} Mbps/IP (paper: ~50)"
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

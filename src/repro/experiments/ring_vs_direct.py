@@ -1,0 +1,99 @@
+"""E10 (extension): distributed vs centralized control, and direct routing.
+
+Two questions the paper raises but does not measure:
+
+1. Section 1.0/4.0: does *distributing* the arbitration and distribution
+   networks (the ring machine's ICs and IPs) keep up with the
+   centralized-control DIRECT organization?  We run the same benchmark on
+   both machines.
+2. Section 5.0: does routing intermediate pages IP->IP "without first
+   sending the page to an IC" reduce outer-ring traffic, and what does it
+   cost?  We run the ring machine with ``direct_ip_routing`` off and on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.direct.machine import run_benchmark
+from repro.direct import scheduler
+from repro.experiments.common import DEFAULTS, ExperimentResult, benchmark_database, benchmark_workload
+from repro.ring.machine import run_ring_benchmark
+
+DEFAULT_IPS = (10, 25, 50)
+
+
+def run(
+    ips: Sequence[int] = DEFAULT_IPS,
+    scale: Optional[float] = None,
+    selectivity: Optional[float] = None,
+    controllers: int = 24,
+) -> ExperimentResult:
+    """Compare DIRECT, ring, and ring+direct-routing per processor count.
+
+    Row fields: ``ips``, ``direct_ms``, ``ring_ms``, ``ring_routed_ms``,
+    ``ring_net_bytes``, ``ring_routed_net_bytes``, ``routing_byte_delta``.
+    """
+    page_bytes = DEFAULTS["ring_page_bytes"]
+    db = benchmark_database(scale=scale, page_bytes=page_bytes)
+    result = ExperimentResult(
+        experiment_id="E10 (extension)",
+        title="Centralized (DIRECT) vs distributed (ring) control; IP->IP routing",
+        parameters={
+            "scale": scale if scale is not None else DEFAULTS["scale"],
+            "selectivity": selectivity if selectivity is not None else DEFAULTS["selectivity"],
+            "page_bytes": page_bytes,
+            "controllers": controllers,
+        },
+    )
+    for n in ips:
+        direct = run_benchmark(
+            db.catalog,
+            benchmark_workload(db, selectivity=selectivity),
+            processors=n,
+            granularity=scheduler.PAGE,
+            page_bytes=page_bytes,
+            cache_bytes=DEFAULTS["ring_cache_bytes"],
+        )
+        ring = run_ring_benchmark(
+            db.catalog,
+            benchmark_workload(db, selectivity=selectivity),
+            processors=n,
+            controllers=controllers,
+            page_bytes=page_bytes,
+            cache_bytes=DEFAULTS["ring_cache_bytes"],
+        )
+        routed = run_ring_benchmark(
+            db.catalog,
+            benchmark_workload(db, selectivity=selectivity),
+            processors=n,
+            controllers=controllers,
+            page_bytes=page_bytes,
+            cache_bytes=DEFAULTS["ring_cache_bytes"],
+            direct_ip_routing=True,
+        )
+        result.rows.append(
+            {
+                "ips": n,
+                "direct_ms": round(direct.elapsed_ms, 1),
+                "ring_ms": round(ring.elapsed_ms, 1),
+                "ring_routed_ms": round(routed.elapsed_ms, 1),
+                "ring_net_bytes": ring.outer_ring_bytes,
+                "ring_routed_net_bytes": routed.outer_ring_bytes,
+                "routing_byte_delta": (
+                    (routed.outer_ring_bytes - ring.outer_ring_bytes)
+                    / ring.outer_ring_bytes
+                    if ring.outer_ring_bytes
+                    else 0.0
+                ),
+            }
+        )
+    return result
+
+
+def main() -> None:  # pragma: no cover - manual entry point
+    print(run().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,204 @@
+"""Era-accurate hardware timing constants used by the machine simulators.
+
+Every constant is either stated in the paper (Boral & DeWitt, TR #369,
+Section 3.2 and 4.1) or derived from the device literature the paper cites.
+All times are in **milliseconds**, all sizes in **bytes**, and all rates in
+**bytes per millisecond** unless a name says otherwise.
+
+The paper's Figure 4.2 assumptions, quoted:
+
+* 16K byte operands for instruction packets
+* PDP LSI-11s as IPs (can read a 16K byte page in 33 ms)
+* The data cache is constructed from Intel 2314 CCD chips
+* Two IBM 3330 disk drives for mass storage of relations
+* A cross-bar switch with broadcast capabilities connects IPs to the cache
+
+Ring sizing, quoted: with 25 ns shift registers (AM25LS164/299) the DLCN
+ring achieves 40 Mbps, "sufficient for up to 50 instruction processors";
+ECL shift registers reach 1 Gbps; fiber optics support 400 Mbps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+KB = 1024
+MB = 1024 * 1024
+
+# ---------------------------------------------------------------------------
+# Instruction processors: PDP LSI-11 (paper, Section 4.1)
+# ---------------------------------------------------------------------------
+
+#: Operand page size the paper assumes for the ring machine (16K bytes).
+RING_PAGE_BYTES = 16 * KB
+
+#: Time for an LSI-11 to read one 16K-byte page (paper: 33 ms).
+LSI11_PAGE_READ_MS = 33.0
+
+#: Memory scan rate implied by the 16K/33ms figure, bytes per millisecond.
+LSI11_SCAN_RATE = RING_PAGE_BYTES / LSI11_PAGE_READ_MS
+
+#: Approximate LSI-11 instruction time (~4 us per instruction, DEC manuals).
+LSI11_INSTRUCTION_MS = 4e-3
+
+#: Modeled CPU cost to evaluate one predicate against one tuple.  An
+#: interpreted comparison on an LSI-11 runs a few dozen instructions.
+LSI11_TUPLE_COMPARE_MS = 40 * LSI11_INSTRUCTION_MS
+
+#: Per-tuple cost of a restrict's predicate evaluation (field extraction,
+#: comparison, conditional move of the tuple to the output buffer) —
+#: interpreted against the packet's "Tuple Length & Format" descriptor.
+LSI11_RESTRICT_TUPLE_MS = 0.05
+
+#: Per-pair cost of the nested-loops join inner loop: a hand-coded compare
+#: of two join-attribute fields plus loop control (~6 instructions on an
+#: LSI-11/23 at ~2 us each).  This constant sets the CPU:IO balance of the
+#: simulated IPs; with it, a 50-IP configuration averages tens of Mbps of
+#: interconnect traffic on the benchmark — the regime of Figure 4.2.
+LSI11_JOIN_PAIR_MS = 0.012
+
+#: Per-tuple cost of hashing for duplicate elimination (project operator).
+LSI11_HASH_TUPLE_MS = 0.08
+
+# ---------------------------------------------------------------------------
+# Mass storage: IBM 3330 disk drive (paper, Section 4.1)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DiskModel:
+    """Timing model of a moving-head disk drive.
+
+    The service time for a transfer of ``n`` bytes is
+    ``avg_seek_ms + avg_rotation_ms + n / transfer_rate``.
+    """
+
+    name: str
+    avg_seek_ms: float
+    avg_rotation_ms: float
+    #: Sustained transfer rate in bytes per millisecond.
+    transfer_rate: float
+    capacity_bytes: int
+
+    def access_time_ms(self, nbytes: int, sequential: bool = False) -> float:
+        """Service time to transfer ``nbytes`` in one request.
+
+        ``sequential`` skips the seek (the arm is already on-cylinder),
+        modeling bulk relation scans laid out contiguously.
+        """
+        positioning = self.avg_rotation_ms
+        if not sequential:
+            positioning += self.avg_seek_ms
+        return positioning + nbytes / self.transfer_rate
+
+
+#: IBM 3330: 30 ms average seek, 16.7 ms full rotation (8.35 ms average
+#: latency), 806 KB/s transfer, 100 MB per spindle.
+IBM_3330 = DiskModel(
+    name="IBM 3330",
+    avg_seek_ms=30.0,
+    avg_rotation_ms=8.35,
+    transfer_rate=806 * KB / 1000.0,
+    capacity_bytes=100 * MB,
+)
+
+#: The paper's configuration uses two 3330 drives.
+NUM_MASS_STORAGE_DRIVES = 2
+
+# ---------------------------------------------------------------------------
+# Disk cache: Intel 2314 CCD chips (paper, Section 4.1)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CcdCacheModel:
+    """Timing model of a block-oriented CCD (charge-coupled device) cache.
+
+    CCD memories are serially-accessed shift-register stores: a block access
+    pays an average loop-rotation latency then streams at the shift rate.
+    """
+
+    name: str
+    avg_latency_ms: float
+    #: Streaming rate in bytes per millisecond.
+    transfer_rate: float
+
+    def access_time_ms(self, nbytes: int) -> float:
+        """Service time to transfer ``nbytes`` through one cache port."""
+        return self.avg_latency_ms + nbytes / self.transfer_rate
+
+
+#: Intel 2314-class CCD: ~0.1 ms average access into the serial loop and a
+#: multi-megabyte/second streaming rate through each port of the multiport
+#: cache.  We model 2 MB/s per port.
+INTEL_2314_CCD = CcdCacheModel(
+    name="Intel 2314 CCD",
+    avg_latency_ms=0.1,
+    transfer_rate=2 * MB / 1000.0,
+)
+
+#: Default disk-cache capacity for the simulated machines.  DIRECT's CCD
+#: cache was a fraction of the database size, forcing real replacement
+#: traffic on the 5.5 MB benchmark database.
+DEFAULT_CACHE_BYTES = 2 * MB
+
+# ---------------------------------------------------------------------------
+# Rings (paper, Section 4.1): Distributed Loop Computer Network
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RingModel:
+    """A DLCN shift-register-insertion ring.
+
+    ``bit_rate_mbps`` is the raw loop rate; message service time is
+    serialization at that rate plus a fixed per-message insertion delay.
+    """
+
+    name: str
+    bit_rate_mbps: float
+    insertion_delay_ms: float = 0.01
+
+    @property
+    def bytes_per_ms(self) -> float:
+        """Loop throughput in bytes per millisecond."""
+        return self.bit_rate_mbps * 1e6 / 8.0 / 1000.0
+
+    def transfer_time_ms(self, nbytes: int) -> float:
+        """Time to serialize one ``nbytes`` message onto the loop."""
+        return self.insertion_delay_ms + nbytes / self.bytes_per_ms
+
+
+#: Inner (control) ring: "a bandwidth of 1-2 Mbps should be sufficient".
+INNER_RING = RingModel(name="inner control ring", bit_rate_mbps=2.0)
+
+#: Outer (data) ring built from 25 ns TTL shift registers: 40 Mbps.
+OUTER_RING_TTL = RingModel(name="outer ring (AM25LS164/299)", bit_rate_mbps=40.0)
+
+#: Outer ring built from ECL shift registers (1 bit/ns): 1000 Mbps.
+OUTER_RING_ECL = RingModel(name="outer ring (ECL)", bit_rate_mbps=1000.0)
+
+#: Outer ring built from fiber optics: 400 Mbps (paper cites [17]).
+OUTER_RING_FIBER = RingModel(name="outer ring (fiber optic)", bit_rate_mbps=400.0)
+
+#: Number of IPs the paper says the 40 Mbps ring supports.
+TTL_RING_MAX_IPS = 50
+
+# ---------------------------------------------------------------------------
+# DIRECT simulator defaults (paper, Section 3.2)
+# ---------------------------------------------------------------------------
+
+#: Page size used in the Section 3.3 analysis examples (1,000 bytes).
+ANALYSIS_PAGE_BYTES = 1000
+
+#: Tuple size used in the Section 3.3 analysis examples (100 bytes).
+ANALYSIS_TUPLE_BYTES = 100
+
+#: Memory cells per processor in the Figure 3.1 experiment.
+MEMORY_CELLS_PER_PROCESSOR = 2
+
+#: Combined size of the benchmark database (Section 3.2): 5.5 megabytes.
+BENCHMARK_DB_BYTES = int(5.5 * MB)
+
+#: Number of relations in the benchmark database.
+BENCHMARK_NUM_RELATIONS = 15

@@ -1,0 +1,39 @@
+"""Relational algebra query trees (Section 2.1, Figure 2.1).
+
+A query is "one or more relational algebra operations (instructions)
+organized in the form of a tree"; nodes higher in the tree operate on
+relations computed by nodes below them.  This package provides the tree
+representation, a fluent builder, a reference interpreter (executing trees
+against a catalog with the oracle operators), and a cost model used by the
+machine simulators for page-table sizing.
+"""
+
+from repro.query.tree import (
+    AppendNode,
+    DeleteNode,
+    JoinNode,
+    ProjectNode,
+    QueryNode,
+    QueryTree,
+    RestrictNode,
+    ScanNode,
+    UnionNode,
+)
+from repro.query.builder import scan
+from repro.query.interpreter import execute
+from repro.query.explain import explain
+
+__all__ = [
+    "QueryNode",
+    "QueryTree",
+    "ScanNode",
+    "RestrictNode",
+    "ProjectNode",
+    "JoinNode",
+    "AppendNode",
+    "DeleteNode",
+    "UnionNode",
+    "scan",
+    "execute",
+    "explain",
+]

@@ -1,0 +1,81 @@
+"""Fluent builder for query trees.
+
+Keeps workload and example code readable::
+
+    tree = (
+        scan("emp").restrict(attr("salary") > 50_000)
+        .join(scan("dept").restrict(attr("floor") == 2),
+              attr("dept_id").equals_attr("id"))
+        .project(["name", "dname"])
+        .tree("well-paid-on-2")
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.relational.predicate import CompareOp, JoinCondition, Predicate, attr
+from repro.query.tree import (
+    AppendNode,
+    DeleteNode,
+    JoinNode,
+    ProjectNode,
+    QueryNode,
+    QueryTree,
+    RestrictNode,
+    ScanNode,
+    UnionNode,
+)
+
+
+class NodeBuilder:
+    """Wraps a :class:`QueryNode` and grows the tree one operator at a time."""
+
+    __slots__ = ("node",)
+
+    def __init__(self, node: QueryNode):
+        self.node = node
+
+    def restrict(self, predicate: Predicate) -> "NodeBuilder":
+        """Add a restrict above the current node."""
+        return NodeBuilder(RestrictNode(self.node, predicate))
+
+    def project(
+        self, attributes: Sequence[str], eliminate_duplicates: bool = True
+    ) -> "NodeBuilder":
+        """Add a project above the current node."""
+        return NodeBuilder(ProjectNode(self.node, attributes, eliminate_duplicates))
+
+    def join(self, inner: "NodeBuilder", condition: JoinCondition) -> "NodeBuilder":
+        """Join the current node (outer) with ``inner`` on ``condition``."""
+        return NodeBuilder(JoinNode(self.node, inner.node, condition))
+
+    def equijoin(self, inner: "NodeBuilder", outer_attr: str, inner_attr: str) -> "NodeBuilder":
+        """Shorthand equijoin on named attributes."""
+        return self.join(inner, JoinCondition(outer_attr, CompareOp.EQ, inner_attr))
+
+    def union(self, other: "NodeBuilder") -> "NodeBuilder":
+        """Set union with ``other``."""
+        return NodeBuilder(UnionNode(self.node, other.node))
+
+    def append_into(self, target_relation: str) -> "NodeBuilder":
+        """Terminate with an append into a base relation."""
+        return NodeBuilder(AppendNode(target_relation, self.node))
+
+    def tree(self, name: Optional[str] = None) -> QueryTree:
+        """Freeze the built structure into a :class:`QueryTree`."""
+        return QueryTree(self.node, name=name)
+
+
+def scan(relation_name: str) -> NodeBuilder:
+    """Start a builder chain from a base-relation scan."""
+    return NodeBuilder(ScanNode(relation_name))
+
+
+def delete_from(target_relation: str, predicate: Predicate, name: Optional[str] = None) -> QueryTree:
+    """A single-node delete query."""
+    return QueryTree(DeleteNode(target_relation, predicate), name=name)
+
+
+__all__ = ["NodeBuilder", "scan", "delete_from", "attr"]

@@ -1,0 +1,165 @@
+"""Per-node cost estimation for query trees.
+
+The machine simulators dispatch real pages, so they don't need a cost model
+to *execute*; they need one to *plan* — sizing result page tables, choosing
+the outer/inner roles of a join's operands, and letting the experiments
+report expected versus actual data volumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.relational.catalog import Catalog
+from repro.relational.statistics import (
+    RelationStats,
+    collect_stats,
+    estimate_join_cardinality,
+    estimate_selectivity,
+)
+from repro.query.tree import (
+    AppendNode,
+    DeleteNode,
+    JoinNode,
+    ProjectNode,
+    QueryNode,
+    QueryTree,
+    RestrictNode,
+    ScanNode,
+    UnionNode,
+)
+
+
+@dataclass(frozen=True)
+class NodeEstimate:
+    """Estimated output shape of one node."""
+
+    node_id: int
+    opcode: str
+    rows: int
+    pages: int
+    output_bytes: int
+
+
+class CostModel:
+    """Bottom-up cardinality/page estimation over a query tree.
+
+    Statistics for base relations are collected lazily and cached, so
+    estimating many trees over one catalog costs one stats pass per
+    relation.
+    """
+
+    def __init__(self, catalog: Catalog, page_bytes: int = 4096):
+        self.catalog = catalog
+        self.page_bytes = page_bytes
+        self._stats_cache: Dict[str, RelationStats] = {}
+
+    def _base_stats(self, relation_name: str) -> RelationStats:
+        if relation_name not in self._stats_cache:
+            self._stats_cache[relation_name] = collect_stats(self.catalog.get(relation_name))
+        return self._stats_cache[relation_name]
+
+    def estimate_tree(self, tree: QueryTree) -> Dict[int, NodeEstimate]:
+        """Estimates for every node of ``tree``, keyed by node id."""
+        out: Dict[int, NodeEstimate] = {}
+        self._estimate(tree.root, out)
+        return out
+
+    def estimate_root(self, tree: QueryTree) -> NodeEstimate:
+        """Estimate for the root node only."""
+        return self.estimate_tree(tree)[tree.root.node_id]
+
+    # -- internals -----------------------------------------------------------
+
+    def _estimate(self, node: QueryNode, out: Dict[int, NodeEstimate]):
+        for child in node.children:
+            self._estimate(child, out)
+
+        rows, record_width = self._node_rows(node, out)
+        record_width = max(1, record_width)
+        rows = max(0, rows)
+        per_page = max(1, (self.page_bytes - 8) // record_width)
+        pages = (rows + per_page - 1) // per_page if rows else 0
+        est = NodeEstimate(
+            node_id=node.node_id,
+            opcode=node.opcode,
+            rows=rows,
+            pages=pages,
+            output_bytes=rows * record_width,
+        )
+        out[node.node_id] = est
+        return est
+
+    def _node_rows(self, node: QueryNode, out: Dict[int, NodeEstimate]) -> tuple[int, int]:
+        if isinstance(node, ScanNode):
+            stats = self._base_stats(node.relation_name)
+            width = self.catalog.get(node.relation_name).schema.record_width
+            return stats.cardinality, width
+
+        if isinstance(node, RestrictNode):
+            child = out[node.child.node_id]
+            stats = self._stats_for_estimation(node.child)
+            sel = estimate_selectivity(node.predicate, stats)
+            return int(round(child.rows * sel)), self._width_of(child)
+
+        if isinstance(node, ProjectNode):
+            child = out[node.child.node_id]
+            width = self._projected_width(node)
+            rows = child.rows
+            if node.eliminate_duplicates:
+                # Heuristic: dedup keeps ~ sqrt(n) .. n rows; use 80%.
+                rows = max(1, int(rows * 0.8)) if rows else 0
+            return rows, width
+
+        if isinstance(node, JoinNode):
+            o = out[node.outer.node_id]
+            i = out[node.inner.node_id]
+            ostats = self._stats_for_estimation(node.outer)
+            istats = self._stats_for_estimation(node.inner)
+            rows = estimate_join_cardinality(ostats, istats, node.condition)
+            return rows, self._width_of(o) + self._width_of(i)
+
+        if isinstance(node, UnionNode):
+            a = out[node.children[0].node_id]
+            b = out[node.children[1].node_id]
+            return a.rows + b.rows, self._width_of(a)
+
+        if isinstance(node, AppendNode):
+            child = out[node.child.node_id]
+            target = self._base_stats(node.target_relation)
+            width = self.catalog.get(node.target_relation).schema.record_width
+            return target.cardinality + child.rows, width
+
+        if isinstance(node, DeleteNode):
+            stats = self._base_stats(node.target_relation)
+            width = self.catalog.get(node.target_relation).schema.record_width
+            sel = estimate_selectivity(node.predicate, stats)
+            return int(round(stats.cardinality * (1.0 - sel))), width
+
+        return 0, 8
+
+    def _stats_for_estimation(self, node: QueryNode) -> RelationStats:
+        """Best available stats for a node: real stats for scans, scan stats
+        propagated through unary chains, a synthetic fallback otherwise."""
+        cursor = node
+        while isinstance(cursor, (RestrictNode, ProjectNode)):
+            cursor = cursor.children[0]
+        if isinstance(cursor, ScanNode):
+            return self._base_stats(cursor.relation_name)
+        return RelationStats(name=f"node{node.node_id}", cardinality=0, pages=0, columns={})
+
+    def _width_of(self, est: NodeEstimate) -> int:
+        if est.rows <= 0:
+            return 8
+        return max(1, est.output_bytes // est.rows)
+
+    def _projected_width(self, node: ProjectNode) -> int:
+        cursor: QueryNode = node.child
+        while isinstance(cursor, (RestrictNode, ProjectNode)):
+            cursor = cursor.children[0]
+        if isinstance(cursor, ScanNode):
+            schema = self.catalog.get(cursor.relation_name).schema
+            widths = {a.name: a.byte_width for a in schema}
+            return sum(widths.get(a, 8) for a in node.attributes)
+        return 8 * len(node.attributes)

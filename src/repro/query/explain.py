@@ -1,0 +1,100 @@
+"""EXPLAIN: annotated query plans from the cost model.
+
+A downstream user's first question about a query tree is "what will this
+do on the machine?"  ``explain`` walks the tree with
+:class:`~repro.query.cost.CostModel` and reports, per node: estimated
+rows, pages, and output bytes, plus machine-facing advice —
+
+* for joins, whether the operand roles look right for the nested-loops
+  broadcast discipline (a smaller *inner* means fewer bytes broadcast per
+  outer wave and a shorter IRC vector);
+* for projects/unions, a reminder that duplicate elimination serializes
+  on the paper's machines (one IP — Section 5's open problem).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.relational.catalog import Catalog
+from repro.query.cost import CostModel, NodeEstimate
+from repro.query.tree import JoinNode, ProjectNode, QueryNode, QueryTree, UnionNode
+
+
+@dataclass
+class ExplainLine:
+    """One node of the annotated plan."""
+
+    depth: int
+    label: str
+    estimate: Optional[NodeEstimate]
+    notes: List[str] = field(default_factory=list)
+
+
+@dataclass
+class Explanation:
+    """The full annotated plan."""
+
+    tree_name: str
+    lines: List[ExplainLine]
+
+    def render(self) -> str:
+        """Indented text plan, one node per line."""
+        out = [f"plan for {self.tree_name}:"]
+        for line in self.lines:
+            indent = "  " * line.depth
+            if line.estimate is None:
+                stats = ""
+            else:
+                stats = (
+                    f"  [~{line.estimate.rows} rows, {line.estimate.pages} pages, "
+                    f"{line.estimate.output_bytes} B]"
+                )
+            out.append(f"{indent}{line.label}{stats}")
+            for note in line.notes:
+                out.append(f"{indent}    ! {note}")
+        return "\n".join(out)
+
+    @property
+    def warnings(self) -> List[str]:
+        """All advice notes across the plan."""
+        return [note for line in self.lines for note in line.notes]
+
+
+def explain(tree: QueryTree, catalog: Catalog, page_bytes: int = 4096) -> Explanation:
+    """Annotate ``tree`` with estimates and machine advice."""
+    tree.validate(catalog)
+    model = CostModel(catalog, page_bytes=page_bytes)
+    estimates = model.estimate_tree(tree)
+    lines: List[ExplainLine] = []
+
+    def walk(node: QueryNode, depth: int) -> None:
+        estimate = estimates.get(node.node_id)
+        line = ExplainLine(depth=depth, label=node.label(), estimate=estimate)
+        lines.append(line)
+        if isinstance(node, JoinNode):
+            outer = estimates.get(node.outer.node_id)
+            inner = estimates.get(node.inner.node_id)
+            if outer is not None and inner is not None and inner.pages > outer.pages:
+                line.notes.append(
+                    f"inner operand (~{inner.pages} pages) is larger than the outer "
+                    f"(~{outer.pages}); swapping the roles would broadcast "
+                    f"{inner.pages - outer.pages} fewer pages per outer wave"
+                )
+            if outer is not None and outer.pages <= 1:
+                line.notes.append(
+                    "single outer page: the join cannot use more than one processor"
+                )
+        if isinstance(node, (ProjectNode, UnionNode)):
+            dedup = getattr(node, "eliminate_duplicates", True)
+            if dedup:
+                line.notes.append(
+                    "duplicate elimination runs on a single IP on the ring machine "
+                    "(no parallel algorithm — Section 5)"
+                )
+        for child in node.children:
+            walk(child, depth + 1)
+
+    walk(tree.root, 0)
+    return Explanation(tree_name=tree.name, lines=lines)

@@ -1,0 +1,85 @@
+"""Reference interpreter: execute a query tree against a catalog.
+
+This is the correctness oracle for the machine simulators — it evaluates a
+tree bottom-up with the :mod:`repro.relational.operators` functions and, for
+update operators (append/delete), applies the side effect to the catalog.
+"""
+
+from __future__ import annotations
+
+from repro.errors import QueryTreeError
+from repro.relational import operators
+from repro.relational.catalog import Catalog
+from repro.relational.relation import Relation
+from repro.query.tree import (
+    AppendNode,
+    DeleteNode,
+    JoinNode,
+    ProjectNode,
+    QueryNode,
+    QueryTree,
+    RestrictNode,
+    ScanNode,
+    UnionNode,
+)
+
+
+def execute_node(
+    node: QueryNode, catalog: Catalog, join_algorithm: str = "nested_loops"
+) -> Relation:
+    """Evaluate one subtree and return its result relation.
+
+    Update nodes mutate ``catalog`` and return the new base relation.
+    """
+    if isinstance(node, ScanNode):
+        return catalog.get(node.relation_name)
+
+    if isinstance(node, RestrictNode):
+        child = execute_node(node.child, catalog, join_algorithm)
+        return operators.restrict(child, node.predicate)
+
+    if isinstance(node, ProjectNode):
+        child = execute_node(node.child, catalog, join_algorithm)
+        return operators.project(
+            child, node.attributes, eliminate_duplicates=node.eliminate_duplicates
+        )
+
+    if isinstance(node, JoinNode):
+        outer = execute_node(node.outer, catalog, join_algorithm)
+        inner = execute_node(node.inner, catalog, join_algorithm)
+        return operators.join(outer, inner, node.condition, algorithm=join_algorithm)
+
+    if isinstance(node, UnionNode):
+        left = execute_node(node.children[0], catalog, join_algorithm)
+        right = execute_node(node.children[1], catalog, join_algorithm)
+        return operators.union(left, right)
+
+    if isinstance(node, AppendNode):
+        source = execute_node(node.child, catalog, join_algorithm)
+        target = catalog.get(node.target_relation)
+        updated = operators.append(target, source, name=node.target_relation)
+        catalog.replace(updated)
+        return updated
+
+    if isinstance(node, DeleteNode):
+        target = catalog.get(node.target_relation)
+        updated = operators.delete(target, node.predicate, name=node.target_relation)
+        catalog.replace(updated)
+        return updated
+
+    raise QueryTreeError(f"no interpretation for node type {type(node).__name__}")
+
+
+def execute(
+    tree: QueryTree,
+    catalog: Catalog,
+    join_algorithm: str = "nested_loops",
+    validate: bool = True,
+) -> Relation:
+    """Execute ``tree`` against ``catalog``; returns the root's relation."""
+    if validate:
+        tree.validate(catalog)
+    result = execute_node(tree.root, catalog, join_algorithm)
+    if result.name.startswith(("restrict(", "project(", "join(", "union(")):
+        result.name = f"{tree.name}.result"
+    return result

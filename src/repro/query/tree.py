@@ -1,0 +1,410 @@
+"""Query trees: nodes, structure validation, traversal, and rendering.
+
+The node vocabulary follows Section 2.1 ("Some examples are restrict, join,
+append, and delete") plus project and union.  Leaves are scans of base
+relations; every interior node consumes the relations its children produce.
+
+The sample tree of Figure 2.1 — restricts feeding joins feeding a join —
+is reconstructed in :func:`sample_query_tree`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Iterator, List, Optional, Sequence
+
+from repro.errors import QueryTreeError
+from repro.relational.catalog import Catalog
+from repro.relational.predicate import JoinCondition, Predicate, attr
+from repro.relational.schema import Schema
+
+_node_ids = itertools.count(1)
+
+
+class QueryNode:
+    """Base class of all query-tree nodes.
+
+    Each node carries a unique ``node_id`` (the machines use it to address
+    instructions), its children, and knows how to resolve its output schema
+    given a catalog.
+    """
+
+    #: Short opcode name used by packets and displays (e.g. ``"restrict"``).
+    opcode: str = "?"
+
+    def __init__(self, children: Sequence["QueryNode"]):
+        self.node_id = next(_node_ids)
+        self.children: List[QueryNode] = list(children)
+
+    # -- structure -----------------------------------------------------------
+
+    @property
+    def is_leaf(self) -> bool:
+        """True for nodes with no children (scans)."""
+        return not self.children
+
+    def postorder(self) -> Iterator["QueryNode"]:
+        """Children-first traversal (execution order for relation granularity)."""
+        for child in self.children:
+            yield from child.postorder()
+        yield self
+
+    def depth(self) -> int:
+        """Height of the subtree rooted here (a leaf has depth 1)."""
+        if self.is_leaf:
+            return 1
+        return 1 + max(c.depth() for c in self.children)
+
+    # -- semantics -----------------------------------------------------------
+
+    def output_schema(self, catalog: Catalog) -> Schema:
+        """Schema of the relation this node produces."""
+        raise NotImplementedError
+
+    def validate(self, catalog: Catalog) -> None:
+        """Raise :class:`QueryTreeError` if this subtree is malformed."""
+        for child in self.children:
+            child.validate(catalog)
+
+    def label(self) -> str:
+        """One-line description for tree rendering."""
+        return self.opcode
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(id={self.node_id})"
+
+
+class ScanNode(QueryNode):
+    """Leaf: produce the pages of one base relation from the catalog."""
+
+    opcode = "scan"
+
+    def __init__(self, relation_name: str):
+        super().__init__([])
+        self.relation_name = relation_name
+
+    def output_schema(self, catalog: Catalog) -> Schema:
+        return catalog.get(self.relation_name).schema
+
+    def validate(self, catalog: Catalog) -> None:
+        if self.relation_name not in catalog:
+            raise QueryTreeError(f"scan of unknown relation {self.relation_name!r}")
+
+    def label(self) -> str:
+        return f"scan {self.relation_name}"
+
+
+class RestrictNode(QueryNode):
+    """Selection: keep the child's rows satisfying a predicate."""
+
+    opcode = "restrict"
+
+    def __init__(self, child: QueryNode, predicate: Predicate):
+        super().__init__([child])
+        self.predicate = predicate
+
+    @property
+    def child(self) -> QueryNode:
+        """The single input node."""
+        return self.children[0]
+
+    def output_schema(self, catalog: Catalog) -> Schema:
+        return self.child.output_schema(catalog)
+
+    def validate(self, catalog: Catalog) -> None:
+        super().validate(catalog)
+        try:
+            self.predicate.validate(self.child.output_schema(catalog))
+        except Exception as exc:
+            raise QueryTreeError(f"restrict node {self.node_id}: {exc}") from exc
+
+    def label(self) -> str:
+        return f"restrict {self.predicate!r}"
+
+
+class ProjectNode(QueryNode):
+    """Projection: cut to the named attributes, optionally deduplicating.
+
+    Section 5 calls duplicate elimination the hard part of project on a
+    multiprocessor; ``eliminate_duplicates=False`` models the cheap
+    attribute-cut phase alone.
+    """
+
+    opcode = "project"
+
+    def __init__(self, child: QueryNode, attributes: Sequence[str], eliminate_duplicates: bool = True):
+        super().__init__([child])
+        self.attributes = list(attributes)
+        self.eliminate_duplicates = eliminate_duplicates
+
+    @property
+    def child(self) -> QueryNode:
+        """The single input node."""
+        return self.children[0]
+
+    def output_schema(self, catalog: Catalog) -> Schema:
+        return self.child.output_schema(catalog).project(self.attributes)
+
+    def validate(self, catalog: Catalog) -> None:
+        super().validate(catalog)
+        schema = self.child.output_schema(catalog)
+        missing = [a for a in self.attributes if a not in schema]
+        if missing:
+            raise QueryTreeError(
+                f"project node {self.node_id} references missing attributes {missing}"
+            )
+        if not self.attributes:
+            raise QueryTreeError(f"project node {self.node_id} keeps no attributes")
+
+    def label(self) -> str:
+        return f"project [{', '.join(self.attributes)}]"
+
+
+class JoinNode(QueryNode):
+    """Join: conditional cross product of the outer (left) and inner (right)
+    children, executed with the nested-loops algorithm on the machines."""
+
+    opcode = "join"
+
+    def __init__(self, outer: QueryNode, inner: QueryNode, condition: JoinCondition):
+        super().__init__([outer, inner])
+        self.condition = condition
+
+    @property
+    def outer(self) -> QueryNode:
+        """The outer relation's producer (rows distributed across IPs)."""
+        return self.children[0]
+
+    @property
+    def inner(self) -> QueryNode:
+        """The inner relation's producer (pages broadcast to all IPs)."""
+        return self.children[1]
+
+    def output_schema(self, catalog: Catalog) -> Schema:
+        a = self.outer.output_schema(catalog)
+        b = self.inner.output_schema(catalog)
+        return a.concat_unique(b)
+
+    def validate(self, catalog: Catalog) -> None:
+        super().validate(catalog)
+        try:
+            self.condition.validate(
+                self.outer.output_schema(catalog), self.inner.output_schema(catalog)
+            )
+        except Exception as exc:
+            raise QueryTreeError(f"join node {self.node_id}: {exc}") from exc
+
+    def label(self) -> str:
+        return f"join {self.condition!r}"
+
+
+class UnionNode(QueryNode):
+    """Set union of two union-compatible children."""
+
+    opcode = "union"
+
+    def __init__(self, left: QueryNode, right: QueryNode):
+        super().__init__([left, right])
+
+    def output_schema(self, catalog: Catalog) -> Schema:
+        return self.children[0].output_schema(catalog)
+
+    def validate(self, catalog: Catalog) -> None:
+        super().validate(catalog)
+        a = self.children[0].output_schema(catalog)
+        b = self.children[1].output_schema(catalog)
+        if a.arity != b.arity:
+            raise QueryTreeError(f"union node {self.node_id}: arity mismatch")
+
+
+class AppendNode(QueryNode):
+    """Update: append the child's rows to a named base relation."""
+
+    opcode = "append"
+
+    def __init__(self, target_relation: str, child: QueryNode):
+        super().__init__([child])
+        self.target_relation = target_relation
+
+    @property
+    def child(self) -> QueryNode:
+        """Producer of the rows to append."""
+        return self.children[0]
+
+    def output_schema(self, catalog: Catalog) -> Schema:
+        return catalog.get(self.target_relation).schema
+
+    def validate(self, catalog: Catalog) -> None:
+        super().validate(catalog)
+        if self.target_relation not in catalog:
+            raise QueryTreeError(f"append into unknown relation {self.target_relation!r}")
+        target = catalog.get(self.target_relation).schema
+        source = self.child.output_schema(catalog)
+        if target.arity != source.arity:
+            raise QueryTreeError(
+                f"append node {self.node_id}: arity mismatch "
+                f"({source.names} -> {target.names})"
+            )
+
+    def label(self) -> str:
+        return f"append -> {self.target_relation}"
+
+
+class DeleteNode(QueryNode):
+    """Update: delete rows matching a predicate from a named base relation."""
+
+    opcode = "delete"
+
+    def __init__(self, target_relation: str, predicate: Predicate):
+        super().__init__([])
+        self.target_relation = target_relation
+        self.predicate = predicate
+
+    def output_schema(self, catalog: Catalog) -> Schema:
+        return catalog.get(self.target_relation).schema
+
+    def validate(self, catalog: Catalog) -> None:
+        if self.target_relation not in catalog:
+            raise QueryTreeError(f"delete from unknown relation {self.target_relation!r}")
+        try:
+            self.predicate.validate(catalog.get(self.target_relation).schema)
+        except Exception as exc:
+            raise QueryTreeError(f"delete node {self.node_id}: {exc}") from exc
+
+    def label(self) -> str:
+        return f"delete from {self.target_relation} where {self.predicate!r}"
+
+
+class QueryTree:
+    """A rooted query tree with identity, validation, and shape accounting.
+
+    The benchmark of Section 3.2 characterizes queries by their restrict
+    and join counts; :attr:`join_count`/:attr:`restrict_count` exist so the
+    workload can assert it matches the paper's mix exactly.
+    """
+
+    _query_ids = itertools.count(1)
+
+    def __init__(self, root: QueryNode, name: Optional[str] = None):
+        self.root = root
+        self.query_id = next(self._query_ids)
+        self.name = name or f"Q{self.query_id}"
+
+    # -- traversal -----------------------------------------------------------
+
+    def nodes(self) -> List[QueryNode]:
+        """All nodes, children before parents."""
+        return list(self.root.postorder())
+
+    def node_by_id(self, node_id: int) -> QueryNode:
+        """The node with ``node_id``; raises if absent from this tree."""
+        for node in self.nodes():
+            if node.node_id == node_id:
+                return node
+        raise QueryTreeError(f"no node {node_id} in query {self.name}")
+
+    def parent_of(self, node: QueryNode) -> Optional[QueryNode]:
+        """The node consuming ``node``'s output, or None for the root."""
+        for candidate in self.nodes():
+            if node in candidate.children:
+                return candidate
+        return None
+
+    def operators(self) -> List[QueryNode]:
+        """Non-scan nodes (the "instructions" the machines execute)."""
+        return [n for n in self.nodes() if not isinstance(n, ScanNode)]
+
+    # -- shape ---------------------------------------------------------------
+
+    @property
+    def join_count(self) -> int:
+        """Number of join nodes."""
+        return sum(1 for n in self.nodes() if isinstance(n, JoinNode))
+
+    @property
+    def restrict_count(self) -> int:
+        """Number of restrict nodes."""
+        return sum(1 for n in self.nodes() if isinstance(n, RestrictNode))
+
+    @property
+    def depth(self) -> int:
+        """Tree height."""
+        return self.root.depth()
+
+    def leaf_relations(self) -> List[str]:
+        """Names of base relations this query reads."""
+        names = []
+        for node in self.nodes():
+            if isinstance(node, ScanNode):
+                names.append(node.relation_name)
+            elif isinstance(node, DeleteNode):
+                names.append(node.target_relation)
+        return names
+
+    def updated_relations(self) -> List[str]:
+        """Names of base relations this query writes (append/delete targets)."""
+        names = []
+        for node in self.nodes():
+            if isinstance(node, AppendNode):
+                names.append(node.target_relation)
+            elif isinstance(node, DeleteNode):
+                names.append(node.target_relation)
+        return names
+
+    # -- validation & rendering ----------------------------------------------
+
+    def validate(self, catalog: Catalog) -> None:
+        """Validate the whole tree against ``catalog``."""
+        self.root.validate(catalog)
+
+    def render(self) -> str:
+        """ASCII rendering in the style of Figure 2.1."""
+        lines: List[str] = []
+
+        def walk(node: QueryNode, indent: str, last: bool) -> None:
+            branch = "`-- " if last else "|-- "
+            lines.append(f"{indent}{branch}{node.label()}")
+            child_indent = indent + ("    " if last else "|   ")
+            for i, child in enumerate(node.children):
+                walk(child, child_indent, i == len(node.children) - 1)
+
+        lines.append(f"{self.name}: {self.root.label()}")
+        for i, child in enumerate(self.root.children):
+            walk(child, "", i == len(self.root.children) - 1)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryTree({self.name}, {self.join_count} joins, "
+            f"{self.restrict_count} restricts, depth {self.depth})"
+        )
+
+
+def sample_query_tree() -> Callable[[Catalog], QueryTree]:
+    """Deferred construction of the Figure 2.1 sample tree shape.
+
+    Figure 2.1 shows restricts on base relations feeding a chain of joins.
+    The returned callable expects a catalog holding relations ``r1..r4``
+    with an integer attribute ``k`` and builds::
+
+            J
+           / \\
+          J   R(r4)
+         / \\
+        R   R
+       (r1) (r2,r3 join)
+    """
+
+    def build(catalog: Catalog) -> QueryTree:
+        r1 = RestrictNode(ScanNode("r1"), attr("k") > 0)
+        r2 = RestrictNode(ScanNode("r2"), attr("k") > 0)
+        r3 = RestrictNode(ScanNode("r3"), attr("k") > 0)
+        r4 = RestrictNode(ScanNode("r4"), attr("k") > 0)
+        j1 = JoinNode(r1, r2, attr("k").equals_attr("k"))
+        j2 = JoinNode(r3, r4, attr("k").equals_attr("k"))
+        root = JoinNode(j1, j2, attr("k").equals_attr("k"))
+        tree = QueryTree(root, name="figure-2.1")
+        tree.validate(catalog)
+        return tree
+
+    return build

@@ -1,0 +1,53 @@
+"""Relational storage and algebra substrate.
+
+This package is the "database" underneath both machine simulators: schemas
+with fixed-format tuples, byte-accurate slotted pages, heap files, a catalog
+of named relations, a predicate/expression language, and a reference
+implementation of the relational algebra operators the paper's query trees
+use (restrict, project, join, append, delete, and the set operators).
+
+The reference operators in :mod:`repro.relational.operators` are the
+correctness oracle for the machine simulators: integration tests check that
+queries executed page-by-page on the simulated hardware produce exactly the
+rows the oracle produces.
+"""
+
+from repro.relational.schema import Attribute, DataType, Schema
+from repro.relational.page import Page
+from repro.relational.relation import PageTable, Relation
+from repro.relational.heapfile import HeapFile, RowId
+from repro.relational.catalog import Catalog
+from repro.relational.predicate import (
+    And,
+    Between,
+    Comparison,
+    FalsePredicate,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+    attr,
+)
+from repro.relational import operators
+
+__all__ = [
+    "Attribute",
+    "DataType",
+    "Schema",
+    "Page",
+    "PageTable",
+    "Relation",
+    "HeapFile",
+    "RowId",
+    "Catalog",
+    "Predicate",
+    "Comparison",
+    "Between",
+    "And",
+    "Or",
+    "Not",
+    "TruePredicate",
+    "FalsePredicate",
+    "attr",
+    "operators",
+]

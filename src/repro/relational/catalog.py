@@ -1,0 +1,99 @@
+"""A catalog of named relations — the "relational database" of Section 3.2.
+
+The benchmark database is "a relational database containing 15 relations
+with a combined size of 5.5 megabytes"; the catalog is where that database
+lives and where query trees resolve their leaf operands.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+from repro.errors import CatalogError
+from repro.relational.relation import Relation
+
+
+class Catalog:
+    """Mutable mapping from relation name to :class:`Relation`.
+
+    Supports registration, replacement (the ``append``/``delete`` update
+    operators rewrite base relations), and aggregate size introspection.
+    """
+
+    def __init__(self):
+        self._relations: Dict[str, Relation] = {}
+
+    # -- registration -------------------------------------------------------
+
+    def register(self, relation: Relation) -> Relation:
+        """Add ``relation`` under its own name; duplicate names are an error."""
+        if relation.name in self._relations:
+            raise CatalogError(f"relation {relation.name!r} is already registered")
+        self._relations[relation.name] = relation
+        return relation
+
+    def replace(self, relation: Relation) -> Relation:
+        """Install ``relation`` under its name, replacing any previous one."""
+        self._relations[relation.name] = relation
+        return relation
+
+    def drop(self, name: str) -> Relation:
+        """Remove and return the relation called ``name``."""
+        try:
+            return self._relations.pop(name)
+        except KeyError:
+            raise CatalogError(f"no relation {name!r} to drop") from None
+
+    # -- lookup -------------------------------------------------------------
+
+    def get(self, name: str) -> Relation:
+        """The relation called ``name``; raises :class:`CatalogError` if absent."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise CatalogError(
+                f"no relation {name!r}; catalog has {sorted(self._relations)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __getitem__(self, name: str) -> Relation:
+        return self.get(name)
+
+    def __iter__(self) -> Iterator[Relation]:
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    @property
+    def names(self) -> List[str]:
+        """Registered relation names, sorted."""
+        return sorted(self._relations)
+
+    # -- aggregates ---------------------------------------------------------
+
+    @property
+    def total_bytes(self) -> int:
+        """Combined stored size of every relation (page-granular)."""
+        return sum(r.byte_size for r in self._relations.values())
+
+    @property
+    def total_rows(self) -> int:
+        """Combined cardinality of every relation."""
+        return sum(r.cardinality for r in self._relations.values())
+
+    def summary(self) -> str:
+        """A human-readable table of the catalog contents."""
+        lines = [f"{'relation':<16}{'rows':>10}{'pages':>8}{'bytes':>12}"]
+        for name in self.names:
+            rel = self._relations[name]
+            lines.append(
+                f"{name:<16}{rel.cardinality:>10}{rel.page_count:>8}{rel.byte_size:>12}"
+            )
+        lines.append(
+            f"{'TOTAL':<16}{self.total_rows:>10}"
+            f"{sum(r.page_count for r in self):>8}{self.total_bytes:>12}"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,173 @@
+"""Heap files: page-based storage with row identifiers and free-space reuse.
+
+The benchmark database lives in heap files on the simulated mass-storage
+devices.  Unlike :class:`~repro.relational.relation.Relation` (a dense,
+append-only page stream, matching intermediate results), a heap file
+supports in-place delete and update via row identifiers, which the paper's
+``append``/``delete`` query-tree operators need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional
+
+from repro.errors import PageError
+from repro.relational.page import DEFAULT_PAGE_BYTES, Page
+from repro.relational.relation import Relation
+from repro.relational.schema import Row, Schema
+
+
+@dataclass(frozen=True, order=True)
+class RowId:
+    """Stable address of a row: ``(page_number, slot)``."""
+
+    page_number: int
+    slot: int
+
+
+class _HeapPage:
+    """A page with tombstones so deletes leave stable slots behind."""
+
+    __slots__ = ("schema", "page_bytes", "slots")
+
+    def __init__(self, schema: Schema, page_bytes: int):
+        self.schema = schema
+        self.page_bytes = page_bytes
+        self.slots: List[Optional[Row]] = []
+
+    @property
+    def capacity(self) -> int:
+        # One status byte per slot on top of the record, mirroring a real
+        # slotted-page layout with a validity map.
+        return (self.page_bytes - 8) // (self.schema.record_width + 1)
+
+    @property
+    def live_count(self) -> int:
+        return sum(1 for s in self.slots if s is not None)
+
+    def free_slot(self) -> Optional[int]:
+        for i, s in enumerate(self.slots):
+            if s is None:
+                return i
+        if len(self.slots) < self.capacity:
+            self.slots.append(None)
+            return len(self.slots) - 1
+        return None
+
+
+class HeapFile:
+    """Mutable paged storage for one relation's base data.
+
+    Provides insert/delete/update by :class:`RowId`, full scans, and export
+    to a dense :class:`Relation` (the form query execution consumes).
+    """
+
+    def __init__(self, name: str, schema: Schema, page_bytes: int = DEFAULT_PAGE_BYTES):
+        self.name = name
+        self.schema = schema
+        self.page_bytes = page_bytes
+        self._pages: List[_HeapPage] = []
+
+    # -- shape --------------------------------------------------------------
+
+    @property
+    def page_count(self) -> int:
+        """Number of pages allocated so far."""
+        return len(self._pages)
+
+    @property
+    def cardinality(self) -> int:
+        """Number of live rows."""
+        return sum(p.live_count for p in self._pages)
+
+    def __len__(self) -> int:
+        return self.cardinality
+
+    # -- mutation -----------------------------------------------------------
+
+    def insert(self, row: Row) -> RowId:
+        """Store ``row`` in the first free slot; returns its address."""
+        self.schema.validate_row(row)
+        for number, page in enumerate(self._pages):
+            slot = page.free_slot()
+            if slot is not None:
+                page.slots[slot] = tuple(row)
+                return RowId(number, slot)
+        page = _HeapPage(self.schema, self.page_bytes)
+        self._pages.append(page)
+        slot = page.free_slot()
+        if slot is None:
+            raise PageError(f"page of {self.page_bytes} bytes holds no records")
+        page.slots[slot] = tuple(row)
+        return RowId(len(self._pages) - 1, slot)
+
+    def insert_many(self, rows) -> List[RowId]:
+        """Insert each row; returns the addresses in order."""
+        return [self.insert(r) for r in rows]
+
+    def delete(self, rid: RowId) -> Row:
+        """Remove and return the row at ``rid``; raises on a dead slot."""
+        row = self.fetch(rid)
+        self._pages[rid.page_number].slots[rid.slot] = None
+        return row
+
+    def delete_where(self, keep_if_false: Callable[[Row], bool]) -> int:
+        """Delete every live row for which the callable returns True."""
+        deleted = 0
+        for page in self._pages:
+            for i, row in enumerate(page.slots):
+                if row is not None and keep_if_false(row):
+                    page.slots[i] = None
+                    deleted += 1
+        return deleted
+
+    def update(self, rid: RowId, row: Row) -> None:
+        """Overwrite the row at ``rid`` in place."""
+        self.schema.validate_row(row)
+        self.fetch(rid)
+        self._pages[rid.page_number].slots[rid.slot] = tuple(row)
+
+    def vacuum(self) -> None:
+        """Compact live rows to the front, dropping empty pages.
+
+        Row identifiers are invalidated, as in a real heap reorganization.
+        """
+        rows = list(self.scan())
+        self._pages = []
+        for row in rows:
+            self.insert(row)
+
+    # -- access -------------------------------------------------------------
+
+    def fetch(self, rid: RowId) -> Row:
+        """The row at ``rid``; raises :class:`PageError` on a bad address."""
+        if not 0 <= rid.page_number < len(self._pages):
+            raise PageError(f"{self.name!r}: no page {rid.page_number}")
+        page = self._pages[rid.page_number]
+        if not 0 <= rid.slot < len(page.slots):
+            raise PageError(f"{self.name!r}: no slot {rid.slot} on page {rid.page_number}")
+        row = page.slots[rid.slot]
+        if row is None:
+            raise PageError(f"{self.name!r}: slot {rid} is empty")
+        return row
+
+    def scan(self) -> Iterator[Row]:
+        """Iterate live rows in storage order."""
+        for page in self._pages:
+            for row in page.slots:
+                if row is not None:
+                    yield row
+
+    def scan_with_rids(self) -> Iterator[tuple[RowId, Row]]:
+        """Iterate ``(rid, row)`` pairs for live rows."""
+        for number, page in enumerate(self._pages):
+            for slot, row in enumerate(page.slots):
+                if row is not None:
+                    yield RowId(number, slot), row
+
+    def to_relation(self, name: Optional[str] = None) -> Relation:
+        """Export live rows as a dense :class:`Relation` for query execution."""
+        out = Relation(name or self.name, self.schema, page_bytes=self.page_bytes)
+        out.insert_many(self.scan())
+        return out

@@ -1,0 +1,191 @@
+"""Byte-accurate fixed-size pages of fixed-width records.
+
+A page is the unit of scheduling for the paper's preferred *page-level
+granularity* (Section 3.2), the unit the disk cache and mass storage move
+(Section 3.3: "any such mechanism relies on block transfers of data"), and
+the operand carried in instruction packets (Figure 4.3).
+
+Layout of a serialized page::
+
+    +----------------+---------------+----------------------+---------+
+    | record_count:4 | record_width:4| records (packed rows)| padding |
+    +----------------+---------------+----------------------+---------+
+
+Records are stored densely; deletion is handled a level up (heap files
+rewrite pages), which matches the paper's append-only page streams where
+partial pages are *compressed* into full pages by the receiving IC.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, Iterator, List
+
+from repro.errors import PageError
+from repro.relational.schema import Row, Schema
+
+_HEADER = struct.Struct("<II")
+
+#: Default page size used by the relational substrate (the Section 3.3
+#: analysis uses 1,000-byte pages; the ring machine uses 16K pages — both
+#: are passed explicitly by the machines).
+DEFAULT_PAGE_BYTES = 4096
+
+
+class Page:
+    """A fixed-capacity page holding packed rows of a single schema.
+
+    Pages know their byte budget and refuse to overflow it, so the "5.5
+    megabyte database" of the benchmark is literally 5.5 MB of page bytes.
+    """
+
+    __slots__ = ("schema", "page_bytes", "_rows")
+
+    def __init__(self, schema: Schema, page_bytes: int = DEFAULT_PAGE_BYTES):
+        if page_bytes < _HEADER.size + schema.record_width:
+            raise PageError(
+                f"page of {page_bytes} bytes cannot hold even one "
+                f"{schema.record_width}-byte record"
+            )
+        self.schema = schema
+        self.page_bytes = page_bytes
+        self._rows: List[Row] = []
+
+    # -- capacity -----------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of records this page can hold."""
+        return (self.page_bytes - _HEADER.size) // self.schema.record_width
+
+    @property
+    def row_count(self) -> int:
+        """Number of records currently on the page."""
+        return len(self._rows)
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes occupied by the header plus current records."""
+        return _HEADER.size + self.row_count * self.schema.record_width
+
+    @property
+    def free_slots(self) -> int:
+        """Records that can still be appended."""
+        return self.capacity - self.row_count
+
+    @property
+    def is_full(self) -> bool:
+        """True when no more records fit."""
+        return self.row_count >= self.capacity
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the page holds no records."""
+        return not self._rows
+
+    # -- mutation -----------------------------------------------------------
+
+    def append(self, row: Row) -> None:
+        """Append one row; raises :class:`PageError` when the page is full."""
+        if self.is_full:
+            raise PageError(f"page is full ({self.capacity} records)")
+        self.schema.validate_row(row)
+        self._rows.append(tuple(row))
+
+    def try_append(self, row: Row) -> bool:
+        """Append ``row`` if there is room; return whether it was stored."""
+        if self.is_full:
+            return False
+        self.append(row)
+        return True
+
+    def extend(self, rows: Iterable[Row]) -> int:
+        """Append rows until the page fills; return how many were taken."""
+        taken = 0
+        for row in rows:
+            if not self.try_append(row):
+                break
+            taken += 1
+        return taken
+
+    def clear(self) -> None:
+        """Drop every record from the page."""
+        self._rows.clear()
+
+    # -- access -------------------------------------------------------------
+
+    def rows(self) -> Iterator[Row]:
+        """Iterate the records on the page in insertion order."""
+        return iter(self._rows)
+
+    def row(self, slot: int) -> Row:
+        """The record in ``slot``; raises :class:`PageError` on a bad slot."""
+        try:
+            return self._rows[slot]
+        except IndexError:
+            raise PageError(f"no slot {slot} on page with {self.row_count} records") from None
+
+    def __iter__(self) -> Iterator[Row]:
+        return self.rows()
+
+    def __len__(self) -> int:
+        return self.row_count
+
+    def __repr__(self) -> str:
+        return f"Page({self.row_count}/{self.capacity} records, {self.page_bytes}B)"
+
+    # -- serialization ------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize to exactly :attr:`page_bytes` bytes (zero-padded)."""
+        body = self.schema.pack_many(self._rows)
+        header = _HEADER.pack(self.row_count, self.schema.record_width)
+        payload = header + body
+        return payload + b"\x00" * (self.page_bytes - len(payload))
+
+    @classmethod
+    def from_bytes(cls, schema: Schema, data: bytes) -> "Page":
+        """Rebuild a page from :meth:`to_bytes` output."""
+        if len(data) < _HEADER.size:
+            raise PageError("page bytes shorter than header")
+        count, width = _HEADER.unpack_from(data)
+        if width != schema.record_width:
+            raise PageError(
+                f"page records are {width} bytes but schema needs {schema.record_width}"
+            )
+        end = _HEADER.size + count * width
+        if end > len(data):
+            raise PageError(f"page header claims {count} records but bytes are short")
+        page = cls(schema, page_bytes=len(data))
+        if count > page.capacity:
+            raise PageError(f"page header claims {count} records over capacity {page.capacity}")
+        for row in schema.unpack_many(data[_HEADER.size : end]):
+            page.append(row)
+        return page
+
+    def copy(self) -> "Page":
+        """An independent copy of this page."""
+        dup = Page(self.schema, self.page_bytes)
+        dup._rows = list(self._rows)
+        return dup
+
+
+def pack_rows_into_pages(
+    schema: Schema, rows: Iterable[Row], page_bytes: int = DEFAULT_PAGE_BYTES
+) -> List[Page]:
+    """Pack ``rows`` densely into a list of pages.
+
+    This is the "compression" step the paper's ICs perform on arriving
+    partial pages (Section 4.2: "as pages (which may not be full) arrive,
+    they are compressed to form full pages").
+    """
+    pages: List[Page] = []
+    current = Page(schema, page_bytes)
+    for row in rows:
+        if not current.try_append(row):
+            pages.append(current)
+            current = Page(schema, page_bytes)
+            current.append(row)
+    if not current.is_empty:
+        pages.append(current)
+    return pages

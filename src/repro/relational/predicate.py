@@ -1,0 +1,356 @@
+"""Predicate language for restricts and join conditions.
+
+Restrict nodes carry a :class:`Predicate` over one schema; join nodes carry
+a :class:`JoinCondition` relating an attribute of the outer relation to an
+attribute of the inner relation (the nested-loops join of Section 2.1 is a
+"conditional cross product").
+
+A small DSL keeps query construction readable::
+
+    from repro.relational.predicate import attr
+
+    p = (attr("salary") > 50_000) & (attr("dept") == "db")
+    j = attr("emp_dept").equals_attr("dept_id")
+"""
+
+from __future__ import annotations
+
+import enum
+import operator
+from dataclasses import dataclass
+from typing import Callable, FrozenSet, Union
+
+from repro.errors import PredicateError
+from repro.relational.schema import Row, Schema
+
+Scalar = Union[int, float, str]
+
+
+class CompareOp(enum.Enum):
+    """The six comparison operators."""
+
+    EQ = "="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+
+    @property
+    def fn(self) -> Callable[[Scalar, Scalar], bool]:
+        """The Python comparison implementing this operator."""
+        return _OP_FN[self]
+
+    def flipped(self) -> "CompareOp":
+        """The operator with its operand order reversed (a<b ↔ b>a)."""
+        return _OP_FLIP[self]
+
+
+_OP_FN = {
+    CompareOp.EQ: operator.eq,
+    CompareOp.NE: operator.ne,
+    CompareOp.LT: operator.lt,
+    CompareOp.LE: operator.le,
+    CompareOp.GT: operator.gt,
+    CompareOp.GE: operator.ge,
+}
+
+_OP_FLIP = {
+    CompareOp.EQ: CompareOp.EQ,
+    CompareOp.NE: CompareOp.NE,
+    CompareOp.LT: CompareOp.GT,
+    CompareOp.LE: CompareOp.GE,
+    CompareOp.GT: CompareOp.LT,
+    CompareOp.GE: CompareOp.LE,
+}
+
+
+class Predicate:
+    """Base class for boolean predicates over one schema's rows."""
+
+    def evaluate(self, row: Row, schema: Schema) -> bool:
+        """Truth of this predicate on ``row`` (interpreted path)."""
+        raise NotImplementedError
+
+    def compile(self, schema: Schema) -> Callable[[Row], bool]:
+        """A fast row->bool closure bound to ``schema`` attribute positions."""
+        raise NotImplementedError
+
+    def references(self) -> FrozenSet[str]:
+        """Attribute names this predicate reads."""
+        raise NotImplementedError
+
+    def validate(self, schema: Schema) -> None:
+        """Raise :class:`PredicateError` if any referenced attribute is absent."""
+        missing = [n for n in sorted(self.references()) if n not in schema]
+        if missing:
+            raise PredicateError(
+                f"predicate references missing attributes {missing}; schema has {schema.names}"
+            )
+
+    # -- combinators ---------------------------------------------------------
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return And(self, other)
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Or(self, other)
+
+    def __invert__(self) -> "Predicate":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class TruePredicate(Predicate):
+    """Always true — a restrict with this predicate is a full scan."""
+
+    def evaluate(self, row: Row, schema: Schema) -> bool:
+        return True
+
+    def compile(self, schema: Schema) -> Callable[[Row], bool]:
+        return lambda row: True
+
+    def references(self) -> FrozenSet[str]:
+        return frozenset()
+
+
+@dataclass(frozen=True)
+class FalsePredicate(Predicate):
+    """Always false — selects the empty relation."""
+
+    def evaluate(self, row: Row, schema: Schema) -> bool:
+        return False
+
+    def compile(self, schema: Schema) -> Callable[[Row], bool]:
+        return lambda row: False
+
+    def references(self) -> FrozenSet[str]:
+        return frozenset()
+
+
+@dataclass(frozen=True)
+class Comparison(Predicate):
+    """``attribute <op> constant`` or ``attribute <op> attribute``.
+
+    When ``rhs_is_attr`` is true the right-hand side names a second
+    attribute of the same schema (useful on concatenated join schemas).
+    """
+
+    attribute: str
+    op: CompareOp
+    rhs: Scalar
+    rhs_is_attr: bool = False
+
+    def evaluate(self, row: Row, schema: Schema) -> bool:
+        left = row[schema.index_of(self.attribute)]
+        right = row[schema.index_of(self.rhs)] if self.rhs_is_attr else self.rhs
+        return self.op.fn(left, right)
+
+    def compile(self, schema: Schema) -> Callable[[Row], bool]:
+        idx = schema.index_of(self.attribute)
+        fn = self.op.fn
+        if self.rhs_is_attr:
+            ridx = schema.index_of(self.rhs)
+            return lambda row: fn(row[idx], row[ridx])
+        rhs = self.rhs
+        return lambda row: fn(row[idx], rhs)
+
+    def references(self) -> FrozenSet[str]:
+        if self.rhs_is_attr:
+            return frozenset({self.attribute, self.rhs})
+        return frozenset({self.attribute})
+
+    def __repr__(self) -> str:
+        rhs = self.rhs if self.rhs_is_attr else repr(self.rhs)
+        return f"({self.attribute} {self.op.value} {rhs})"
+
+
+@dataclass(frozen=True)
+class Between(Predicate):
+    """``low <= attribute <= high`` (inclusive range restrict)."""
+
+    attribute: str
+    low: Scalar
+    high: Scalar
+
+    def evaluate(self, row: Row, schema: Schema) -> bool:
+        value = row[schema.index_of(self.attribute)]
+        return self.low <= value <= self.high
+
+    def compile(self, schema: Schema) -> Callable[[Row], bool]:
+        idx = schema.index_of(self.attribute)
+        low, high = self.low, self.high
+        return lambda row: low <= row[idx] <= high
+
+    def references(self) -> FrozenSet[str]:
+        return frozenset({self.attribute})
+
+    def __repr__(self) -> str:
+        return f"({self.low!r} <= {self.attribute} <= {self.high!r})"
+
+
+@dataclass(frozen=True)
+class And(Predicate):
+    """Conjunction."""
+
+    left: Predicate
+    right: Predicate
+
+    def evaluate(self, row: Row, schema: Schema) -> bool:
+        return self.left.evaluate(row, schema) and self.right.evaluate(row, schema)
+
+    def compile(self, schema: Schema) -> Callable[[Row], bool]:
+        lf, rf = self.left.compile(schema), self.right.compile(schema)
+        return lambda row: lf(row) and rf(row)
+
+    def references(self) -> FrozenSet[str]:
+        return self.left.references() | self.right.references()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} AND {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Or(Predicate):
+    """Disjunction."""
+
+    left: Predicate
+    right: Predicate
+
+    def evaluate(self, row: Row, schema: Schema) -> bool:
+        return self.left.evaluate(row, schema) or self.right.evaluate(row, schema)
+
+    def compile(self, schema: Schema) -> Callable[[Row], bool]:
+        lf, rf = self.left.compile(schema), self.right.compile(schema)
+        return lambda row: lf(row) or rf(row)
+
+    def references(self) -> FrozenSet[str]:
+        return self.left.references() | self.right.references()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} OR {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Not(Predicate):
+    """Negation."""
+
+    inner: Predicate
+
+    def evaluate(self, row: Row, schema: Schema) -> bool:
+        return not self.inner.evaluate(row, schema)
+
+    def compile(self, schema: Schema) -> Callable[[Row], bool]:
+        f = self.inner.compile(schema)
+        return lambda row: not f(row)
+
+    def references(self) -> FrozenSet[str]:
+        return self.inner.references()
+
+    def __repr__(self) -> str:
+        return f"(NOT {self.inner!r})"
+
+
+# ---------------------------------------------------------------------------
+# Join conditions (binary: outer row vs inner row)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class JoinCondition:
+    """``outer.attribute <op> inner.attribute`` — the join's theta condition."""
+
+    outer_attr: str
+    op: CompareOp
+    inner_attr: str
+
+    def evaluate(self, outer_row: Row, outer_schema: Schema, inner_row: Row, inner_schema: Schema) -> bool:
+        """Truth of the condition on one (outer, inner) row pair."""
+        return self.op.fn(
+            outer_row[outer_schema.index_of(self.outer_attr)],
+            inner_row[inner_schema.index_of(self.inner_attr)],
+        )
+
+    def compile(self, outer_schema: Schema, inner_schema: Schema) -> Callable[[Row, Row], bool]:
+        """A fast (outer_row, inner_row)->bool closure."""
+        oi = outer_schema.index_of(self.outer_attr)
+        ii = inner_schema.index_of(self.inner_attr)
+        fn = self.op.fn
+        return lambda orow, irow: fn(orow[oi], irow[ii])
+
+    def validate(self, outer_schema: Schema, inner_schema: Schema) -> None:
+        """Raise unless both sides name real attributes."""
+        if self.outer_attr not in outer_schema:
+            raise PredicateError(
+                f"join condition references {self.outer_attr!r}, absent from outer "
+                f"schema {outer_schema.names}"
+            )
+        if self.inner_attr not in inner_schema:
+            raise PredicateError(
+                f"join condition references {self.inner_attr!r}, absent from inner "
+                f"schema {inner_schema.names}"
+            )
+
+    @property
+    def is_equijoin(self) -> bool:
+        """True for equality conditions (hash/sort-merge joins apply)."""
+        return self.op is CompareOp.EQ
+
+    def __repr__(self) -> str:
+        return f"(outer.{self.outer_attr} {self.op.value} inner.{self.inner_attr})"
+
+
+# ---------------------------------------------------------------------------
+# DSL
+# ---------------------------------------------------------------------------
+
+
+class _AttrRef:
+    """Fluent builder so ``attr('x') > 3`` yields a :class:`Comparison`."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def _cmp(self, op: CompareOp, other) -> Predicate:
+        if isinstance(other, _AttrRef):
+            return Comparison(self.name, op, other.name, rhs_is_attr=True)
+        return Comparison(self.name, op, other)
+
+    def __eq__(self, other):  # type: ignore[override]
+        return self._cmp(CompareOp.EQ, other)
+
+    def __ne__(self, other):  # type: ignore[override]
+        return self._cmp(CompareOp.NE, other)
+
+    def __lt__(self, other):
+        return self._cmp(CompareOp.LT, other)
+
+    def __le__(self, other):
+        return self._cmp(CompareOp.LE, other)
+
+    def __gt__(self, other):
+        return self._cmp(CompareOp.GT, other)
+
+    def __ge__(self, other):
+        return self._cmp(CompareOp.GE, other)
+
+    def between(self, low: Scalar, high: Scalar) -> Between:
+        """Inclusive range predicate on this attribute."""
+        return Between(self.name, low, high)
+
+    def equals_attr(self, inner_attr: str) -> JoinCondition:
+        """Equijoin condition ``outer.self == inner.inner_attr``."""
+        return JoinCondition(self.name, CompareOp.EQ, inner_attr)
+
+    def joins(self, op: CompareOp, inner_attr: str) -> JoinCondition:
+        """Theta-join condition ``outer.self <op> inner.inner_attr``."""
+        return JoinCondition(self.name, op, inner_attr)
+
+    __hash__ = None  # not hashable: == is overloaded to build predicates
+
+
+def attr(name: str) -> _AttrRef:
+    """Entry point of the predicate DSL: a reference to attribute ``name``."""
+    return _AttrRef(name)

@@ -1,0 +1,157 @@
+"""Relation statistics and selectivity estimation.
+
+The machine simulators need cardinality estimates to size result page
+tables and to reason about expected operator output volume; the experiment
+harness uses the same estimates to report workload characteristics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.relational.predicate import (
+    And,
+    Between,
+    Comparison,
+    CompareOp,
+    FalsePredicate,
+    JoinCondition,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+)
+from repro.relational.relation import Relation
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Min/max/distinct summary of one attribute."""
+
+    name: str
+    distinct: int
+    minimum: object
+    maximum: object
+
+
+@dataclass(frozen=True)
+class RelationStats:
+    """Cardinality plus per-column summaries for one relation."""
+
+    name: str
+    cardinality: int
+    pages: int
+    columns: Dict[str, ColumnStats]
+
+    def column(self, name: str) -> ColumnStats:
+        """Stats for column ``name`` (KeyError if not collected)."""
+        return self.columns[name]
+
+
+def collect_stats(relation: Relation) -> RelationStats:
+    """One pass over ``relation`` computing per-column summaries."""
+    names = relation.schema.names
+    values: Dict[str, set] = {n: set() for n in names}
+    minimum: Dict[str, object] = {}
+    maximum: Dict[str, object] = {}
+    for row in relation.rows():
+        for i, name in enumerate(names):
+            v = row[i]
+            values[name].add(v)
+            if name not in minimum or v < minimum[name]:
+                minimum[name] = v
+            if name not in maximum or v > maximum[name]:
+                maximum[name] = v
+    columns = {
+        n: ColumnStats(n, len(values[n]), minimum.get(n), maximum.get(n)) for n in names
+    }
+    return RelationStats(relation.name, relation.cardinality, relation.page_count, columns)
+
+
+# ---------------------------------------------------------------------------
+# Selectivity estimation (System R style defaults)
+# ---------------------------------------------------------------------------
+
+_DEFAULT_EQ_SELECTIVITY = 0.1
+_DEFAULT_RANGE_SELECTIVITY = 1.0 / 3.0
+
+
+def estimate_selectivity(predicate: Predicate, stats: RelationStats) -> float:
+    """Estimated fraction of rows satisfying ``predicate``.
+
+    Uses distinct counts for equality, uniform-range interpolation for
+    inequalities, and independence for conjunction/disjunction — the
+    classic System R heuristics, clamped to [0, 1].
+    """
+    if isinstance(predicate, TruePredicate):
+        return 1.0
+    if isinstance(predicate, FalsePredicate):
+        return 0.0
+    if isinstance(predicate, Not):
+        return max(0.0, 1.0 - estimate_selectivity(predicate.inner, stats))
+    if isinstance(predicate, And):
+        return estimate_selectivity(predicate.left, stats) * estimate_selectivity(
+            predicate.right, stats
+        )
+    if isinstance(predicate, Or):
+        a = estimate_selectivity(predicate.left, stats)
+        b = estimate_selectivity(predicate.right, stats)
+        return min(1.0, a + b - a * b)
+    if isinstance(predicate, Between):
+        return _range_fraction(stats, predicate.attribute, predicate.low, predicate.high)
+    if isinstance(predicate, Comparison):
+        return _comparison_selectivity(predicate, stats)
+    return _DEFAULT_RANGE_SELECTIVITY
+
+
+def _comparison_selectivity(cmp: Comparison, stats: RelationStats) -> float:
+    col = stats.columns.get(cmp.attribute)
+    if cmp.rhs_is_attr or col is None or col.distinct == 0:
+        if cmp.op is CompareOp.EQ:
+            return _DEFAULT_EQ_SELECTIVITY
+        return _DEFAULT_RANGE_SELECTIVITY
+    if cmp.op is CompareOp.EQ:
+        return 1.0 / col.distinct
+    if cmp.op is CompareOp.NE:
+        return 1.0 - 1.0 / col.distinct
+    if cmp.op in (CompareOp.LT, CompareOp.LE):
+        return _range_fraction(stats, cmp.attribute, col.minimum, cmp.rhs)
+    return _range_fraction(stats, cmp.attribute, cmp.rhs, col.maximum)
+
+
+def _range_fraction(stats: RelationStats, attribute: str, low, high) -> float:
+    col = stats.columns.get(attribute)
+    if col is None or col.minimum is None:
+        return _DEFAULT_RANGE_SELECTIVITY
+    if not isinstance(col.minimum, (int, float)) or not isinstance(low, (int, float)):
+        return _DEFAULT_RANGE_SELECTIVITY
+    span = col.maximum - col.minimum
+    if span <= 0:
+        return 1.0 if low <= col.minimum <= high else 0.0
+    lo = max(float(low), float(col.minimum))
+    hi = min(float(high), float(col.maximum))
+    if hi < lo:
+        return 0.0
+    return min(1.0, max(0.0, (hi - lo) / span))
+
+
+def estimate_join_cardinality(
+    outer: RelationStats, inner: RelationStats, condition: JoinCondition
+) -> int:
+    """Estimated output rows of ``outer JOIN inner`` on ``condition``."""
+    cross = outer.cardinality * inner.cardinality
+    if condition.op is CompareOp.EQ:
+        o = outer.columns.get(condition.outer_attr)
+        i = inner.columns.get(condition.inner_attr)
+        distinct = max(
+            o.distinct if o else _guess_distinct(outer),
+            i.distinct if i else _guess_distinct(inner),
+            1,
+        )
+        return max(0, cross // distinct)
+    return int(cross * _DEFAULT_RANGE_SELECTIVITY)
+
+
+def _guess_distinct(stats: RelationStats) -> int:
+    return max(1, stats.cardinality // 10)

@@ -1,0 +1,40 @@
+"""The preliminary data-flow database machine of Section 4 (Figure 4.1).
+
+Six components, as the paper lists them:
+
+1. The master controller (MC) — :mod:`repro.ring.master`
+2. A set of instruction controllers (IC) — :mod:`repro.ring.controller`
+3. The inner communications ring (MC <-> ICs) — :mod:`repro.ring.network`
+4. A mass storage system with a multiport disk cache (reused from
+   :mod:`repro.direct.cache`)
+5. A set of instruction processors (IP) — :mod:`repro.ring.processor`
+6. The outer communications ring (ICs <-> IPs) — :mod:`repro.ring.network`
+
+Packets travel the rings in the exact formats of Figures 4.3-4.5
+(:mod:`repro.ring.packets`), and the join protocol of Section 4.2 —
+broadcast inner pages, IRC vectors, missed-page recovery, flush-when-done
+— is implemented literally.  The machine executes real query trees over
+real pages; its answers are validated against the reference interpreter.
+"""
+
+from repro.ring.packets import (
+    ControlMessage,
+    ControlPacket,
+    InstructionPacket,
+    ResultPacket,
+    SourceOperand,
+)
+from repro.ring.machine import RingMachine, RingReport
+from repro.ring.concurrency import LockManager, LockMode
+
+__all__ = [
+    "InstructionPacket",
+    "ResultPacket",
+    "ControlPacket",
+    "ControlMessage",
+    "SourceOperand",
+    "RingMachine",
+    "RingReport",
+    "LockManager",
+    "LockMode",
+]

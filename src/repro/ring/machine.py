@@ -1,0 +1,558 @@
+"""The assembled ring machine (Figure 4.1) and its run report.
+
+The machine wires the six components together and mediates every message
+through the two rings so timing and byte accounting are centralized:
+
+* **inner ring** (1-2 Mbps): MC <-> IC control traffic — instruction
+  distribution, IP requests/grants/releases, completion notices;
+* **outer ring** (40 Mbps TTL default): IC <-> IP instruction packets,
+  result packets, join broadcasts, and IP control packets; also carries
+  producer-IC -> consumer-IC operand-completion notices so completion
+  cannot overtake result data (the ring is FIFO);
+* **multiport disk cache + mass storage**: reused from
+  :mod:`repro.direct.cache` — ICs fetch base pages and spill local-memory
+  overflow through it.
+
+Wire sizes follow the Figure 4.3-4.5 formats via the analytic helpers in
+:mod:`repro.ring.packets` (equal to ``len(packet.encode())``, tested).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro import hw
+from repro.errors import MachineError
+from repro.direct.cache import DiskCache, PageRef
+from repro.direct.exec_model import ExecModel
+from repro.direct.traffic import TrafficMeter
+from repro.relational.catalog import Catalog
+from repro.relational.page import Page, pack_rows_into_pages
+from repro.relational.relation import Relation
+from repro.relational.schema import Row, Schema
+from repro.query.tree import AppendNode, DeleteNode, QueryNode, QueryTree, ScanNode
+from repro.ring.controller import InstructionController
+from repro.ring.master import MasterController
+from repro.ring.network import Ring
+from repro.ring.packets import (
+    CONTROL_PACKET_BYTES,
+    instruction_packet_bytes,
+    result_packet_bytes,
+)
+from repro.ring.processor import InstructionProcessor
+from repro.sim.engine import Simulator
+from repro.sim.resources import Resource
+
+#: Destination id of the master controller / host.
+MC_ID = 0
+
+
+@dataclass
+class RingQueryRun:
+    """Per-query record."""
+
+    tree: QueryTree
+    submitted_at: float
+    completed_at: Optional[float] = None
+    result_rows: int = 0
+
+    @property
+    def elapsed_ms(self) -> Optional[float]:
+        """Response time, None while running."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.submitted_at
+
+
+@dataclass
+class RingReport:
+    """Outcome of one ring-machine run."""
+
+    processors: int
+    controllers: int
+    elapsed_ms: float
+    query_times: Dict[str, float]
+    results: Dict[str, Relation]
+    outer_ring_bytes: int
+    inner_ring_bytes: int
+    outer_ring_mbps: float
+    inner_ring_mbps: float
+    outer_ring_utilization: float
+    broadcasts: int
+    traffic: Dict[str, int]
+    ip_utilization: float
+    events_processed: int
+    queries_admitted: int
+
+
+class RingMachine:
+    """The Section 4 data-flow database machine, ready to run query trees."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        processors: int = 16,
+        controllers: int = 16,
+        page_bytes: int = hw.RING_PAGE_BYTES,
+        model: Optional[ExecModel] = None,
+        outer_ring: hw.RingModel = hw.OUTER_RING_TTL,
+        inner_ring: hw.RingModel = hw.INNER_RING,
+        cache_bytes: int = hw.DEFAULT_CACHE_BYTES,
+        ic_memory_pages: int = 32,
+        max_ips_per_instruction: int = 1_000_000,
+        direct_ip_routing: bool = False,
+        fault_tolerant: bool = False,
+        watchdog_interval_ms: float = 500.0,
+        max_events: int = 5_000_000,
+    ):
+        if processors < 1 or controllers < 1:
+            raise MachineError("need at least one IP and one IC")
+        self.catalog = catalog
+        self.page_bytes = page_bytes
+        self.model = model or ExecModel(page_bytes=page_bytes)
+        self.ic_memory_pages = ic_memory_pages
+        self.max_ips_per_instruction = max_ips_per_instruction
+        self.direct_ip_routing = direct_ip_routing
+        self.fault_tolerant = fault_tolerant
+        self.watchdog_interval_ms = watchdog_interval_ms
+        self.max_events = max_events
+        self.total_ics = controllers
+        self.failed_ips: List[int] = []
+
+        self.sim = Simulator()
+        self.meter = TrafficMeter()
+        self.outer_ring = Ring(self.sim, outer_ring, "outer-ring")
+        self.inner_ring = Ring(self.sim, inner_ring, "inner-ring")
+        self.ports = Resource(self.sim, "cache-ports", capacity=min(8, controllers))
+        self.disks = [
+            Resource(self.sim, f"disk{i}", capacity=1)
+            for i in range(hw.NUM_MASS_STORAGE_DRIVES)
+        ]
+        self.cache = DiskCache(
+            sim=self.sim,
+            meter=self.meter,
+            model=self.model,
+            capacity_frames=max(16, cache_bytes // page_bytes),
+            ports=self.ports,
+            disks=self.disks,
+        )
+
+        self.mc = MasterController(self)
+        self.ips = [InstructionProcessor(self, i + 1) for i in range(processors)]
+        self.mc.free_ips.extend(self.ips)
+
+        self._free_ic_ids: List[int] = list(range(1, controllers + 1))
+        self._ics: Dict[int, InstructionController] = {}
+        self._runs: List[RingQueryRun] = []
+        self._query_rows: Dict[str, List[Row]] = {}
+        self._base_pages: Dict[str, List[PageRef]] = {}
+
+    # ------------------------------------------------------------------ host API
+
+    def submit(self, tree: QueryTree) -> RingQueryRun:
+        """Hand a query to the MC's queue (validated against the catalog)."""
+        tree.validate(self.catalog)
+        run = RingQueryRun(tree=tree, submitted_at=self.sim.now)
+        self._runs.append(run)
+        self.mc.enqueue(tree)
+        self.sim.schedule(0.0, self.mc.try_admit, label="mc.admit")
+        return run
+
+    def schedule_ip_failure(self, ip_id: int, at_ms: float) -> None:
+        """Disable IP ``ip_id`` at simulated time ``at_ms`` (fail-stop).
+
+        Requires ``fault_tolerant=True`` — without watchdogs a failure
+        would simply hang the run.
+        """
+        if not self.fault_tolerant:
+            raise MachineError("schedule_ip_failure needs fault_tolerant=True")
+        target = next((ip for ip in self.ips if ip.ip_id == ip_id), None)
+        if target is None:
+            raise MachineError(f"no IP {ip_id}")
+
+        def fail_now() -> None:
+            if target.failed:
+                return
+            target.fail()
+            self.failed_ips.append(target.ip_id)
+            # A pool-resident or idle-held casualty is culled immediately;
+            # a busy one is discovered by its IC's watchdog.
+            if target in self.mc.free_ips:
+                self.mc.free_ips.remove(target)
+
+        self.sim.schedule_at(at_ms, fail_now, label=f"fail-ip{ip_id}")
+
+    def report_ip_failure(self, ic, ip: InstructionProcessor) -> None:
+        """An IC's watchdog confirmed a dead IP; tell the MC (inner ring)."""
+
+        def mc_notified() -> None:
+            if ip in self.mc.free_ips:
+                self.mc.free_ips.remove(ip)
+            self.mc.grant_loop()
+
+        self.inner_ring.send(CONTROL_PACKET_BYTES, mc_notified)
+
+    def run(self) -> RingReport:
+        """Execute all submitted queries to completion."""
+        if not self._runs:
+            raise MachineError("no queries submitted")
+        self.sim.run(max_events=self.max_events)
+        unfinished = [r.tree.name for r in self._runs if r.completed_at is None]
+        if unfinished:
+            raise MachineError(f"ring machine drained with unfinished queries: {unfinished}")
+        elapsed = self.sim.now
+        busy = sum(ip.busy_ms for ip in self.ips)
+        util = busy / (elapsed * len(self.ips)) if elapsed > 0 else 0.0
+        return RingReport(
+            processors=len(self.ips),
+            controllers=self.total_ics,
+            elapsed_ms=elapsed,
+            query_times={r.tree.name: r.elapsed_ms for r in self._runs},
+            results={r.tree.name: self._result_relation(r) for r in self._runs},
+            outer_ring_bytes=self.outer_ring.bytes_carried,
+            inner_ring_bytes=self.inner_ring.bytes_carried,
+            outer_ring_mbps=self.outer_ring.offered_mbps(elapsed),
+            inner_ring_mbps=self.inner_ring.offered_mbps(elapsed),
+            outer_ring_utilization=self.outer_ring.utilization(elapsed),
+            broadcasts=self.outer_ring.broadcasts,
+            traffic=self.meter.snapshot(),
+            ip_utilization=min(1.0, util),
+            events_processed=self.sim.events_processed,
+            queries_admitted=self.mc.queries_admitted,
+        )
+
+    def _result_relation(self, run: RingQueryRun) -> Relation:
+        root = run.tree.root
+        schema = root.output_schema(self.catalog)
+        out = Relation(f"{run.tree.name}.result", schema, page_bytes=self.page_bytes)
+        out.insert_many(self._query_rows.get(run.tree.name, []))
+        return out
+
+    # ------------------------------------------------------------------ activation
+
+    def free_ic_count(self) -> int:
+        """ICs currently unassigned."""
+        return len(self._free_ic_ids)
+
+    def ic_by_id(self, ic_id: int) -> Optional[InstructionController]:
+        """Resolve an IC id (None once freed)."""
+        return self._ics.get(ic_id)
+
+    def active_ics(self) -> List[InstructionController]:
+        """ICs currently controlling instructions."""
+        return list(self._ics.values())
+
+    def activate_query(self, tree: QueryTree) -> None:
+        """MC admission: build one IC per operator node and seed leaves."""
+        by_node: Dict[int, InstructionController] = {}
+        for node in tree.nodes():
+            if isinstance(node, ScanNode):
+                continue
+            ic = self._make_ic(node, tree)
+            by_node[node.node_id] = ic
+        # Wire destinations (producer -> consumer operand index).
+        for node_id, ic in by_node.items():
+            parent = tree.parent_of(ic.node)
+            if parent is None:
+                ic.destination = (MC_ID, 0)
+            else:
+                operand_index = parent.children.index(ic.node)
+                ic.destination = (by_node[parent.node_id].ic_id, operand_index)
+        # Seed operands.
+        for node_id, ic in by_node.items():
+            for idx, child in enumerate(self._operand_children(ic.node)):
+                if isinstance(child, ScanNode):
+                    self.sim.schedule(
+                        0.0,
+                        lambda i=ic, x=idx, n=child.relation_name: i.seed_base_operand(
+                            x, self._base_page_refs(n)
+                        ),
+                        label=f"seed.{ic.ic_id}",
+                    )
+                elif isinstance(ic.node, DeleteNode):
+                    raise MachineError("delete nodes have no child operands")
+        # Delete nodes scan their target relation as operand 0.
+        for node_id, ic in by_node.items():
+            if isinstance(ic.node, DeleteNode):
+                self.sim.schedule(
+                    0.0,
+                    lambda i=ic, n=ic.node.target_relation: i.seed_base_operand(
+                        0, self._base_page_refs(n)
+                    ),
+                    label=f"seed.{ic.ic_id}",
+                )
+
+    def _make_ic(self, node: QueryNode, tree: QueryTree) -> InstructionController:
+        if not self._free_ic_ids:
+            raise MachineError("no free IC for instruction (admission bug)")
+        ic_id = self._free_ic_ids.pop(0)
+        operand_specs = self._operand_specs(node)
+        ic = InstructionController(
+            machine=self,
+            ic_id=ic_id,
+            node=node,
+            tree=tree,
+            operand_specs=operand_specs,
+            result_schema=node.output_schema(self.catalog),
+        )
+        self._ics[ic_id] = ic
+        return ic
+
+    def _operand_children(self, node: QueryNode) -> Sequence[QueryNode]:
+        return node.children
+
+    def _operand_specs(self, node: QueryNode) -> List[Tuple[str, Schema, bool]]:
+        if isinstance(node, DeleteNode):
+            relation = self.catalog.get(node.target_relation)
+            return [(node.target_relation, relation.schema, True)]
+        specs: List[Tuple[str, Schema, bool]] = []
+        for child in node.children:
+            schema = child.output_schema(self.catalog)
+            if isinstance(child, ScanNode):
+                specs.append((child.relation_name, schema, True))
+            else:
+                specs.append((f"node{child.node_id}", schema, False))
+        return specs
+
+    def _base_page_refs(self, relation_name: str) -> List[PageRef]:
+        if relation_name not in self._base_pages:
+            relation = self.catalog.get(relation_name)
+            pages = pack_rows_into_pages(
+                relation.schema, list(relation.rows()), self.page_bytes
+            )
+            salt = zlib.crc32(relation_name.encode("utf-8"))
+            self._base_pages[relation_name] = [
+                PageRef(
+                    key=f"base:{relation_name}:{i}",
+                    nbytes=self.page_bytes,
+                    payload=page,
+                    on_disk=True,
+                    disk_id=(salt + i) % max(1, len(self.disks)),
+                    row_count=page.row_count,
+                )
+                for i, page in enumerate(pages)
+            ]
+        return self._base_pages[relation_name]
+
+    # ------------------------------------------------------------------ inner-ring control (MC <-> IC)
+
+    def ic_request_ips(self, ic: InstructionController, count: int) -> None:
+        """IC -> MC: REQUEST_IPS(count)."""
+        self.inner_ring.send(
+            CONTROL_PACKET_BYTES, lambda: self.mc.request_ips(ic, count)
+        )
+
+    def mc_grant_ip(self, ic: InstructionController, ip: InstructionProcessor) -> None:
+        """MC -> IC: GRANT_IP."""
+        self.inner_ring.send(CONTROL_PACKET_BYTES, lambda: ic.grant_ip(ip))
+
+    def ic_release_ip(self, ic: InstructionController, ip: InstructionProcessor) -> None:
+        """IC -> MC: RELEASE_IP."""
+        self.inner_ring.send(CONTROL_PACKET_BYTES, lambda: self.mc.add_free_ip(ip))
+
+    def ic_instruction_done(self, ic: InstructionController) -> None:
+        """IC finished: notify consumer (outer ring) and the MC (inner)."""
+        dest_ic, operand_index = ic.destination
+        if dest_ic == MC_ID:
+            self.outer_ring.send(
+                CONTROL_PACKET_BYTES, lambda: self._finalize_query(ic)
+            )
+        else:
+            consumer = self._ics.get(dest_ic)
+            if consumer is None:
+                raise MachineError(f"IC{dest_ic} vanished before operand completion")
+            self.outer_ring.send(
+                CONTROL_PACKET_BYTES,
+                lambda: consumer.receive_operand_complete(operand_index),
+            )
+
+        def mc_notified() -> None:
+            self.mc.cancel_wants(ic)
+            self._free_ic(ic)
+            self.mc.try_admit()
+
+        self.inner_ring.send(CONTROL_PACKET_BYTES, mc_notified)
+
+    def _free_ic(self, ic: InstructionController) -> None:
+        if ic.ic_id in self._ics:
+            del self._ics[ic.ic_id]
+            self._free_ic_ids.append(ic.ic_id)
+
+    # ------------------------------------------------------------------ outer-ring traffic (IC <-> IP)
+
+    def ic_send_unary_packet(
+        self,
+        ic: InstructionController,
+        ip: InstructionProcessor,
+        page: Page,
+        flush: bool,
+        header_only: bool = False,
+    ) -> None:
+        """IC -> IP: a one-operand instruction packet (Figure 4.3).
+
+        ``header_only`` means the data page was pre-positioned at an IP by
+        direct routing, so only the control header crosses the ring.
+        """
+        page_len = 0 if header_only else page.used_bytes
+        nbytes = instruction_packet_bytes(ic.result_schema, [(page.schema, page_len)])
+        self.outer_ring.send(nbytes, lambda: ip.receive_unary_packet(page, flush))
+
+    def ic_send_join_packet(
+        self,
+        ic: InstructionController,
+        ip: InstructionProcessor,
+        outer_page: Page,
+        outer_index: int,
+        inner_page: Optional[Page],
+        inner_index: Optional[int],
+        flush: bool,
+        outer_header_only: bool = False,
+    ) -> None:
+        """IC -> IP: a join packet with outer (and maybe first inner) page."""
+        outer_len = 0 if outer_header_only else outer_page.used_bytes
+        operands = [(outer_page.schema, outer_len)]
+        if inner_page is not None:
+            operands.append((inner_page.schema, inner_page.used_bytes))
+        nbytes = instruction_packet_bytes(ic.result_schema, operands)
+        self.outer_ring.send(
+            nbytes,
+            lambda: ip.receive_join_packet(
+                outer_page, outer_index, inner_page, inner_index, flush
+            ),
+        )
+
+    def ic_broadcast_inner(
+        self,
+        ic: InstructionController,
+        index: int,
+        page: Page,
+        last_known: Optional[int],
+        delivered: Callable[[], None],
+    ) -> None:
+        """IC -> all its IPs: broadcast one inner page (one ring traversal)."""
+        nbytes = instruction_packet_bytes(ic.result_schema, [(page.schema, page.used_bytes)])
+
+        def deliver() -> None:
+            for ip in list(ic.my_ips):
+                ip.receive_inner_broadcast(index, page, last_known)
+            delivered()
+
+        self.outer_ring.broadcast(nbytes, deliver)
+
+    def ic_send_inner_last(
+        self, ic: InstructionController, ip: InstructionProcessor, count: int
+    ) -> None:
+        """IC -> IP: INNER_LAST(count)."""
+        self.outer_ring.send(CONTROL_PACKET_BYTES, lambda: ip.receive_inner_last(count))
+
+    def ic_flush_ip(self, ic: InstructionController, ip: InstructionProcessor) -> None:
+        """IC -> IP: flush your result buffer, then report done."""
+        self.outer_ring.send(CONTROL_PACKET_BYTES, ip.flush_and_done)
+
+    def ip_to_ic_done(self, ip: InstructionProcessor, ic: InstructionController) -> None:
+        """IP -> IC: DONE control packet."""
+        self.outer_ring.send(CONTROL_PACKET_BYTES, lambda: ic.ip_done(ip))
+
+    def ip_to_ic_flush_done(self, ip: InstructionProcessor, ic: InstructionController) -> None:
+        """IP -> IC: DONE answering a FLUSH."""
+        self.outer_ring.send(CONTROL_PACKET_BYTES, lambda: ic.ip_flush_done(ip))
+
+    def ip_to_ic_request_inner(
+        self, ip: InstructionProcessor, ic: InstructionController, index: int
+    ) -> None:
+        """IP -> IC: REQUEST_INNER(index)."""
+        self.outer_ring.send(CONTROL_PACKET_BYTES, lambda: ic.ip_request_inner(ip, index))
+
+    def ip_to_ic_ready_for_outer(
+        self, ip: InstructionProcessor, ic: InstructionController
+    ) -> None:
+        """IP -> IC: READY_FOR_OUTER."""
+        self.outer_ring.send(CONTROL_PACKET_BYTES, lambda: ic.ip_ready_for_outer(ip))
+
+    def ip_send_result(
+        self, ip: InstructionProcessor, ic: InstructionController, page: Page
+    ) -> None:
+        """IP -> destination IC (or MC): a result packet (Figure 4.4)."""
+        dest_ic, operand_index = ic.destination
+        nbytes = result_packet_bytes(page.used_bytes)
+        rows = list(page.rows())
+        ic.rows_emitted_to_consumer += len(rows)
+        if dest_ic == MC_ID:
+            self.outer_ring.send(
+                nbytes,
+                lambda: self._query_rows.setdefault(ic.tree.name, []).extend(rows),
+            )
+            return
+        consumer = self._ics.get(dest_ic)
+        if consumer is None:
+            raise MachineError(f"result for vanished IC{dest_ic}")
+        if self.direct_ip_routing and not (consumer.is_join and operand_index == 1):
+            # Section 5 future work: route the page "directly from one IP
+            # to another without first sending the page to an IC".  Join
+            # inner operands still need IC mediation (broadcast), so they
+            # keep the normal path.
+            self.outer_ring.send(
+                nbytes, lambda: consumer.receive_direct_page(operand_index, page)
+            )
+            return
+        self.outer_ring.send(
+            nbytes, lambda: consumer.receive_result_rows(operand_index, rows)
+        )
+
+    # ------------------------------------------------------------------ storage hierarchy (IC <-> cache/disk)
+
+    def ic_fetch_page(
+        self, ic: InstructionController, ref: PageRef, done: Callable[[], None]
+    ) -> None:
+        """Bring a page from the cache (or disk) into IC local memory."""
+        self.cache.read_shared(ref, done)
+
+    def ic_overflow_page(
+        self, ic: InstructionController, ref: PageRef, done: Callable[[], None]
+    ) -> None:
+        """IC local memory overflow: write the page to the cache segment."""
+        self.cache.write_page(ref, done, dirty=True)
+
+    # ------------------------------------------------------------------ completion
+
+    def _finalize_query(self, root_ic: InstructionController) -> None:
+        tree = root_ic.tree
+        rows = self._query_rows.get(tree.name, [])
+        node = tree.root
+        if isinstance(node, DeleteNode):
+            updated = Relation(node.target_relation, root_ic.result_schema, page_bytes=4096)
+            updated.insert_many(rows)
+            self.catalog.replace(updated)
+            # Later queries must re-page the relation from the new state.
+            self._base_pages.pop(node.target_relation, None)
+        elif isinstance(node, AppendNode):
+            target = self.catalog.get(node.target_relation)
+            updated = Relation(
+                node.target_relation, target.schema, page_bytes=target.page_bytes
+            )
+            updated.insert_many(target.rows())
+            updated.insert_many(rows)
+            self.catalog.replace(updated)
+            self._query_rows[tree.name] = list(updated.rows())
+            self._base_pages.pop(node.target_relation, None)
+        for run in self._runs:
+            if run.tree is tree and run.completed_at is None:
+                run.completed_at = self.sim.now
+                run.result_rows = len(rows)
+                break
+        self.mc.query_finished(tree)
+
+
+def run_ring_benchmark(
+    catalog: Catalog,
+    queries: Sequence[QueryTree],
+    processors: int = 16,
+    **machine_kwargs,
+) -> RingReport:
+    """Build a ring machine, submit ``queries``, run, and report."""
+    machine = RingMachine(catalog, processors=processors, **machine_kwargs)
+    for tree in queries:
+        machine.submit(tree)
+    return machine.run()

@@ -1,0 +1,75 @@
+"""DLCN-style communication rings (Section 4.1).
+
+The paper adopts the Distributed Loop Computer Network [13]: a
+shift-register-insertion ring carrying variable-length messages.  For
+simulation we model each ring as a bandwidth-limited medium: a message of
+``n`` bytes occupies the loop for ``insertion_delay + n/rate`` — multiple
+small messages interleave in FIFO order, which is how insertion rings
+behave under load.  Broadcast costs one traversal (requirement 4 of
+Section 4.0: "a page from the inner relation can be distributed to some or
+all of the participating processors simultaneously").
+
+The ring keeps byte counters so experiments can compare offered load
+against the technology options the paper prices (40 Mbps TTL shift
+registers, 1 Gbps ECL, 400 Mbps fiber).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro import hw
+from repro.sim.engine import Simulator
+from repro.sim.resources import Resource
+
+
+class Ring:
+    """One communications ring with bandwidth accounting."""
+
+    def __init__(self, sim: Simulator, model: hw.RingModel, name: str):
+        self.sim = sim
+        self.model = model
+        self.name = name
+        self._medium = Resource(sim, name, capacity=1)
+        self.bytes_carried = 0
+        self.messages_carried = 0
+        self.broadcasts = 0
+
+    def send(self, nbytes: int, deliver: Callable[[], None]) -> None:
+        """Transmit one ``nbytes`` message; ``deliver`` fires at arrival."""
+        self._accept(nbytes, deliver, broadcast=False)
+
+    def broadcast(self, nbytes: int, deliver: Callable[[], None]) -> None:
+        """Transmit one message that every tap on the loop can copy.
+
+        Cost is identical to a point-to-point send — that is the whole
+        point of the ring's broadcast facility.
+        """
+        self._accept(nbytes, deliver, broadcast=True)
+
+    def _accept(self, nbytes: int, deliver: Callable[[], None], broadcast: bool) -> None:
+        self.bytes_carried += nbytes
+        self.messages_carried += 1
+        if broadcast:
+            self.broadcasts += 1
+        self._medium.submit(self.model.transfer_time_ms(nbytes), deliver, nbytes=nbytes)
+
+    # -- measurement ---------------------------------------------------------
+
+    def offered_mbps(self, elapsed_ms: float) -> float:
+        """Average offered load in megabits/second over ``elapsed_ms``."""
+        if elapsed_ms <= 0:
+            return 0.0
+        return self.bytes_carried * 8.0 / 1e6 / (elapsed_ms / 1000.0)
+
+    def utilization(self, elapsed_ms: float) -> float:
+        """Fraction of the loop's capacity in use."""
+        return self._medium.stats.utilization(elapsed_ms, 1)
+
+    @property
+    def queue_depth(self) -> int:
+        """Messages waiting to enter the loop."""
+        return self._medium.queued
+
+    def __repr__(self) -> str:
+        return f"Ring({self.name!r}, {self.model.bit_rate_mbps} Mbps, {self.bytes_carried} B)"

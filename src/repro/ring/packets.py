@@ -1,0 +1,331 @@
+"""Ring packets, byte-exact to Figures 4.3, 4.4, and 4.5.
+
+Figure 4.3 — instruction packet::
+
+    IPid | Packet Length | Query Id | ICid of sender | ICid of destination
+    | "Flush-When-Done" flag | Instruction Opcode
+    | result operand: Relation Name, Tuple Length & Format
+    | # of Source Operands
+    | per source operand: Relation Name, Tuple Length & Format,
+      Page Length, Data Page
+
+Figure 4.4 — result packet::
+
+    ICid | Packet Length | Relation Name | Page Length | Data Page
+
+Figure 4.5 — control packet::
+
+    ICid | Packet Length | IPid of sender | Message
+
+All integers are little-endian uint32; relation names are 16-byte
+NUL-padded ASCII; the "Tuple Length & Format" field serializes the
+operand's schema (so any IP can decode the rows, as the paper requires);
+data pages are the page's literal bytes.  ``encode``/``decode`` round-trip
+exactly, and the simulated rings charge transfer time on ``len(encode())``.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.errors import PacketError
+from repro.relational.schema import Attribute, DataType, Schema
+
+_U32 = struct.Struct("<I")
+_NAME_BYTES = 16
+
+#: Fixed header sizes (bytes) used for analytic packet-size formulas.
+INSTRUCTION_HEADER_BYTES = 7 * 4  # IPid..opcode fields
+CONTROL_PACKET_BYTES = 4 * 4 + 4  # fixed-size control packet + argument
+
+
+def _pack_u32(value: int) -> bytes:
+    if not 0 <= value < 2**32:
+        raise PacketError(f"field value {value} out of uint32 range")
+    return _U32.pack(value)
+
+
+def _pack_name(name: str) -> bytes:
+    raw = name.encode("ascii", errors="replace")
+    if len(raw) > _NAME_BYTES:
+        raw = raw[:_NAME_BYTES]
+    return raw.ljust(_NAME_BYTES, b"\x00")
+
+
+def _unpack_name(data: bytes, offset: int) -> Tuple[str, int]:
+    raw = data[offset : offset + _NAME_BYTES]
+    return raw.rstrip(b"\x00").decode("ascii"), offset + _NAME_BYTES
+
+
+def _pack_schema(schema: Schema) -> bytes:
+    """Serialize the "Tuple Length & Format" field: arity, then per
+    attribute a 1-byte type code, 2-byte width, and 16-byte name."""
+    parts = [_pack_u32(schema.record_width), _pack_u32(schema.arity)]
+    codes = {DataType.INT: 0, DataType.FLOAT: 1, DataType.CHAR: 2}
+    for attr in schema:
+        parts.append(struct.pack("<BH", codes[attr.dtype], attr.width))
+        parts.append(_pack_name(attr.name))
+    return b"".join(parts)
+
+
+def _unpack_schema(data: bytes, offset: int) -> Tuple[Schema, int]:
+    record_width = _U32.unpack_from(data, offset)[0]
+    arity = _U32.unpack_from(data, offset + 4)[0]
+    offset += 8
+    kinds = {0: DataType.INT, 1: DataType.FLOAT, 2: DataType.CHAR}
+    attrs = []
+    for _ in range(arity):
+        code, width = struct.unpack_from("<BH", data, offset)
+        offset += 3
+        name, offset = _unpack_name(data, offset)
+        attrs.append(Attribute(name, kinds[code], width))
+    schema = Schema(tuple(attrs))
+    if schema.record_width != record_width:
+        raise PacketError(
+            f"tuple format decodes to width {schema.record_width}, header says {record_width}"
+        )
+    return schema, offset
+
+
+@dataclass
+class SourceOperand:
+    """One source operand of an instruction packet: a named page of rows."""
+
+    relation_name: str
+    schema: Schema
+    page_bytes: bytes
+
+    def encode(self) -> bytes:
+        """Relation Name | Tuple Length & Format | Page Length | Data Page."""
+        return (
+            _pack_name(self.relation_name)
+            + _pack_schema(self.schema)
+            + _pack_u32(len(self.page_bytes))
+            + self.page_bytes
+        )
+
+    @classmethod
+    def decode(cls, data: bytes, offset: int) -> Tuple["SourceOperand", int]:
+        """Inverse of :meth:`encode`; returns the operand and next offset."""
+        name, offset = _unpack_name(data, offset)
+        schema, offset = _unpack_schema(data, offset)
+        page_len = _U32.unpack_from(data, offset)[0]
+        offset += 4
+        page = data[offset : offset + page_len]
+        if len(page) != page_len:
+            raise PacketError("source operand page truncated")
+        return cls(name, schema, page), offset + page_len
+
+
+@dataclass
+class InstructionPacket:
+    """Figure 4.3: everything an IP needs to execute one operation."""
+
+    ip_id: int
+    query_id: int
+    sender_ic: int
+    destination_ic: int
+    flush_when_done: bool
+    opcode: str
+    result_relation: str
+    result_schema: Schema
+    operands: List[SourceOperand] = field(default_factory=list)
+    #: Free-form extra control payload (e.g. serialized predicate id);
+    #: carried in the opcode field region, length-prefixed.
+    tag: int = 0
+
+    _OPCODES = ["restrict", "join", "project", "union", "append", "delete"]
+
+    def encode(self) -> bytes:
+        """Serialize in the Figure 4.3 field order.
+
+        The Packet Length field is the length of the complete packet,
+        written after the body is known (as real ring hardware does).
+        """
+        try:
+            opcode_num = self._OPCODES.index(self.opcode)
+        except ValueError:
+            raise PacketError(f"unknown opcode {self.opcode!r}") from None
+        body = (
+            _pack_u32(self.query_id)
+            + _pack_u32(self.sender_ic)
+            + _pack_u32(self.destination_ic)
+            + _pack_u32(1 if self.flush_when_done else 0)
+            + _pack_u32(opcode_num)
+            + _pack_u32(self.tag)
+            + _pack_name(self.result_relation)
+            + _pack_schema(self.result_schema)
+            + _pack_u32(len(self.operands))
+            + b"".join(op.encode() for op in self.operands)
+        )
+        return _pack_u32(self.ip_id) + _pack_u32(len(body) + 8) + body
+
+    @classmethod
+    def decode(cls, data: bytes) -> "InstructionPacket":
+        """Inverse of :meth:`encode`."""
+        if len(data) < 8:
+            raise PacketError("instruction packet shorter than its header")
+        ip_id = _U32.unpack_from(data, 0)[0]
+        length = _U32.unpack_from(data, 4)[0]
+        if length != len(data):
+            raise PacketError(f"packet length field {length} != actual {len(data)}")
+        offset = 8
+        query_id = _U32.unpack_from(data, offset)[0]
+        sender = _U32.unpack_from(data, offset + 4)[0]
+        dest = _U32.unpack_from(data, offset + 8)[0]
+        flush = bool(_U32.unpack_from(data, offset + 12)[0])
+        opcode_num = _U32.unpack_from(data, offset + 16)[0]
+        tag = _U32.unpack_from(data, offset + 20)[0]
+        offset += 24
+        if opcode_num >= len(cls._OPCODES):
+            raise PacketError(f"unknown opcode number {opcode_num}")
+        result_relation, offset = _unpack_name(data, offset)
+        result_schema, offset = _unpack_schema(data, offset)
+        count = _U32.unpack_from(data, offset)[0]
+        offset += 4
+        operands = []
+        for _ in range(count):
+            operand, offset = SourceOperand.decode(data, offset)
+            operands.append(operand)
+        return cls(
+            ip_id=ip_id,
+            query_id=query_id,
+            sender_ic=sender,
+            destination_ic=dest,
+            flush_when_done=flush,
+            opcode=cls._OPCODES[opcode_num],
+            result_relation=result_relation,
+            result_schema=result_schema,
+            operands=operands,
+            tag=tag,
+        )
+
+    @property
+    def wire_bytes(self) -> int:
+        """Size on the ring."""
+        return len(self.encode())
+
+
+@dataclass
+class ResultPacket:
+    """Figure 4.4: one page of result tuples bound for an IC."""
+
+    ic_id: int
+    relation_name: str
+    page_bytes: bytes
+
+    def encode(self) -> bytes:
+        """ICid | Packet Length | Relation Name | Page Length | Data Page."""
+        body = (
+            _pack_name(self.relation_name)
+            + _pack_u32(len(self.page_bytes))
+            + self.page_bytes
+        )
+        return _pack_u32(self.ic_id) + _pack_u32(len(body) + 8) + body
+
+    @classmethod
+    def decode(cls, data: bytes) -> "ResultPacket":
+        """Inverse of :meth:`encode`."""
+        if len(data) < 8:
+            raise PacketError("result packet shorter than its header")
+        ic_id = _U32.unpack_from(data, 0)[0]
+        length = _U32.unpack_from(data, 4)[0]
+        if length != len(data):
+            raise PacketError(f"packet length field {length} != actual {len(data)}")
+        name, offset = _unpack_name(data, 8)
+        page_len = _U32.unpack_from(data, offset)[0]
+        offset += 4
+        page = data[offset : offset + page_len]
+        if len(page) != page_len:
+            raise PacketError("result packet page truncated")
+        return cls(ic_id=ic_id, relation_name=name, page_bytes=page)
+
+    @property
+    def wire_bytes(self) -> int:
+        """Size on the ring."""
+        return len(self.encode())
+
+
+def schema_field_bytes(schema: Schema) -> int:
+    """Wire size of one "Tuple Length & Format" field."""
+    return 8 + schema.arity * (3 + _NAME_BYTES)
+
+
+def instruction_packet_bytes(result_schema: Schema, operands: List[Tuple[Schema, int]]) -> int:
+    """Wire size of an instruction packet without encoding it.
+
+    ``operands`` is a list of ``(schema, page_byte_length)`` pairs.  The
+    value equals ``len(packet.encode())`` exactly (verified by tests), so
+    the simulator can charge ring time without packing page bytes.
+    """
+    size = 8 + 24 + _NAME_BYTES + schema_field_bytes(result_schema) + 4
+    for schema, page_len in operands:
+        size += _NAME_BYTES + schema_field_bytes(schema) + 4 + page_len
+    return size
+
+
+def result_packet_bytes(page_len: int) -> int:
+    """Wire size of a result packet carrying ``page_len`` page bytes."""
+    return 8 + _NAME_BYTES + 4 + page_len
+
+
+class ControlMessage(enum.Enum):
+    """Messages carried by Figure 4.5 control packets."""
+
+    #: IP -> IC: finished the current packet, ready for more work.
+    DONE = 1
+    #: IP -> IC: request inner page <argument> of the join.
+    REQUEST_INNER = 2
+    #: IP -> IC: current outer page fully joined, ready for a new outer.
+    READY_FOR_OUTER = 3
+    #: IC -> MC: request <argument> instruction processors.
+    REQUEST_IPS = 4
+    #: IC -> MC: release IP <argument> back to the pool.
+    RELEASE_IP = 5
+    #: MC -> IC: grant of IP <argument>.
+    GRANT_IP = 6
+    #: IC -> MC: instruction complete.
+    INSTRUCTION_DONE = 7
+    #: IC -> IP: no inner page numbered <argument> or higher will exist
+    #: ("this is the last page of the inner relation").
+    INNER_LAST = 8
+    #: MC -> IC: source operand <argument> of your instruction is complete
+    #: (its producer instruction finished).
+    OPERAND_COMPLETE = 9
+
+
+@dataclass
+class ControlPacket:
+    """Figure 4.5: ICid | Packet Length | IPid of sender | Message."""
+
+    ic_id: int
+    sender_ip: int
+    message: ControlMessage
+    argument: int = 0
+
+    def encode(self) -> bytes:
+        """Serialize; the message field carries the enum and one argument."""
+        body = _pack_u32(self.sender_ip) + _pack_u32(self.message.value) + _pack_u32(self.argument)
+        return _pack_u32(self.ic_id) + _pack_u32(len(body) + 8) + body
+
+    @classmethod
+    def decode(cls, data: bytes) -> "ControlPacket":
+        """Inverse of :meth:`encode`."""
+        if len(data) != 20:
+            raise PacketError(f"control packet must be 20 bytes, got {len(data)}")
+        ic_id = _U32.unpack_from(data, 0)[0]
+        length = _U32.unpack_from(data, 4)[0]
+        if length != len(data):
+            raise PacketError(f"packet length field {length} != actual {len(data)}")
+        sender = _U32.unpack_from(data, 8)[0]
+        message = ControlMessage(_U32.unpack_from(data, 12)[0])
+        argument = _U32.unpack_from(data, 16)[0]
+        return cls(ic_id=ic_id, sender_ip=sender, message=message, argument=argument)
+
+    @property
+    def wire_bytes(self) -> int:
+        """Size on the ring (fixed)."""
+        return 20

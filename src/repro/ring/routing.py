@@ -1,0 +1,97 @@
+"""IP->IP direct routing (the paper's Section 5 future work).
+
+"We feel that it should be possible to route some of the data pages which
+are produced by IPs directly from one IP to another without first sending
+the page to an IC. ... There appears, however, to be a tradeoff between
+decreased message traffic and increased IP complexity."
+
+The mechanism itself lives in :class:`repro.ring.machine.RingMachine`
+(``direct_ip_routing=True``) and
+:meth:`repro.ring.controller.InstructionController.receive_direct_page`:
+
+* intermediate result pages bound for a *non-broadcast* operand (unary
+  inputs and join outers) cross the outer ring once, landing
+  pre-positioned at a consumer IP; the consuming instruction's first
+  dispatch of such a page ships a header-only packet;
+* the cost: the IC's compression step is forfeited, so partial pages stay
+  partial — more packets, more per-packet work at the IPs ("increased IP
+  complexity"), and worse page utilization;
+* join inner operands keep the IC path: the broadcast protocol requires a
+  mediator that holds the full inner page table.
+
+This module provides the closed-form side of the tradeoff so experiments
+can compare prediction with measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ring.packets import instruction_packet_bytes, result_packet_bytes
+from repro.relational.schema import Schema
+
+
+@dataclass(frozen=True)
+class RoutingSavings:
+    """Predicted outer-ring bytes for one intermediate page, both ways."""
+
+    via_ic_bytes: int
+    direct_bytes: int
+
+    @property
+    def saved_bytes(self) -> int:
+        """Positive when direct routing reduces ring traffic."""
+        return self.via_ic_bytes - self.direct_bytes
+
+    @property
+    def saved_fraction(self) -> float:
+        """Fraction of the via-IC traffic eliminated."""
+        if self.via_ic_bytes == 0:
+            return 0.0
+        return self.saved_bytes / self.via_ic_bytes
+
+
+def page_routing_savings(
+    result_schema: Schema, operand_schema: Schema, page_data_bytes: int
+) -> RoutingSavings:
+    """Ring bytes for one intermediate page: via IC vs direct.
+
+    Via IC, the page crosses the ring twice: once as a result packet
+    (IP -> IC) and once inside an instruction packet (IC -> IP).  Direct,
+    it crosses once (IP -> IP) and the later dispatch is header-only.
+    """
+    via_ic = result_packet_bytes(page_data_bytes) + instruction_packet_bytes(
+        result_schema, [(operand_schema, page_data_bytes)]
+    )
+    direct = result_packet_bytes(page_data_bytes) + instruction_packet_bytes(
+        result_schema, [(operand_schema, 0)]
+    )
+    return RoutingSavings(via_ic_bytes=via_ic, direct_bytes=direct)
+
+
+def break_even_fill_fraction(
+    result_schema: Schema, operand_schema: Schema, full_page_bytes: int
+) -> float:
+    """Page fill level below which direct routing stops paying.
+
+    Direct routing ships pages uncompressed.  If the producer's packets
+    average a fill fraction f, the direct path ships 1/f times as many
+    pages (each f-full); it still wins while the per-page dispatch saving
+    exceeds the extra per-page headers.  Returns the f* where the two
+    paths' byte counts are equal (0 < f* <= 1); measurements in experiment
+    E10 bracket this prediction.
+    """
+    header = instruction_packet_bytes(result_schema, [(operand_schema, 0)])
+    result_header = result_packet_bytes(0)
+    # via IC per full page: result pkt + full instruction pkt
+    via_full = result_header + full_page_bytes + header + full_page_bytes
+    # direct per f-full page, scaled to one full page of data: (1/f) pages
+    # each carrying f*full bytes once plus two headers
+    # bytes_direct(f) = (1/f) * (result_header + header) + 2? no: data once
+    # bytes_direct(f) = full + (1/f) * (result_header + header)
+    # solve bytes_direct(f) = via_full
+    denom = via_full - full_page_bytes
+    if denom <= 0:
+        return 1.0
+    f_star = (result_header + header) / denom
+    return max(0.0, min(1.0, f_star))

@@ -1,0 +1,22 @@
+"""Discrete-event simulation kernel.
+
+Both machine simulators (:mod:`repro.direct` and :mod:`repro.ring`) run on
+this kernel: an event heap with a simulated millisecond clock, FIFO server
+resources for devices (disks, cache ports, processors, rings), and
+measurement monitors.  Everything is deterministic — there is no wall-clock
+dependence and ties are broken by insertion order.
+"""
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.resources import Resource, ResourceStats
+from repro.sim.monitor import Counter, TimeSeries, Tally
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Resource",
+    "ResourceStats",
+    "Counter",
+    "TimeSeries",
+    "Tally",
+]

@@ -1,0 +1,129 @@
+"""The event loop: a binary-heap future-event list with a millisecond clock.
+
+Events are plain callbacks.  Ties in time are broken by a monotone sequence
+number so simulation runs are exactly reproducible regardless of callback
+contents.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled callback.
+
+    Ordering is ``(time, sequence)``; the callback itself never participates
+    in comparisons.  Cancelled events stay in the heap but are skipped.
+    """
+
+    time: float
+    sequence: int
+    action: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Prevent this event from firing (lazy deletion)."""
+        self.cancelled = True
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(5.0, lambda: fired.append(sim.now))
+    >>> sim.run()
+    >>> fired
+    [5.0]
+    """
+
+    def __init__(self):
+        self._now = 0.0
+        self._heap: List[Event] = []
+        self._sequence = itertools.count()
+        self._events_processed = 0
+        self._running = False
+
+    # -- clock ----------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events that have fired."""
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        """Events still in the heap (including cancelled ones)."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    # -- scheduling -----------------------------------------------------------
+
+    def schedule(self, delay: float, action: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``action`` to fire ``delay`` ms from now; returns the event."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        event = Event(self._now + delay, next(self._sequence), action, label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(self, time: float, action: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``action`` at absolute simulated ``time``."""
+        return self.schedule(time - self._now, action, label)
+
+    # -- execution --------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Fire the next event; returns False when the heap is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._events_processed += 1
+            event.action()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run until the heap drains, ``until`` is reached, or ``max_events`` fire.
+
+        Returns the final simulated time.  ``max_events`` is a safety net
+        against protocol livelock in the machine simulators; exceeding it
+        raises :class:`SimulationError` rather than spinning forever.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        fired = 0
+        try:
+            while self._heap:
+                head = self._heap[0]
+                if head.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and head.time > until:
+                    self._now = until
+                    break
+                if max_events is not None and fired >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} at t={self._now:.3f} "
+                        f"(likely a protocol livelock; next: {head.label!r})"
+                    )
+                self.step()
+                fired += 1
+        finally:
+            self._running = False
+        return self._now

@@ -1,0 +1,30 @@
+"""Seeded, named RNG streams for the simulators.
+
+Each subsystem draws from its own stream so adding randomness to one
+component never perturbs another — the property that keeps A/B comparisons
+(page- vs relation-level granularity on the *same* workload) honest.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import Dict
+
+
+class RandomStreams:
+    """A family of independent :class:`random.Random` streams under one seed."""
+
+    def __init__(self, seed: int):
+        self.seed = seed
+        self._streams: Dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """The stream called ``name`` (created on first use, stable per seed)."""
+        if name not in self._streams:
+            mix = zlib.crc32(name.encode("utf-8")) ^ (self.seed * 0x9E3779B1 & 0xFFFFFFFF)
+            self._streams[name] = random.Random(mix)
+        return self._streams[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._streams

@@ -1,0 +1,116 @@
+"""FIFO server resources over the event loop.
+
+A :class:`Resource` models a device with ``capacity`` identical servers
+(disk arms, cache ports, a ring's insertion register, a pool of IPs).
+Callers submit *jobs* with a known service time; the resource runs up to
+``capacity`` jobs at once and queues the rest in FIFO order.  Utilization
+and queueing statistics are tracked for the experiment reports.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+@dataclass
+class ResourceStats:
+    """Aggregate statistics for one resource."""
+
+    jobs_completed: int = 0
+    busy_time: float = 0.0
+    wait_time: float = 0.0
+    bytes_served: int = 0
+    peak_queue: int = 0
+
+    def utilization(self, elapsed: float, capacity: int) -> float:
+        """Mean fraction of servers busy over ``elapsed`` ms."""
+        if elapsed <= 0 or capacity <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / (elapsed * capacity))
+
+    def mean_wait(self) -> float:
+        """Mean queueing delay per completed job, ms."""
+        if not self.jobs_completed:
+            return 0.0
+        return self.wait_time / self.jobs_completed
+
+
+class Resource:
+    """A ``capacity``-server FIFO queueing resource.
+
+    ``submit(service_time, done, nbytes)`` enqueues a job; ``done`` fires
+    when the job's service completes.  Service is non-preemptive.
+    """
+
+    def __init__(self, sim: Simulator, name: str, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError(f"resource {name!r} needs capacity >= 1")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self.stats = ResourceStats()
+        self._busy = 0
+        self._queue: Deque[Tuple[float, Callable[[], None], int, float]] = deque()
+
+    # -- state ----------------------------------------------------------------
+
+    @property
+    def busy(self) -> int:
+        """Servers currently serving."""
+        return self._busy
+
+    @property
+    def queued(self) -> int:
+        """Jobs waiting for a server."""
+        return len(self._queue)
+
+    @property
+    def idle(self) -> int:
+        """Free servers."""
+        return self.capacity - self._busy
+
+    # -- job submission ----------------------------------------------------------
+
+    def submit(
+        self,
+        service_time: float,
+        done: Optional[Callable[[], None]] = None,
+        nbytes: int = 0,
+    ) -> None:
+        """Enqueue a job needing ``service_time`` ms of one server.
+
+        ``nbytes`` is accounting only (for bandwidth reports); ``done`` is
+        called at completion time.
+        """
+        if service_time < 0:
+            raise SimulationError(f"{self.name}: negative service time {service_time}")
+        self._queue.append((service_time, done or (lambda: None), nbytes, self.sim.now))
+        self.stats.peak_queue = max(self.stats.peak_queue, len(self._queue))
+        self._dispatch()
+
+    def _dispatch(self) -> None:
+        while self._busy < self.capacity and self._queue:
+            service_time, done, nbytes, enqueued_at = self._queue.popleft()
+            self._busy += 1
+            self.stats.wait_time += self.sim.now - enqueued_at
+
+            def finish(st=service_time, cb=done, nb=nbytes):
+                self._busy -= 1
+                self.stats.jobs_completed += 1
+                self.stats.busy_time += st
+                self.stats.bytes_served += nb
+                cb()
+                self._dispatch()
+
+            self.sim.schedule(service_time, finish, label=f"{self.name}.finish")
+
+    def __repr__(self) -> str:
+        return (
+            f"Resource({self.name!r}, {self._busy}/{self.capacity} busy, "
+            f"{len(self._queue)} queued)"
+        )

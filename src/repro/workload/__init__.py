@@ -1,0 +1,36 @@
+"""The paper's benchmark workload (Section 3.2).
+
+"Using a benchmark containing ten queries (2 queries with 1 restrict
+operator only, 3 queries with 1 join and 2 restricts each, 2 queries with
+2 joins and 3 restricts each, 1 query with 3 joins and 4 restricts, 1 query
+with 4 joins and 4 restricts, and 1 query with 5 joins and 6 restricts),
+a relational database containing 15 relations with a combined size of 5.5
+megabytes ..."
+
+This package generates that database deterministically and builds exactly
+that query mix.  Selectivities and join attributes are not given in the
+paper (they live in the companion TR #368); ours are documented defaults,
+exposed as parameters.
+"""
+
+from repro.workload.generator import (
+    BenchmarkDatabase,
+    RelationSpec,
+    benchmark_relation_specs,
+    generate_benchmark_database,
+)
+from repro.workload.queries import (
+    BENCHMARK_MIX,
+    benchmark_queries,
+    verify_benchmark_mix,
+)
+
+__all__ = [
+    "BenchmarkDatabase",
+    "RelationSpec",
+    "benchmark_relation_specs",
+    "generate_benchmark_database",
+    "BENCHMARK_MIX",
+    "benchmark_queries",
+    "verify_benchmark_mix",
+]

@@ -1,0 +1,169 @@
+"""The ten-query benchmark of Section 3.2, shape-exact.
+
+The paper specifies the mix precisely:
+
+* 2 queries with 1 restrict operator only
+* 3 queries with 1 join and 2 restricts each
+* 2 queries with 2 joins and 3 restricts each
+* 1 query with 3 joins and 4 restricts
+* 1 query with 4 joins and 4 restricts
+* 1 query with 5 joins and 6 restricts
+
+Mix totals: 10 queries, 19 joins (3*1 + 2*2 + 3 + 4 + 5), 28 restricts
+(2*1 + 3*2 + 2*3 + 4 + 4 + 6).
+
+Shapes we use (the paper gives counts, not shapes):
+
+* ``1J+2R``: restrict(A) JOIN restrict(B) — both operands filtered.
+* ``2J+3R``: (restrict(A) JOIN restrict(B)) JOIN restrict(C) — a left-deep
+  chain, the natural pipeline case the paper's Figure 2.1 depicts.
+* ``kJ+(k+1)R``: left-deep chain over k+1 restricted relations.
+* ``4J+4R``: left-deep chain over 5 relations where the last operand is an
+  unrestricted scan (4 restricts only, per the paper's count).
+
+Restricts are ``key < ceil(selectivity * rows)`` so selectivity is exact;
+joins are equijoins on the shared ``b`` attribute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.errors import WorkloadError
+from repro.relational.catalog import Catalog
+from repro.relational.predicate import attr
+from repro.query.builder import NodeBuilder, scan
+from repro.query.tree import QueryTree
+
+#: The paper's mix as (join_count, restrict_count, how_many_queries).
+BENCHMARK_MIX: List[tuple] = [
+    (0, 1, 2),
+    (1, 2, 3),
+    (2, 3, 2),
+    (3, 4, 1),
+    (4, 4, 1),
+    (5, 6, 1),
+]
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """Planned shape of one benchmark query."""
+
+    name: str
+    joins: int
+    restricts: int
+    relations: tuple
+
+
+def _mix_specs(relation_names: Sequence[str]) -> List[QuerySpec]:
+    """Assign relations round-robin to the ten query shapes.
+
+    Relation assignment is deterministic: queries walk the relation list in
+    order, wrapping around, so every relation participates in the workload
+    (the paper's database has every relation "live").
+    """
+    if len(relation_names) < 6:
+        raise WorkloadError(
+            f"benchmark needs at least 6 relations, got {len(relation_names)}"
+        )
+    specs: List[QuerySpec] = []
+    cursor = 0
+
+    def take(count: int) -> tuple:
+        nonlocal cursor
+        chosen = tuple(
+            relation_names[(cursor + i) % len(relation_names)] for i in range(count)
+        )
+        cursor += count
+        return chosen
+
+    qnum = 0
+    for joins, restricts, how_many in BENCHMARK_MIX:
+        for _ in range(how_many):
+            qnum += 1
+            needed = 1 if joins == 0 else joins + 1
+            specs.append(
+                QuerySpec(
+                    name=f"bench-q{qnum:02d}",
+                    joins=joins,
+                    restricts=restricts,
+                    relations=take(needed),
+                )
+            )
+    return specs
+
+
+def _restricted(relation: str, catalog: Catalog, selectivity: float) -> NodeBuilder:
+    rows = catalog.get(relation).cardinality
+    cutoff = max(1, int(round(selectivity * rows)))
+    return scan(relation).restrict(attr("key") < cutoff)
+
+
+def _build_query(spec: QuerySpec, catalog: Catalog, selectivity: float) -> QueryTree:
+    if spec.joins == 0:
+        return _restricted(spec.relations[0], catalog, selectivity).tree(spec.name)
+
+    # Left-deep equijoin chain on the shared b attribute.  With j joins and
+    # j+1 relations, spec.restricts of the operands are restricted (the
+    # 4J+4R query leaves its last operand unrestricted).
+    restricted_count = min(spec.restricts, len(spec.relations))
+    operands: List[NodeBuilder] = []
+    for i, rel in enumerate(spec.relations):
+        if i < restricted_count:
+            operands.append(_restricted(rel, catalog, selectivity))
+        else:
+            operands.append(scan(rel))
+
+    current = operands[0]
+    for nxt in operands[1:]:
+        current = current.equijoin(nxt, "b", "b")
+    tree = current.tree(spec.name)
+
+    leftover = spec.restricts - restricted_count
+    if leftover:
+        raise WorkloadError(
+            f"query {spec.name} wants {spec.restricts} restricts over "
+            f"{len(spec.relations)} relations; shape cannot place {leftover}"
+        )
+    return tree
+
+
+def benchmark_queries(
+    catalog: Catalog,
+    relation_names: Sequence[str],
+    selectivity: float = 0.08,
+) -> List[QueryTree]:
+    """Build the ten-query benchmark against ``catalog``.
+
+    ``selectivity`` is the exact fraction of rows each restrict keeps
+    (default 0.08 — TR #368's values are unavailable; this default keeps
+    join inputs in the hundreds of pages at full scale).  Every returned
+    tree is validated and the overall mix is asserted against the paper.
+    """
+    if not 0.0 < selectivity <= 1.0:
+        raise WorkloadError(f"selectivity must be in (0, 1], got {selectivity}")
+    trees = [
+        _build_query(spec, catalog, selectivity)
+        for spec in _mix_specs(list(relation_names))
+    ]
+    for tree in trees:
+        tree.validate(catalog)
+    verify_benchmark_mix(trees)
+    return trees
+
+
+def verify_benchmark_mix(trees: Sequence[QueryTree]) -> None:
+    """Assert ``trees`` matches the paper's ten-query mix exactly."""
+    expected: Dict[tuple, int] = {}
+    for joins, restricts, how_many in BENCHMARK_MIX:
+        expected[(joins, restricts)] = how_many
+    actual: Dict[tuple, int] = {}
+    for tree in trees:
+        shape = (tree.join_count, tree.restrict_count)
+        actual[shape] = actual.get(shape, 0) + 1
+    if actual != expected:
+        raise WorkloadError(
+            f"benchmark mix mismatch: expected {expected}, got {actual}"
+        )

@@ -1,0 +1,61 @@
+"""Shared fixtures: small schemas, relations, catalogs, and workloads."""
+
+import pytest
+
+from repro.relational.catalog import Catalog
+from repro.relational.relation import Relation
+from repro.relational.schema import DataType, Schema
+from repro.workload import benchmark_queries, generate_benchmark_database
+
+
+@pytest.fixture
+def simple_schema() -> Schema:
+    """(id INT, name CHAR(12), score FLOAT) — 28-byte records."""
+    return Schema.build(
+        ("id", DataType.INT), ("name", DataType.CHAR, 12), ("score", DataType.FLOAT)
+    )
+
+
+@pytest.fixture
+def pair_schema() -> Schema:
+    """(k INT, grp INT) — the minimal join-friendly schema."""
+    return Schema.build(("k", DataType.INT), ("grp", DataType.INT))
+
+
+@pytest.fixture
+def simple_relation(simple_schema) -> Relation:
+    """100 rows of (i, 'n<i>', i*1.5) packed into 256-byte pages."""
+    rows = [(i, f"n{i}", i * 1.5) for i in range(100)]
+    return Relation.from_rows("people", simple_schema, rows, page_bytes=256)
+
+
+@pytest.fixture
+def join_catalog(pair_schema) -> Catalog:
+    """Two relations sharing a grp domain of 10, plus an empty one."""
+    catalog = Catalog()
+    catalog.register(
+        Relation.from_rows(
+            "left_rel", pair_schema, [(i, i % 10) for i in range(120)], page_bytes=128
+        )
+    )
+    catalog.register(
+        Relation.from_rows(
+            "right_rel", pair_schema, [(i, i % 10) for i in range(80)], page_bytes=128
+        )
+    )
+    catalog.register(Relation("empty_rel", pair_schema, page_bytes=128))
+    return catalog
+
+
+@pytest.fixture(scope="session")
+def tiny_benchmark():
+    """A tiny (scale 0.03) instance of the paper's benchmark database."""
+    return generate_benchmark_database(scale=0.03, seed=11, b_domain=25, page_bytes=2048)
+
+
+@pytest.fixture(scope="session")
+def tiny_queries(tiny_benchmark):
+    """The ten-query mix over the tiny database."""
+    return benchmark_queries(
+        tiny_benchmark.catalog, tiny_benchmark.relation_names, selectivity=0.3
+    )

@@ -1,0 +1,132 @@
+"""Closed-form models: Section 3.3 traffic, ring sizing, concurrency."""
+
+import pytest
+
+from repro import hw
+from repro.analysis.bandwidth import (
+    join_traffic_page_level,
+    join_traffic_tuple_level,
+    traffic_comparison,
+    traffic_ratio,
+)
+from repro.analysis.concurrency import (
+    max_concurrency,
+    tuple_level_pays_off,
+    useful_processors,
+)
+from repro.analysis.ring_sizing import (
+    RING_TECHNOLOGIES,
+    linear_demand,
+    max_ips_supported,
+    recommend_ring,
+    sizing_table,
+)
+
+
+class TestSection33Formulas:
+    def test_tuple_level_matches_paper_formula(self):
+        # n*m*(200+c) with 100-byte tuples
+        t = join_traffic_tuple_level(1000, 1000, tuple_bytes=100, overhead_bytes=20)
+        assert t.bytes_total == 1000 * 1000 * 220
+
+    def test_page_level_matches_paper_formula(self):
+        # n/10 * m/10 * (2000 + c)
+        p = join_traffic_page_level(
+            1000, 1000, tuple_bytes=100, page_bytes=1000, overhead_bytes=20
+        )
+        assert p.bytes_total == 100 * 100 * 2020
+
+    def test_paper_headline_ratio_is_ten(self):
+        assert traffic_ratio(1000, 1000, page_bytes=1000, overhead_bytes=0) == pytest.approx(10.0)
+
+    def test_bigger_pages_another_order_of_magnitude(self):
+        assert traffic_ratio(1000, 1000, page_bytes=10_000, overhead_bytes=0) == pytest.approx(100.0)
+
+    def test_ratio_grows_with_overhead(self):
+        small = traffic_ratio(1000, 1000, page_bytes=1000, overhead_bytes=0)
+        big = traffic_ratio(1000, 1000, page_bytes=1000, overhead_bytes=100)
+        assert big > small
+
+    def test_ratio_independent_of_n_m(self):
+        a = traffic_ratio(100, 100, page_bytes=1000)
+        b = traffic_ratio(5000, 3000, page_bytes=1000)
+        assert a == pytest.approx(b, rel=0.05)
+
+    def test_partial_pages_ceil(self):
+        p = join_traffic_page_level(1001, 1000, tuple_bytes=100, page_bytes=1000)
+        assert p.packets == 101 * 100
+
+    def test_comparison_table_rows(self):
+        rows = traffic_comparison(1000, 1000, page_sizes=[1000], overhead_values=[0, 20])
+        assert len(rows) == 4
+        tuple_rows = [r for r in rows if r["granularity"] == "tuple"]
+        assert all(r["ratio_vs_tuple"] == 1.0 for r in tuple_rows)
+
+
+class TestRingSizing:
+    def test_linear_demand(self):
+        demand = linear_demand(0.8)
+        assert demand(50) == pytest.approx(40.0)
+
+    def test_max_ips_at_paper_anchor(self):
+        # 0.8 Mbps per IP -> the 40 Mbps TTL ring supports exactly 50 IPs.
+        assert max_ips_supported(hw.OUTER_RING_TTL, linear_demand(0.8)) == 50
+
+    def test_recommend_ttl_for_small(self):
+        choice = recommend_ring(40, linear_demand(0.8))
+        assert choice.ring is hw.OUTER_RING_TTL
+        assert choice.headroom >= 1.0
+
+    def test_recommend_fiber_for_larger(self):
+        choice = recommend_ring(100, linear_demand(0.8))
+        assert choice.ring is hw.OUTER_RING_FIBER
+
+    def test_recommend_ecl_beyond_fiber(self):
+        choice = recommend_ring(600, linear_demand(0.8))
+        assert choice.ring is hw.OUTER_RING_ECL
+
+    def test_impossible_demand_raises(self):
+        with pytest.raises(ValueError):
+            recommend_ring(10_000, linear_demand(1.0))
+
+    def test_nonpositive_demand_rejected(self):
+        with pytest.raises(ValueError):
+            linear_demand(0)
+
+    def test_sizing_table_flags(self):
+        rows = sizing_table([(10, 8.0), (100, 80.0)])
+        assert rows[0][hw.OUTER_RING_TTL.name] is True
+        assert rows[1][hw.OUTER_RING_TTL.name] is False
+        assert rows[1][hw.OUTER_RING_FIBER.name] is True
+
+    def test_technology_order_cheapest_first(self):
+        rates = [r.bit_rate_mbps for r in RING_TECHNOLOGIES]
+        assert rates[0] == min(rates)
+
+
+class TestConcurrencyBounds:
+    def test_tuple_bound_is_n_times_m(self):
+        assert max_concurrency(1000, 2000, "tuple") == 2_000_000
+
+    def test_page_bound_is_outer_pages(self):
+        assert max_concurrency(1000, 2000, "page", tuple_bytes=100, page_bytes=1000) == 100
+
+    def test_unknown_granularity_rejected(self):
+        with pytest.raises(ValueError):
+            max_concurrency(10, 10, "molecule")
+
+    def test_useful_processors_caps_at_machine_size(self):
+        out = useful_processors(1000, 1000, processors=50)
+        assert out["tuple"] == 50
+        assert out["page"] == 50
+
+    def test_page_bound_binds_on_huge_machines(self):
+        out = useful_processors(1000, 1000, processors=10_000)
+        assert out["page"] == 100
+        assert out["tuple"] == 10_000
+
+    def test_tuple_pays_off_only_with_millions(self):
+        # Realistic machine: no.
+        assert not tuple_level_pays_off(1000, 1000, processors=50)
+        # "Millions of processors": yes.
+        assert tuple_level_pays_off(1000, 1000, processors=500_000)

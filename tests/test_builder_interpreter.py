@@ -1,0 +1,138 @@
+"""The fluent builder and the reference interpreter."""
+
+import pytest
+
+from repro.errors import QueryTreeError
+from repro.relational import operators
+from repro.relational.predicate import attr
+from repro.relational.relation import Relation
+from repro.query import execute
+from repro.query.builder import delete_from, scan
+from repro.query.interpreter import execute_node
+from repro.query.tree import JoinNode, ProjectNode, QueryTree, RestrictNode
+
+
+class TestBuilder:
+    def test_scan_restrict(self, join_catalog):
+        tree = scan("left_rel").restrict(attr("grp") == 1).tree("q")
+        assert tree.restrict_count == 1
+        tree.validate(join_catalog)
+
+    def test_equijoin_shorthand(self, join_catalog):
+        tree = scan("left_rel").equijoin(scan("right_rel"), "grp", "grp").tree()
+        assert tree.join_count == 1
+        tree.validate(join_catalog)
+
+    def test_project(self, join_catalog):
+        tree = scan("left_rel").project(["grp"]).tree()
+        tree.validate(join_catalog)
+        assert isinstance(tree.root, ProjectNode)
+
+    def test_union(self, join_catalog):
+        tree = scan("left_rel").union(scan("right_rel")).tree()
+        tree.validate(join_catalog)
+
+    def test_append_into(self, join_catalog):
+        tree = scan("left_rel").append_into("right_rel").tree()
+        tree.validate(join_catalog)
+        assert tree.updated_relations() == ["right_rel"]
+
+    def test_delete_from(self, join_catalog):
+        tree = delete_from("left_rel", attr("k") < 5)
+        tree.validate(join_catalog)
+
+    def test_default_name_assigned(self, join_catalog):
+        tree = scan("left_rel").tree()
+        assert tree.name.startswith("Q")
+
+    def test_chained_shape(self, join_catalog):
+        tree = (
+            scan("left_rel")
+            .restrict(attr("k") < 50)
+            .equijoin(scan("right_rel").restrict(attr("k") < 150), "grp", "grp")
+            .project(["k", "k_1"])
+            .tree("chained")
+        )
+        tree.validate(join_catalog)
+        assert tree.depth == 4
+
+
+class TestInterpreter:
+    def test_restrict_matches_operator(self, join_catalog):
+        tree = scan("left_rel").restrict(attr("grp") == 2).tree()
+        expected = operators.restrict(join_catalog.get("left_rel"), attr("grp") == 2)
+        assert execute(tree, join_catalog).same_rows_as(expected)
+
+    def test_join_matches_operator(self, join_catalog):
+        tree = scan("left_rel").equijoin(scan("right_rel"), "grp", "grp").tree()
+        expected = operators.hash_join(
+            join_catalog.get("left_rel"),
+            join_catalog.get("right_rel"),
+            attr("grp").equals_attr("grp"),
+        )
+        assert execute(tree, join_catalog).same_rows_as(expected)
+
+    def test_join_algorithm_selectable(self, join_catalog):
+        tree = scan("left_rel").equijoin(scan("right_rel"), "grp", "grp").tree()
+        out = execute(tree, join_catalog, join_algorithm="hash")
+        tree2 = scan("left_rel").equijoin(scan("right_rel"), "grp", "grp").tree()
+        out2 = execute(tree2, join_catalog, join_algorithm="sort_merge")
+        assert out.same_rows_as(out2)
+
+    def test_project_dedup(self, join_catalog):
+        tree = scan("left_rel").project(["grp"]).tree()
+        assert execute(tree, join_catalog).cardinality == 10
+
+    def test_union_dedup(self, join_catalog):
+        tree = scan("left_rel").union(scan("left_rel")).tree()
+        assert execute(tree, join_catalog).cardinality == 120
+
+    def test_append_mutates_catalog(self, join_catalog):
+        before = join_catalog.get("right_rel").cardinality
+        tree = scan("left_rel").restrict(attr("k") < 10).append_into("right_rel").tree()
+        out = execute(tree, join_catalog)
+        assert join_catalog.get("right_rel").cardinality == before + 10
+        assert out is join_catalog.get("right_rel")
+
+    def test_delete_mutates_catalog(self, join_catalog):
+        tree = delete_from("left_rel", attr("k") < 20)
+        execute(tree, join_catalog)
+        assert join_catalog.get("left_rel").cardinality == 100
+
+    def test_scan_returns_base_relation(self, join_catalog):
+        node = scan("left_rel").node
+        assert execute_node(node, join_catalog) is join_catalog.get("left_rel")
+
+    def test_empty_relation_flows_through(self, join_catalog):
+        tree = scan("empty_rel").restrict(attr("k") == 1).tree()
+        assert execute(tree, join_catalog).cardinality == 0
+
+    def test_join_with_empty_side(self, join_catalog):
+        tree = scan("left_rel").equijoin(scan("empty_rel"), "grp", "grp").tree()
+        assert execute(tree, join_catalog).cardinality == 0
+
+    def test_validation_runs_by_default(self, join_catalog):
+        tree = scan("ghost").tree()
+        with pytest.raises(QueryTreeError):
+            execute(tree, join_catalog)
+
+    def test_result_renamed_to_query(self, join_catalog):
+        tree = scan("left_rel").restrict(attr("k") < 5).tree("myq")
+        assert execute(tree, join_catalog).name == "myq.result"
+
+    def test_deep_left_deep_chain(self, join_catalog):
+        tree = (
+            scan("left_rel")
+            .restrict(attr("k") < 60)
+            .equijoin(scan("right_rel").restrict(attr("k") < 140), "grp", "grp")
+            .equijoin(scan("right_rel").restrict(attr("k") >= 140), "grp", "grp")
+            .tree("deep")
+        )
+        out = execute(tree, join_catalog)
+        # verify against composed operators
+        l = operators.restrict(join_catalog.get("left_rel"), attr("k") < 60)
+        r1 = operators.restrict(join_catalog.get("right_rel"), attr("k") < 140)
+        r2 = operators.restrict(join_catalog.get("right_rel"), attr("k") >= 140)
+        j1 = operators.hash_join(l, r1, attr("grp").equals_attr("grp"))
+        j2 = operators.hash_join(j1, r2, attr("grp").equals_attr("grp"))
+        assert out.same_rows_as(j2)

@@ -1,0 +1,75 @@
+"""Catalog registration, lookup, and aggregates."""
+
+import pytest
+
+from repro.errors import CatalogError
+from repro.relational.catalog import Catalog
+from repro.relational.relation import Relation
+
+
+@pytest.fixture
+def catalog(pair_schema):
+    cat = Catalog()
+    cat.register(Relation.from_rows("a", pair_schema, [(1, 1)], page_bytes=64))
+    cat.register(Relation.from_rows("b", pair_schema, [(2, 2), (3, 3)], page_bytes=64))
+    return cat
+
+
+def test_get(catalog):
+    assert catalog.get("a").cardinality == 1
+
+
+def test_getitem(catalog):
+    assert catalog["b"].cardinality == 2
+
+
+def test_missing_raises_with_names(catalog):
+    with pytest.raises(CatalogError) as exc:
+        catalog.get("ghost")
+    assert "a" in str(exc.value)
+
+
+def test_duplicate_register_rejected(catalog, pair_schema):
+    with pytest.raises(CatalogError):
+        catalog.register(Relation("a", pair_schema))
+
+
+def test_replace_swaps(catalog, pair_schema):
+    catalog.replace(Relation.from_rows("a", pair_schema, [(9, 9), (8, 8)], page_bytes=64))
+    assert catalog.get("a").cardinality == 2
+
+
+def test_drop(catalog):
+    catalog.drop("a")
+    assert "a" not in catalog
+
+
+def test_drop_missing_raises(catalog):
+    with pytest.raises(CatalogError):
+        catalog.drop("ghost")
+
+
+def test_contains(catalog):
+    assert "a" in catalog and "zz" not in catalog
+
+
+def test_names_sorted(catalog):
+    assert catalog.names == ["a", "b"]
+
+
+def test_len_and_iter(catalog):
+    assert len(catalog) == 2
+    assert {r.name for r in catalog} == {"a", "b"}
+
+
+def test_total_rows(catalog):
+    assert catalog.total_rows == 3
+
+
+def test_total_bytes(catalog):
+    assert catalog.total_bytes == sum(r.byte_size for r in catalog)
+
+
+def test_summary_mentions_all(catalog):
+    text = catalog.summary()
+    assert "a" in text and "b" in text and "TOTAL" in text

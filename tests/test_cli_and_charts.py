@@ -1,0 +1,117 @@
+"""The CLI and the ASCII chart renderer."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments.ascii_chart import (
+    figure_3_1_chart,
+    figure_4_2_chart,
+    line_chart,
+)
+
+
+class TestLineChart:
+    def test_contains_title_and_legend(self):
+        text = line_chart("My Title", "x", "y", [1, 2, 3], {"alpha": [1.0, 2.0, 3.0]})
+        assert "My Title" in text
+        assert "alpha" in text
+        assert "*" in text
+
+    def test_two_series_get_distinct_markers(self):
+        text = line_chart(
+            "t", "x", "y", [1, 2], {"a": [1.0, 2.0], "b": [2.0, 1.0]}
+        )
+        assert "* a" in text and "o b" in text
+
+    def test_axis_extremes_labelled(self):
+        text = line_chart("t", "x", "y", [10, 90], {"a": [5.0, 25.0]})
+        assert "10" in text and "90" in text
+        assert "25" in text and "5" in text
+
+    def test_flat_series_does_not_crash(self):
+        text = line_chart("t", "x", "y", [1, 2, 3], {"a": [7.0, 7.0, 7.0]})
+        assert "*" in text
+
+    def test_single_point(self):
+        text = line_chart("t", "x", "y", [5], {"a": [3.0]})
+        assert "*" in text
+
+    def test_empty_data(self):
+        assert "(no data)" in line_chart("t", "x", "y", [], {})
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart("t", "x", "y", [1, 2], {"a": [1.0]})
+
+    def test_marker_rows_monotone_for_increasing_series(self):
+        text = line_chart("t", "x", "y", [1, 2, 3], {"a": [1.0, 2.0, 3.0]}, width=30, height=9)
+        rows_with_marker = [i for i, line in enumerate(text.split("\n")) if "*" in line]
+        assert rows_with_marker == sorted(rows_with_marker)
+
+    def test_figure_3_1_chart_wrapper(self):
+        rows = [
+            {"processors": 5, "page_ms": 100.0, "relation_ms": 200.0},
+            {"processors": 10, "page_ms": 60.0, "relation_ms": 150.0},
+        ]
+        text = figure_3_1_chart(rows)
+        assert "page-level" in text and "relation-level" in text
+
+    def test_figure_4_2_chart_wrapper(self):
+        rows = [
+            {"ips": 5, "outer_ring_mbps": 4.0, "cache_level_mbps": 1.0, "disk_level_mbps": 0.5},
+            {"ips": 50, "outer_ring_mbps": 16.0, "cache_level_mbps": 4.0, "disk_level_mbps": 3.0},
+        ]
+        text = figure_4_2_chart(rows)
+        assert "outer ring" in text and "disk level" in text
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure_3_1" in out and "project" in out
+
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 0
+        assert "usage" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["run", "figure_9_9"]) == 2
+        assert "unknown experiment" in capsys.readouterr().out
+
+    def test_run_section_3_3(self, capsys):
+        assert main(["run", "section_3_3"]) == 0
+        out = capsys.readouterr().out
+        assert "tuple" in out and "10.00" in out
+
+    def test_run_packets(self, capsys):
+        assert main(["run", "packets"]) == 0
+        assert "True" in capsys.readouterr().out
+
+    def test_run_figure_3_1_small_draws_chart(self, capsys):
+        assert main([
+            "run", "figure_3_1", "--scale", "0.03", "--selectivity", "0.3",
+            "--processors", "2,4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3.1" in out  # the chart
+        assert "ratio" in out  # the table
+
+    def test_run_rejects_wrong_option(self, capsys):
+        # section_3_3 takes no --scale option.
+        assert main(["run", "section_3_3", "--scale", "0.5"]) == 2
+        assert "rejected options" in capsys.readouterr().out
+
+    def test_workload(self, capsys):
+        assert main(["workload", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "rel01" in out and "bench-q10" in out
+
+    def test_bench_info(self, capsys):
+        assert main(["bench-info"]) == 0
+        assert "pytest benchmarks/" in capsys.readouterr().out
+
+    def test_parser_int_lists(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "figure_3_1", "--processors", "5,10,20"])
+        assert args.processors == [5, 10, 20]

@@ -1,0 +1,85 @@
+"""Cost model: cardinality/page estimation over trees."""
+
+import pytest
+
+from repro.relational.predicate import attr
+from repro.query.builder import delete_from, scan
+from repro.query.cost import CostModel
+
+
+@pytest.fixture
+def model(join_catalog):
+    return CostModel(join_catalog, page_bytes=128)
+
+
+def test_scan_estimate_is_exact(model, join_catalog):
+    tree = scan("left_rel").tree()
+    est = model.estimate_root(tree)
+    assert est.rows == 120
+
+
+def test_restrict_scales_by_selectivity(model):
+    tree = scan("left_rel").restrict(attr("grp") == 3).tree()
+    est = model.estimate_root(tree)
+    assert est.rows == pytest.approx(12, abs=2)
+
+
+def test_equijoin_estimate(model):
+    tree = scan("left_rel").equijoin(scan("right_rel"), "grp", "grp").tree()
+    est = model.estimate_root(tree)
+    assert est.rows == 120 * 80 // 10
+
+
+def test_join_width_is_sum(model, join_catalog):
+    tree = scan("left_rel").equijoin(scan("right_rel"), "grp", "grp").tree()
+    est = model.estimate_root(tree)
+    width = est.output_bytes // max(1, est.rows)
+    assert width == 2 * join_catalog.get("left_rel").schema.record_width
+
+
+def test_project_width_shrinks(model):
+    tree = scan("left_rel").project(["grp"], eliminate_duplicates=False).tree()
+    est = model.estimate_root(tree)
+    assert est.output_bytes == 120 * 8
+
+
+def test_pages_ceiling(model):
+    tree = scan("left_rel").tree()
+    est = model.estimate_root(tree)
+    per_page = (128 - 8) // 16
+    assert est.pages == -(-120 // per_page)
+
+
+def test_empty_estimate(model):
+    tree = scan("empty_rel").tree()
+    est = model.estimate_root(tree)
+    assert est.rows == 0 and est.pages == 0
+
+
+def test_estimates_for_all_nodes(model):
+    tree = scan("left_rel").restrict(attr("k") < 60).equijoin(scan("right_rel"), "grp", "grp").tree()
+    estimates = model.estimate_tree(tree)
+    assert len(estimates) == len(tree.nodes())
+
+
+def test_delete_estimate(model):
+    tree = delete_from("left_rel", attr("grp") == 0)
+    est = model.estimate_root(tree)
+    assert est.rows == pytest.approx(108, abs=2)
+
+
+def test_append_estimate(model):
+    tree = scan("left_rel").append_into("right_rel").tree()
+    est = model.estimate_root(tree)
+    assert est.rows == 200
+
+
+def test_union_estimate(model):
+    tree = scan("left_rel").union(scan("right_rel")).tree()
+    assert model.estimate_root(tree).rows == 200
+
+
+def test_stats_cached_across_trees(model):
+    model.estimate_root(scan("left_rel").tree())
+    model.estimate_root(scan("left_rel").restrict(attr("k") < 5).tree())
+    assert set(model._stats_cache) == {"left_rel"}

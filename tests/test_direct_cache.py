@@ -1,0 +1,180 @@
+"""The shared disk cache: hits, misses, spills, broadcast sharing."""
+
+import pytest
+
+from repro.direct import traffic as tl
+from repro.direct.cache import DiskCache, PageRef
+from repro.direct.exec_model import ExecModel
+from repro.direct.traffic import TrafficMeter
+from repro.errors import MachineError
+from repro.relational.page import Page
+from repro.relational.schema import DataType, Schema
+from repro.sim.engine import Simulator
+from repro.sim.resources import Resource
+
+SCHEMA = Schema.build(("k", DataType.INT))
+
+
+def make_cache(frames=4, disks=1):
+    sim = Simulator()
+    meter = TrafficMeter()
+    model = ExecModel(page_bytes=128)
+    ports = Resource(sim, "ports", capacity=2)
+    disk_resources = [Resource(sim, f"d{i}") for i in range(disks)]
+    cache = DiskCache(sim, meter, model, frames, ports, disk_resources)
+    return sim, meter, cache
+
+
+def make_ref(key, on_disk=True):
+    page = Page(SCHEMA, 128)
+    page.append((1,))
+    return PageRef(key=key, nbytes=128, payload=page, on_disk=on_disk, disk_id=0, row_count=1)
+
+
+def test_miss_reads_disk_then_delivers():
+    sim, meter, cache = make_cache()
+    ref = make_ref("base:r:0")
+    done = []
+    cache.read_shared(ref, lambda: done.append(sim.now))
+    sim.run()
+    assert done and done[0] > 0
+    assert meter.bytes_at(tl.DISK_TO_CACHE) == 128
+    assert meter.bytes_at(tl.CACHE_TO_PROC) > 0
+
+
+def test_hit_skips_disk():
+    sim, meter, cache = make_cache()
+    ref = make_ref("base:r:0")
+    cache.read_shared(ref, lambda: None)
+    sim.run()
+    before = meter.bytes_at(tl.DISK_TO_CACHE)
+    cache.read_shared(ref, lambda: None)
+    sim.run()
+    assert meter.bytes_at(tl.DISK_TO_CACHE) == before
+
+
+def test_concurrent_readers_share_one_transfer():
+    sim, meter, cache = make_cache()
+    ref = make_ref("base:r:0")
+    done = []
+    cache.read_shared(ref, lambda: done.append("a"))
+    cache.read_shared(ref, lambda: done.append("b"))
+    sim.run()
+    assert sorted(done) == ["a", "b"]
+    assert meter.bytes_at(tl.DISK_TO_CACHE) == 128
+    assert meter.bytes_at(tl.CACHE_TO_PROC) == ExecModel(page_bytes=128).packet_bytes(128)
+
+
+def test_write_page_counts_proc_to_cache():
+    sim, meter, cache = make_cache()
+    ref = make_ref("q.n1:0", on_disk=False)
+    done = []
+    cache.write_page(ref, lambda: done.append(1))
+    sim.run()
+    assert done == [1]
+    assert meter.bytes_at(tl.PROC_TO_CACHE) > 0
+    assert cache.is_resident(ref)
+
+
+def test_read_of_written_intermediate():
+    sim, meter, cache = make_cache()
+    ref = make_ref("q.n1:0", on_disk=False)
+    cache.write_page(ref, lambda: None)
+    sim.run()
+    done = []
+    cache.read_shared(ref, lambda: done.append(1))
+    sim.run()
+    assert done == [1]
+    assert meter.bytes_at(tl.DISK_TO_CACHE) == 0
+
+
+def test_discarded_intermediate_read_is_an_error():
+    sim, meter, cache = make_cache()
+    ref = make_ref("q.n1:0", on_disk=False)
+    cache.write_page(ref, lambda: None)
+    sim.run()
+    cache.discard(ref)
+    with pytest.raises(MachineError):
+        cache.read_shared(ref, lambda: None)
+        sim.run()
+
+
+def test_dirty_eviction_spills_to_disk():
+    sim, meter, cache = make_cache(frames=4)
+    for i in range(4):
+        cache.write_page(make_ref(f"q.n1:{i}", on_disk=False), lambda: None)
+    sim.run()
+    # A fifth page forces a dirty eviction.
+    cache.write_page(make_ref("q.n1:4", on_disk=False), lambda: None)
+    sim.run()
+    assert meter.bytes_at(tl.CACHE_TO_DISK) == 128
+
+
+def test_spilled_page_becomes_on_disk():
+    sim, meter, cache = make_cache(frames=4)
+    refs = [make_ref(f"q.n1:{i}", on_disk=False) for i in range(5)]
+    for ref in refs:
+        cache.write_page(ref, lambda: None)
+        sim.run()
+    assert any(r.on_disk for r in refs[:1])
+
+
+def test_clean_eviction_no_disk_write():
+    sim, meter, cache = make_cache(frames=4)
+    for i in range(6):
+        cache.read_shared(make_ref(f"base:r:{i}"), lambda: None)
+        sim.run()
+    assert meter.bytes_at(tl.CACHE_TO_DISK) == 0
+
+
+def test_protected_frames_evicted_last():
+    sim, meter, cache = make_cache(frames=4)
+    protected = make_ref("base:r:0")
+    cache.read_shared(protected, lambda: None)
+    sim.run()
+    cache.protect(protected)
+    for i in range(1, 6):
+        cache.read_shared(make_ref(f"base:r:{i}"), lambda: None)
+        sim.run()
+    assert cache.is_resident(protected)
+
+
+def test_unprotect_allows_eviction():
+    sim, meter, cache = make_cache(frames=4)
+    ref = make_ref("base:r:0")
+    cache.read_shared(ref, lambda: None)
+    sim.run()
+    cache.protect(ref)
+    cache.unprotect(ref)
+    for i in range(1, 8):
+        cache.read_shared(make_ref(f"base:r:{i}"), lambda: None)
+        sim.run()
+    assert not cache.is_resident(ref)
+
+
+def test_has_inflight_window():
+    sim, meter, cache = make_cache()
+    ref = make_ref("base:r:0")
+    cache.read_shared(ref, lambda: None)
+    assert cache.has_inflight(ref)
+    sim.run()
+    assert not cache.has_inflight(ref)
+
+
+def test_sequential_read_faster_than_random():
+    model = ExecModel(page_bytes=128)
+    sim, meter, cache = make_cache()
+    t_done = []
+    cache.read_shared(make_ref("base:r:0"), lambda: t_done.append(sim.now))
+    sim.run()
+    first = t_done[0]
+    cache.read_shared(make_ref("base:r:1"), lambda: t_done.append(sim.now))
+    sim.run()
+    second = t_done[1] - first
+    assert second < first  # follow-on read skipped the seek
+
+
+def test_minimum_frames_enforced():
+    sim = Simulator()
+    with pytest.raises(MachineError):
+        DiskCache(sim, TrafficMeter(), ExecModel(), 2, Resource(sim, "p"), [Resource(sim, "d")])

@@ -1,0 +1,107 @@
+"""Experiment harness at small scale: every table/figure regenerates and
+shows the paper's shape."""
+
+import pytest
+
+from repro.experiments import figure_3_1, figure_4_2, granularity_tuple
+from repro.experiments import packets_demo, project_operator, ring_sizing_exp
+from repro.experiments import ring_vs_direct, section_3_3
+from repro.experiments.common import ExperimentResult, render_table
+
+SMALL = dict(scale=0.05, selectivity=0.3)
+
+
+class TestHarness:
+    def test_render_table(self):
+        text = render_table([{"a": 1, "b": 2.5}, {"a": 10, "c": "x"}])
+        assert "a" in text and "b" in text and "c" in text and "2.50" in text
+
+    def test_render_empty(self):
+        assert render_table([]) == "(no rows)"
+
+    def test_result_render_and_column(self):
+        res = ExperimentResult("E0", "t", {"p": 1}, rows=[{"x": 1}, {"x": 2}])
+        assert res.column("x") == [1, 2]
+        assert "E0" in res.render()
+
+
+class TestE2Section33:
+    def test_paper_anchor(self):
+        assert section_3_3.paper_anchor_ratio() == pytest.approx(10.0)
+
+    def test_table_has_tuple_and_page_rows(self):
+        res = section_3_3.run()
+        granularities = set(res.column("granularity"))
+        assert granularities == {"tuple", "page"}
+
+    def test_10k_pages_ratio_100(self):
+        res = section_3_3.run(overhead_values=[0])
+        big = [r for r in res.rows if r["page_bytes"] == 10_000][0]
+        assert big["ratio_vs_tuple"] == pytest.approx(100.0)
+
+
+class TestE4Packets:
+    def test_all_roundtrips_ok(self):
+        res = packets_demo.run()
+        assert all(row["roundtrip_ok"] for row in res.rows)
+
+    def test_predicted_sizes_exact(self):
+        res = packets_demo.run()
+        assert all(row["wire_bytes"] == row["predicted_bytes"] for row in res.rows)
+
+
+class TestE1Figure31:
+    def test_small_scale_shape(self):
+        res = figure_3_1.run(processors=(2, 6), **SMALL)
+        assert len(res.rows) == 2
+        # Times decrease (or stay flat) with more processors.
+        assert res.rows[1]["page_ms"] <= res.rows[0]["page_ms"] * 1.05
+        # Page-level is not slower than relation-level.
+        for row in res.rows:
+            assert row["ratio"] > 0.9
+
+
+class TestE3Figure42:
+    def test_small_scale_shape(self):
+        res = figure_4_2.run(ips=(2, 6), **SMALL, controllers=12)
+        assert len(res.rows) == 2
+        # Offered load grows with IPs at fixed work.
+        assert res.rows[1]["outer_ring_mbps"] >= res.rows[0]["outer_ring_mbps"] * 0.8
+        assert all(row["fits_100mbps"] for row in res.rows)
+
+
+class TestE7RingSizing:
+    def test_table_includes_limit(self):
+        res = ring_sizing_exp.run(ips=(2, 4), **SMALL)
+        assert "ttl_ring_ip_limit_linear" in res.parameters
+        assert res.parameters["ttl_ring_ip_limit_linear"] > 0
+
+
+class TestE8TupleGranularity:
+    def test_tuple_blowup_measured(self):
+        res = granularity_tuple.run(processors=(4,), **SMALL)
+        row = res.rows[0]
+        assert row["traffic_blowup"] > 1.5
+        assert row["tuple_ms"] >= row["page_ms"] * 0.9
+
+
+class TestE10RingVsDirect:
+    def test_three_machines_run(self):
+        res = ring_vs_direct.run(ips=(3,), **SMALL, controllers=12)
+        row = res.rows[0]
+        assert row["direct_ms"] > 0
+        assert row["ring_ms"] > 0
+        assert row["ring_routed_ms"] > 0
+
+
+class TestE11Project:
+    def test_all_strategies_correct_and_hash_scales(self):
+        res = project_operator.run(processors=(1, 8), rows=3000, scale=0.05)
+        row = res.rows[-1]
+        assert row["hash_partition_speedup"] > 1.5
+        assert row["serial_speedup"] == 1.0
+
+    def test_sort_merge_is_slowest_at_scale(self):
+        res = project_operator.run(processors=(8,), rows=3000, scale=0.05)
+        row = res.rows[0]
+        assert row["sort_merge_ms"] > row["hash_partition_ms"]

@@ -1,0 +1,85 @@
+"""The EXPLAIN facility."""
+
+import pytest
+
+from repro.relational.predicate import attr
+from repro.query.builder import scan
+from repro.query.explain import explain
+
+
+@pytest.fixture
+def plan(join_catalog):
+    tree = (
+        scan("left_rel")
+        .restrict(attr("k") < 60)
+        .equijoin(scan("right_rel"), "grp", "grp")
+        .project(["k", "k_1"])
+        .tree("explained")
+    )
+    return explain(tree, join_catalog, page_bytes=128)
+
+
+def test_every_node_has_a_line(plan):
+    # scan, restrict, scan, join, project = 5 nodes
+    assert len(plan.lines) == 5
+
+
+def test_depths_follow_tree_shape(plan):
+    assert plan.lines[0].depth == 0  # project (root first: preorder)
+    assert max(line.depth for line in plan.lines) >= 2
+
+
+def test_render_mentions_rows_and_pages(plan):
+    text = plan.render()
+    assert "rows" in text and "pages" in text and "explained" in text
+
+
+def test_project_dedup_warning(plan):
+    assert any("single IP" in w for w in plan.warnings)
+
+
+def test_join_role_advice_when_inner_larger(join_catalog):
+    # Restrict the outer hard so the unrestricted inner is clearly larger.
+    tree = (
+        scan("left_rel")
+        .restrict(attr("k") < 5)
+        .equijoin(scan("right_rel"), "grp", "grp")
+        .tree("lopsided")
+    )
+    plan = explain(tree, join_catalog, page_bytes=128)
+    assert any("swapping the roles" in w for w in plan.warnings)
+
+
+def test_no_role_advice_when_roles_good(join_catalog):
+    tree = (
+        scan("left_rel")
+        .equijoin(scan("right_rel").restrict(attr("k") < 110), "grp", "grp")
+        .tree("good")
+    )
+    plan = explain(tree, join_catalog, page_bytes=128)
+    assert not any("swapping the roles" in w for w in plan.warnings)
+
+
+def test_single_outer_page_warning(join_catalog):
+    tree = (
+        scan("left_rel")
+        .restrict(attr("k") < 3)
+        .equijoin(scan("right_rel").restrict(attr("k") < 3), "grp", "grp")
+        .tree("tiny")
+    )
+    plan = explain(tree, join_catalog, page_bytes=128)
+    assert any("one processor" in w for w in plan.warnings)
+
+
+def test_estimates_match_cost_model(plan):
+    root_line = plan.lines[0]
+    assert root_line.estimate is not None
+    assert root_line.estimate.rows >= 0
+
+
+def test_validates_tree(join_catalog):
+    from repro.errors import QueryTreeError
+
+    tree = scan("ghost").tree("bad")
+    with pytest.raises(QueryTreeError):
+        explain(tree, join_catalog)

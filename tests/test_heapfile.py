@@ -1,0 +1,105 @@
+"""Heap files: row identifiers, delete/update, vacuum."""
+
+import pytest
+
+from repro.errors import PageError
+from repro.relational.heapfile import HeapFile, RowId
+
+
+@pytest.fixture
+def heap(pair_schema):
+    hf = HeapFile("h", pair_schema, page_bytes=64)
+    hf.insert_many([(i, i * 10) for i in range(5)])
+    return hf
+
+
+class TestInsertFetch:
+    def test_insert_returns_rid(self, pair_schema):
+        hf = HeapFile("h", pair_schema, page_bytes=64)
+        rid = hf.insert((1, 2))
+        assert rid == RowId(0, 0)
+
+    def test_fetch_by_rid(self, heap):
+        assert heap.fetch(RowId(0, 0)) == (0, 0)
+
+    def test_cardinality(self, heap):
+        assert heap.cardinality == 5
+        assert len(heap) == 5
+
+    def test_pages_allocated_as_needed(self, heap):
+        assert heap.page_count >= 2
+
+    def test_fetch_bad_page_raises(self, heap):
+        with pytest.raises(PageError):
+            heap.fetch(RowId(99, 0))
+
+    def test_fetch_bad_slot_raises(self, heap):
+        with pytest.raises(PageError):
+            heap.fetch(RowId(0, 99))
+
+    def test_insert_validates_schema(self, heap):
+        with pytest.raises(Exception):
+            heap.insert(("no", 1))
+
+
+class TestDeleteUpdate:
+    def test_delete_returns_row(self, heap):
+        assert heap.delete(RowId(0, 0)) == (0, 0)
+        assert heap.cardinality == 4
+
+    def test_deleted_slot_fetch_raises(self, heap):
+        heap.delete(RowId(0, 0))
+        with pytest.raises(PageError):
+            heap.fetch(RowId(0, 0))
+
+    def test_double_delete_raises(self, heap):
+        heap.delete(RowId(0, 0))
+        with pytest.raises(PageError):
+            heap.delete(RowId(0, 0))
+
+    def test_slot_reused_after_delete(self, heap):
+        heap.delete(RowId(0, 0))
+        rid = heap.insert((99, 99))
+        assert rid == RowId(0, 0)
+
+    def test_delete_where(self, heap):
+        deleted = heap.delete_where(lambda row: row[0] % 2 == 0)
+        assert deleted == 3
+        assert sorted(r[0] for r in heap.scan()) == [1, 3]
+
+    def test_update_in_place(self, heap):
+        heap.update(RowId(0, 1), (100, 200))
+        assert heap.fetch(RowId(0, 1)) == (100, 200)
+
+    def test_update_dead_slot_raises(self, heap):
+        heap.delete(RowId(0, 0))
+        with pytest.raises(PageError):
+            heap.update(RowId(0, 0), (1, 1))
+
+
+class TestScansAndExport:
+    def test_scan_skips_tombstones(self, heap):
+        heap.delete(RowId(0, 1))
+        assert sorted(r[0] for r in heap.scan()) == [0, 2, 3, 4]
+
+    def test_scan_with_rids(self, heap):
+        pairs = list(heap.scan_with_rids())
+        assert len(pairs) == 5
+        rid, row = pairs[0]
+        assert heap.fetch(rid) == row
+
+    def test_to_relation(self, heap):
+        rel = heap.to_relation()
+        assert rel.cardinality == 5
+        assert sorted(r[0] for r in rel.rows()) == [0, 1, 2, 3, 4]
+
+    def test_to_relation_after_deletes(self, heap):
+        heap.delete_where(lambda row: row[0] < 3)
+        assert heap.to_relation().cardinality == 2
+
+    def test_vacuum_compacts(self, heap):
+        heap.delete_where(lambda row: row[0] != 4)
+        heap.vacuum()
+        assert heap.cardinality == 1
+        assert heap.page_count == 1
+        assert heap.fetch(RowId(0, 0)) == (4, 40)

@@ -1,0 +1,185 @@
+"""Reference relational algebra operators (the oracle)."""
+
+import pytest
+
+from repro.errors import PredicateError, SchemaError
+from repro.relational import operators
+from repro.relational.predicate import CompareOp, FalsePredicate, TruePredicate, attr
+from repro.relational.relation import Relation
+from repro.relational.schema import DataType, Schema
+
+
+@pytest.fixture
+def left(pair_schema):
+    return Relation.from_rows("L", pair_schema, [(i, i % 3) for i in range(9)], page_bytes=64)
+
+
+@pytest.fixture
+def right(pair_schema):
+    return Relation.from_rows("R", pair_schema, [(i + 100, i % 3) for i in range(6)], page_bytes=64)
+
+
+class TestRestrict:
+    def test_keeps_matching_rows(self, left):
+        out = operators.restrict(left, attr("grp") == 1)
+        assert sorted(r[0] for r in out.rows()) == [1, 4, 7]
+
+    def test_true_predicate_is_identity(self, left):
+        assert operators.restrict(left, TruePredicate()).same_rows_as(left)
+
+    def test_false_predicate_is_empty(self, left):
+        assert operators.restrict(left, FalsePredicate()).cardinality == 0
+
+    def test_keeps_schema(self, left):
+        assert operators.restrict(left, attr("k") > 0).schema == left.schema
+
+    def test_validates_predicate(self, left):
+        with pytest.raises(Exception):
+            operators.restrict(left, attr("ghost") == 1)
+
+    def test_result_name_default(self, left):
+        assert operators.restrict(left, TruePredicate()).name == "restrict(L)"
+
+    def test_result_page_bytes_inherited(self, left):
+        assert operators.restrict(left, TruePredicate()).page_bytes == 64
+
+
+class TestProject:
+    def test_attribute_cut(self, left):
+        out = operators.project(left, ["grp"], eliminate_duplicates=False)
+        assert out.schema.names == ("grp",)
+        assert out.cardinality == 9
+
+    def test_duplicate_elimination(self, left):
+        out = operators.project(left, ["grp"])
+        assert sorted(r[0] for r in out.rows()) == [0, 1, 2]
+
+    def test_order_of_first_occurrence_kept(self, left):
+        out = operators.project(left, ["grp"])
+        assert [r[0] for r in out.rows()] == [0, 1, 2]
+
+    def test_reorder_attributes(self, left):
+        out = operators.project(left, ["grp", "k"], eliminate_duplicates=False)
+        assert out.schema.names == ("grp", "k")
+        assert next(iter(out.rows())) == (0, 0)
+
+    def test_distinct_is_full_schema_project(self, pair_schema):
+        rel = Relation.from_rows("D", pair_schema, [(1, 1), (1, 1), (2, 2)], page_bytes=64)
+        assert operators.distinct(rel).cardinality == 2
+
+
+class TestJoins:
+    def test_nested_loops_equijoin(self, left, right):
+        out = operators.nested_loops_join(left, right, attr("grp").equals_attr("grp"))
+        assert out.cardinality == 9 * 6 // 3  # 3 rows per group each side
+
+    def test_join_schema_concat_unique(self, left, right):
+        out = operators.nested_loops_join(left, right, attr("grp").equals_attr("grp"))
+        assert out.schema.names == ("k", "grp", "k_1", "grp_1")
+
+    def test_all_equijoin_algorithms_agree(self, left, right):
+        cond = attr("grp").equals_attr("grp")
+        nl = operators.nested_loops_join(left, right, cond)
+        sm = operators.sort_merge_join(left, right, cond)
+        hj = operators.hash_join(left, right, cond)
+        assert nl.same_rows_as(sm) and nl.same_rows_as(hj)
+
+    def test_theta_join_nested_loops_only(self, left, right):
+        cond = attr("k").joins(CompareOp.LT, "k")
+        out = operators.nested_loops_join(left, right, cond)
+        assert out.cardinality == 9 * 6  # every left k < every right k (+100)
+
+    def test_sort_merge_rejects_theta(self, left, right):
+        with pytest.raises(PredicateError):
+            operators.sort_merge_join(left, right, attr("k").joins(CompareOp.LT, "k"))
+
+    def test_hash_rejects_theta(self, left, right):
+        with pytest.raises(PredicateError):
+            operators.hash_join(left, right, attr("k").joins(CompareOp.LT, "k"))
+
+    def test_join_dispatch_unknown_algorithm(self, left, right):
+        with pytest.raises(PredicateError):
+            operators.join(left, right, attr("grp").equals_attr("grp"), algorithm="quantum")
+
+    def test_join_with_empty_inner(self, left, pair_schema):
+        empty = Relation("E", pair_schema, page_bytes=64)
+        out = operators.nested_loops_join(left, empty, attr("grp").equals_attr("grp"))
+        assert out.cardinality == 0
+
+    def test_join_with_empty_outer(self, right, pair_schema):
+        empty = Relation("E", pair_schema, page_bytes=64)
+        out = operators.hash_join(empty, right, attr("grp").equals_attr("grp"))
+        assert out.cardinality == 0
+
+    def test_duplicate_keys_produce_cross_products(self, pair_schema):
+        a = Relation.from_rows("A", pair_schema, [(1, 7), (2, 7)], page_bytes=64)
+        b = Relation.from_rows("B", pair_schema, [(3, 7), (4, 7), (5, 7)], page_bytes=64)
+        cond = attr("grp").equals_attr("grp")
+        assert operators.sort_merge_join(a, b, cond).cardinality == 6
+
+    def test_semijoin(self, left, right):
+        smaller = operators.restrict(right, attr("grp") == 1, name="r1")
+        out = operators.semijoin(left, smaller, attr("grp").equals_attr("grp"))
+        assert sorted(r[0] for r in out.rows()) == [1, 4, 7]
+        assert out.schema == left.schema
+
+
+class TestUpdateOperators:
+    def test_append_concatenates(self, left, pair_schema):
+        extra = Relation.from_rows("X", pair_schema, [(100, 0)], page_bytes=64)
+        out = operators.append(left, extra)
+        assert out.cardinality == 10
+
+    def test_append_keeps_target_name(self, left, pair_schema):
+        extra = Relation.from_rows("X", pair_schema, [(100, 0)], page_bytes=64)
+        assert operators.append(left, extra).name == "L"
+
+    def test_append_arity_mismatch_rejected(self, left, simple_relation):
+        with pytest.raises(SchemaError):
+            operators.append(left, simple_relation)
+
+    def test_delete_removes_matching(self, left):
+        out = operators.delete(left, attr("grp") == 0)
+        assert out.cardinality == 6
+        assert all(r[1] != 0 for r in out.rows())
+
+    def test_delete_nothing(self, left):
+        assert operators.delete(left, FalsePredicate()).same_rows_as(left)
+
+    def test_delete_everything(self, left):
+        assert operators.delete(left, TruePredicate()).cardinality == 0
+
+
+class TestSetOperators:
+    @pytest.fixture
+    def a(self, pair_schema):
+        return Relation.from_rows("A", pair_schema, [(1, 1), (2, 2), (2, 2)], page_bytes=64)
+
+    @pytest.fixture
+    def b(self, pair_schema):
+        return Relation.from_rows("B", pair_schema, [(2, 2), (3, 3)], page_bytes=64)
+
+    def test_union_eliminates_duplicates(self, a, b):
+        out = operators.union(a, b)
+        assert sorted(r[0] for r in out.rows()) == [1, 2, 3]
+
+    def test_difference(self, a, b):
+        out = operators.difference(a, b)
+        assert sorted(r[0] for r in out.rows()) == [1]
+
+    def test_intersect(self, a, b):
+        out = operators.intersect(a, b)
+        assert sorted(r[0] for r in out.rows()) == [2]
+
+    def test_union_requires_compatibility(self, a, simple_relation):
+        with pytest.raises(SchemaError):
+            operators.union(a, simple_relation)
+
+    def test_difference_with_empty(self, a, pair_schema):
+        empty = Relation("E", pair_schema, page_bytes=64)
+        out = operators.difference(a, empty)
+        assert sorted(r[0] for r in out.rows()) == [1, 2]
+
+    def test_sort_operator(self, a):
+        out = operators.sort(a, ["k"])
+        assert [r[0] for r in out.rows()] == [1, 2, 2]

@@ -1,0 +1,143 @@
+"""Pages: capacity, mutation, serialization, and packing."""
+
+import pytest
+
+from repro.errors import PageError
+from repro.relational.page import DEFAULT_PAGE_BYTES, Page, pack_rows_into_pages
+from repro.relational.schema import DataType, Schema
+
+
+@pytest.fixture
+def small_page(pair_schema):
+    """A 64-byte page of 16-byte records: header 8B -> capacity 3."""
+    return Page(pair_schema, page_bytes=64)
+
+
+class TestCapacity:
+    def test_capacity_accounts_for_header(self, small_page):
+        assert small_page.capacity == 3
+
+    def test_page_too_small_for_one_record_rejected(self, pair_schema):
+        with pytest.raises(PageError):
+            Page(pair_schema, page_bytes=16)
+
+    def test_default_page_size(self, pair_schema):
+        assert Page(pair_schema).page_bytes == DEFAULT_PAGE_BYTES
+
+    def test_free_slots_decrease(self, small_page):
+        small_page.append((1, 1))
+        assert small_page.free_slots == 2
+
+    def test_used_bytes(self, small_page):
+        small_page.append((1, 1))
+        assert small_page.used_bytes == 8 + 16
+
+
+class TestMutation:
+    def test_append_then_iterate(self, small_page):
+        small_page.append((1, 2))
+        small_page.append((3, 4))
+        assert list(small_page) == [(1, 2), (3, 4)]
+
+    def test_append_full_raises(self, small_page):
+        for i in range(3):
+            small_page.append((i, i))
+        with pytest.raises(PageError):
+            small_page.append((9, 9))
+
+    def test_try_append_reports_fullness(self, small_page):
+        for i in range(3):
+            assert small_page.try_append((i, i))
+        assert not small_page.try_append((9, 9))
+
+    def test_extend_stops_at_capacity(self, small_page):
+        taken = small_page.extend([(i, i) for i in range(10)])
+        assert taken == 3
+        assert small_page.is_full
+
+    def test_clear(self, small_page):
+        small_page.append((1, 1))
+        small_page.clear()
+        assert small_page.is_empty
+
+    def test_append_validates_row(self, small_page):
+        with pytest.raises(Exception):
+            small_page.append(("bad", 1))
+
+    def test_row_by_slot(self, small_page):
+        small_page.append((5, 6))
+        assert small_page.row(0) == (5, 6)
+
+    def test_bad_slot_raises(self, small_page):
+        with pytest.raises(PageError):
+            small_page.row(0)
+
+    def test_len_tracks_rows(self, small_page):
+        small_page.append((1, 1))
+        assert len(small_page) == 1
+
+    def test_copy_is_independent(self, small_page):
+        small_page.append((1, 1))
+        dup = small_page.copy()
+        dup.append((2, 2))
+        assert small_page.row_count == 1
+        assert dup.row_count == 2
+
+
+class TestSerialization:
+    def test_to_bytes_is_exactly_page_size(self, small_page):
+        small_page.append((1, 2))
+        assert len(small_page.to_bytes()) == 64
+
+    def test_roundtrip(self, pair_schema, small_page):
+        small_page.append((1, 2))
+        small_page.append((3, 4))
+        back = Page.from_bytes(pair_schema, small_page.to_bytes())
+        assert list(back) == [(1, 2), (3, 4)]
+
+    def test_empty_page_roundtrip(self, pair_schema, small_page):
+        back = Page.from_bytes(pair_schema, small_page.to_bytes())
+        assert back.is_empty
+
+    def test_wrong_schema_width_rejected(self, small_page):
+        wide = Schema.build(("a", DataType.INT), ("b", DataType.INT), ("c", DataType.INT))
+        small_page.append((1, 2))
+        with pytest.raises(PageError):
+            Page.from_bytes(wide, small_page.to_bytes())
+
+    def test_truncated_bytes_rejected(self, pair_schema, small_page):
+        small_page.append((1, 2))
+        small_page.append((3, 4))
+        with pytest.raises(PageError):
+            Page.from_bytes(pair_schema, small_page.to_bytes()[:20])
+
+    def test_header_shorter_than_header_rejected(self, pair_schema):
+        with pytest.raises(PageError):
+            Page.from_bytes(pair_schema, b"\x01")
+
+    def test_corrupt_count_over_capacity_rejected(self, pair_schema, small_page):
+        import struct
+
+        data = bytearray(small_page.to_bytes())
+        struct.pack_into("<I", data, 0, 99)
+        with pytest.raises(PageError):
+            Page.from_bytes(pair_schema, bytes(data))
+
+
+class TestPackRowsIntoPages:
+    def test_fills_pages_densely(self, pair_schema):
+        pages = pack_rows_into_pages(pair_schema, [(i, i) for i in range(10)], page_bytes=64)
+        assert [p.row_count for p in pages] == [3, 3, 3, 1]
+
+    def test_empty_rows_give_no_pages(self, pair_schema):
+        assert pack_rows_into_pages(pair_schema, [], page_bytes=64) == []
+
+    def test_exact_multiple_has_no_partial_page(self, pair_schema):
+        pages = pack_rows_into_pages(pair_schema, [(i, i) for i in range(6)], page_bytes=64)
+        assert len(pages) == 2
+        assert all(p.is_full for p in pages)
+
+    def test_order_preserved(self, pair_schema):
+        rows = [(i, i * 2) for i in range(7)]
+        pages = pack_rows_into_pages(pair_schema, rows, page_bytes=64)
+        assert [r for p in pages for r in p.rows()] == rows

@@ -1,0 +1,158 @@
+"""The predicate DSL: comparisons, combinators, join conditions."""
+
+import pytest
+
+from repro.errors import PredicateError
+from repro.relational.predicate import (
+    And,
+    Between,
+    CompareOp,
+    Comparison,
+    FalsePredicate,
+    JoinCondition,
+    Not,
+    Or,
+    TruePredicate,
+    attr,
+)
+from repro.relational.schema import DataType, Schema
+
+SCHEMA = Schema.build(("a", DataType.INT), ("b", DataType.INT), ("s", DataType.CHAR, 8))
+ROW = (5, 10, "hi")
+
+
+def ev(pred, row=ROW):
+    return pred.evaluate(row, SCHEMA)
+
+
+def cp(pred, row=ROW):
+    return pred.compile(SCHEMA)(row)
+
+
+class TestComparisons:
+    @pytest.mark.parametrize(
+        "pred,expected",
+        [
+            (attr("a") == 5, True),
+            (attr("a") == 6, False),
+            (attr("a") != 6, True),
+            (attr("a") < 6, True),
+            (attr("a") <= 5, True),
+            (attr("a") > 4, True),
+            (attr("a") >= 6, False),
+            (attr("s") == "hi", True),
+        ],
+    )
+    def test_evaluate(self, pred, expected):
+        assert ev(pred) is expected
+
+    @pytest.mark.parametrize(
+        "pred",
+        [attr("a") == 5, attr("a") < 6, attr("a") >= 6, attr("s") == "hi"],
+    )
+    def test_compiled_agrees_with_interpreted(self, pred):
+        assert cp(pred) == ev(pred)
+
+    def test_attr_to_attr_comparison(self):
+        assert ev(attr("a") < attr("b"))
+        assert not ev(attr("a") == attr("b"))
+
+    def test_compiled_attr_to_attr(self):
+        assert cp(attr("b") > attr("a"))
+
+    def test_references(self):
+        assert (attr("a") == 5).references() == frozenset({"a"})
+        assert (attr("a") == attr("b")).references() == frozenset({"a", "b"})
+
+    def test_validate_missing_attribute(self):
+        with pytest.raises(PredicateError):
+            (attr("ghost") == 1).validate(SCHEMA)
+
+    def test_flipped_op(self):
+        assert CompareOp.LT.flipped() is CompareOp.GT
+        assert CompareOp.EQ.flipped() is CompareOp.EQ
+
+
+class TestCombinators:
+    def test_and(self):
+        assert ev((attr("a") == 5) & (attr("b") == 10))
+        assert not ev((attr("a") == 5) & (attr("b") == 11))
+
+    def test_or(self):
+        assert ev((attr("a") == 0) | (attr("b") == 10))
+        assert not ev((attr("a") == 0) | (attr("b") == 0))
+
+    def test_not(self):
+        assert ev(~(attr("a") == 0))
+
+    def test_nested_combination(self):
+        pred = ((attr("a") > 0) & (attr("b") > 0)) | FalsePredicate()
+        assert ev(pred) and cp(pred)
+
+    def test_true_false_predicates(self):
+        assert ev(TruePredicate()) and not ev(FalsePredicate())
+        assert cp(TruePredicate()) and not cp(FalsePredicate())
+
+    def test_combinator_references_union(self):
+        pred = (attr("a") == 1) & (attr("b") == 2)
+        assert pred.references() == frozenset({"a", "b"})
+
+    def test_between(self):
+        assert ev(attr("a").between(5, 9))
+        assert not ev(attr("a").between(6, 9))
+        assert cp(attr("b").between(0, 10))
+
+    def test_repr_is_readable(self):
+        text = repr((attr("a") == 5) & ~(attr("b") < 3))
+        assert "AND" in text and "NOT" in text
+
+
+class TestJoinConditions:
+    LEFT = Schema.build(("x", DataType.INT))
+    RIGHT = Schema.build(("y", DataType.INT))
+
+    def test_equijoin_builder(self):
+        cond = attr("x").equals_attr("y")
+        assert cond.is_equijoin
+        assert cond.evaluate((3,), self.LEFT, (3,), self.RIGHT)
+        assert not cond.evaluate((3,), self.LEFT, (4,), self.RIGHT)
+
+    def test_theta_join(self):
+        cond = attr("x").joins(CompareOp.LT, "y")
+        assert not cond.is_equijoin
+        assert cond.evaluate((1,), self.LEFT, (2,), self.RIGHT)
+
+    def test_compiled_join_condition(self):
+        fn = attr("x").equals_attr("y").compile(self.LEFT, self.RIGHT)
+        assert fn((7,), (7,)) and not fn((7,), (8,))
+
+    def test_validate_outer_side(self):
+        with pytest.raises(PredicateError):
+            attr("ghost").equals_attr("y").validate(self.LEFT, self.RIGHT)
+
+    def test_validate_inner_side(self):
+        with pytest.raises(PredicateError):
+            attr("x").equals_attr("ghost").validate(self.LEFT, self.RIGHT)
+
+    def test_repr(self):
+        assert "outer.x" in repr(attr("x").equals_attr("y"))
+
+
+class TestDatasetSemantics:
+    def test_comparison_dataclass_equality(self):
+        assert Comparison("a", CompareOp.EQ, 5) == Comparison("a", CompareOp.EQ, 5)
+
+    def test_and_or_not_are_values(self):
+        p = And(Comparison("a", CompareOp.EQ, 1), Not(Comparison("b", CompareOp.LT, 2)))
+        q = And(Comparison("a", CompareOp.EQ, 1), Not(Comparison("b", CompareOp.LT, 2)))
+        assert p == q
+
+    def test_or_evaluate_short_circuit_semantics(self):
+        # Right side references a missing attr; OR must still be buildable
+        # and fail only at validate time.
+        pred = Or(Comparison("a", CompareOp.EQ, 5), Comparison("ghost", CompareOp.EQ, 1))
+        with pytest.raises(PredicateError):
+            pred.validate(SCHEMA)
+
+    def test_between_dataclass(self):
+        assert Between("a", 1, 2) == Between("a", 1, 2)

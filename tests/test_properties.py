@@ -1,0 +1,165 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.relational import operators
+from repro.relational.page import Page, pack_rows_into_pages
+from repro.relational.predicate import attr
+from repro.relational.relation import Relation
+from repro.relational.schema import DataType, Schema
+from repro.relational.sorting import is_sorted, sort_relation
+from repro.ring.packets import (
+    InstructionPacket,
+    ResultPacket,
+    SourceOperand,
+    instruction_packet_bytes,
+    result_packet_bytes,
+)
+from repro.workload.zipf import weighted_partition
+
+PAIR = Schema.build(("k", DataType.INT), ("g", DataType.INT))
+TEXT = Schema.build(("k", DataType.INT), ("s", DataType.CHAR, 10))
+
+pair_rows = st.lists(
+    st.tuples(st.integers(-(2**40), 2**40), st.integers(0, 50)), max_size=60
+)
+text_rows = st.lists(
+    st.tuples(
+        st.integers(-(2**40), 2**40),
+        st.text(alphabet="abcdefghij", max_size=10),
+    ),
+    max_size=40,
+)
+
+
+class TestRowPacking:
+    @given(rows=text_rows)
+    def test_pack_unpack_roundtrip(self, rows):
+        for row in rows:
+            assert TEXT.unpack(TEXT.pack(row)) == row
+
+    @given(rows=pair_rows)
+    def test_pack_many_roundtrip(self, rows):
+        assert PAIR.unpack_many(PAIR.pack_many(rows)) == rows
+
+
+class TestPageInvariants:
+    @given(rows=pair_rows)
+    def test_page_serialization_roundtrip(self, rows):
+        pages = pack_rows_into_pages(PAIR, rows, page_bytes=128)
+        back = [r for p in pages for r in Page.from_bytes(PAIR, p.to_bytes()).rows()]
+        assert back == rows
+
+    @given(rows=pair_rows)
+    def test_packing_preserves_order_and_count(self, rows):
+        pages = pack_rows_into_pages(PAIR, rows, page_bytes=128)
+        assert [r for p in pages for r in p.rows()] == rows
+        assert all(not p.is_empty for p in pages)
+
+    @given(rows=pair_rows)
+    def test_all_pages_full_except_last(self, rows):
+        pages = pack_rows_into_pages(PAIR, rows, page_bytes=128)
+        for page in pages[:-1]:
+            assert page.is_full
+
+
+class TestAlgebraInvariants:
+    @given(rows=pair_rows, cut=st.integers(-10, 60))
+    def test_restrict_partitions_relation(self, rows, cut):
+        rel = Relation.from_rows("r", PAIR, rows, page_bytes=128)
+        kept = operators.restrict(rel, attr("g") < cut)
+        dropped = operators.restrict(rel, ~(attr("g") < cut))
+        assert kept.cardinality + dropped.cardinality == rel.cardinality
+        merged = operators.append(kept, dropped, name="m")
+        assert merged.same_rows_as(rel)
+
+    @given(a=pair_rows, b=pair_rows)
+    @settings(max_examples=40)
+    def test_join_algorithms_agree(self, a, b):
+        ra = Relation.from_rows("a", PAIR, a, page_bytes=128)
+        rb = Relation.from_rows("b", PAIR, b, page_bytes=128)
+        cond = attr("g").equals_attr("g")
+        nl = operators.nested_loops_join(ra, rb, cond)
+        hj = operators.hash_join(ra, rb, cond)
+        sm = operators.sort_merge_join(ra, rb, cond)
+        assert nl.same_rows_as(hj)
+        assert nl.same_rows_as(sm)
+
+    @given(a=pair_rows, b=pair_rows)
+    @settings(max_examples=40)
+    def test_join_cardinality_formula(self, a, b):
+        ra = Relation.from_rows("a", PAIR, a, page_bytes=128)
+        rb = Relation.from_rows("b", PAIR, b, page_bytes=128)
+        out = operators.hash_join(ra, rb, attr("g").equals_attr("g"))
+        expected = sum(
+            sum(1 for y in b if y[1] == x[1]) for x in a
+        )
+        assert out.cardinality == expected
+
+    @given(rows=pair_rows)
+    def test_union_idempotent(self, rows):
+        rel = Relation.from_rows("r", PAIR, rows, page_bytes=128)
+        once = operators.union(rel, rel)
+        assert once.same_rows_as(operators.distinct(rel))
+
+    @given(rows=pair_rows)
+    def test_sort_is_permutation_and_ordered(self, rows):
+        rel = Relation.from_rows("r", PAIR, rows, page_bytes=128)
+        out = sort_relation(rel, ["k", "g"], memory_pages=1)
+        assert out.same_rows_as(rel)
+        assert is_sorted(out, ["k", "g"])
+
+    @given(rows=pair_rows)
+    def test_project_dedup_cardinality(self, rows):
+        rel = Relation.from_rows("r", PAIR, rows, page_bytes=128)
+        out = operators.project(rel, ["g"])
+        assert out.cardinality == len({r[1] for r in rows})
+
+
+class TestPacketProperties:
+    @given(
+        ip=st.integers(0, 2**16),
+        query=st.integers(0, 2**16),
+        flush=st.booleans(),
+        rows=st.integers(0, 6),
+    )
+    @settings(max_examples=50)
+    def test_instruction_roundtrip_and_size(self, ip, query, flush, rows):
+        page = Page(PAIR, 128)
+        for i in range(rows):
+            page.append((i, i))
+        raw = page.to_bytes()
+        packet = InstructionPacket(
+            ip_id=ip,
+            query_id=query,
+            sender_ic=1,
+            destination_ic=2,
+            flush_when_done=flush,
+            opcode="join",
+            result_schema=PAIR,
+            result_relation="r",
+            operands=[SourceOperand("s", PAIR, raw)],
+        )
+        wire = packet.encode()
+        assert InstructionPacket.decode(wire) == packet
+        assert len(wire) == instruction_packet_bytes(PAIR, [(PAIR, len(raw))])
+
+    @given(payload=st.binary(max_size=200))
+    def test_result_packet_roundtrip_any_payload(self, payload):
+        packet = ResultPacket(ic_id=1, relation_name="r", page_bytes=payload)
+        assert ResultPacket.decode(packet.encode()) == packet
+        assert len(packet.encode()) == result_packet_bytes(len(payload))
+
+
+class TestWorkloadHelpers:
+    @given(
+        total=st.integers(0, 10_000),
+        weights=st.lists(st.integers(1, 50), min_size=1, max_size=20),
+    )
+    def test_weighted_partition_sums(self, total, weights):
+        parts = weighted_partition(total, weights)
+        assert sum(parts) == total
+        assert len(parts) == len(weights)
+        if total >= len(weights):
+            assert all(p >= 1 for p in parts)

@@ -1,0 +1,174 @@
+"""Query trees: structure, validation, shape accounting, rendering."""
+
+import pytest
+
+from repro.errors import QueryTreeError
+from repro.relational.catalog import Catalog
+from repro.relational.predicate import attr
+from repro.relational.relation import Relation
+from repro.relational.schema import DataType, Schema
+from repro.query.tree import (
+    AppendNode,
+    DeleteNode,
+    JoinNode,
+    ProjectNode,
+    QueryTree,
+    RestrictNode,
+    ScanNode,
+    UnionNode,
+    sample_query_tree,
+)
+
+
+@pytest.fixture
+def catalog(pair_schema):
+    cat = Catalog()
+    for name in ("r1", "r2"):
+        cat.register(
+            Relation.from_rows(name, pair_schema, [(i, i % 4) for i in range(20)], page_bytes=64)
+        )
+    return cat
+
+
+@pytest.fixture
+def tree(catalog):
+    left = RestrictNode(ScanNode("r1"), attr("k") < 10)
+    right = RestrictNode(ScanNode("r2"), attr("k") < 5)
+    join = JoinNode(left, right, attr("grp").equals_attr("grp"))
+    return QueryTree(ProjectNode(join, ["k", "k_1"]), name="t")
+
+
+class TestStructure:
+    def test_postorder_children_first(self, tree):
+        opcodes = [n.opcode for n in tree.nodes()]
+        assert opcodes == ["scan", "restrict", "scan", "restrict", "join", "project"]
+
+    def test_depth(self, tree):
+        assert tree.depth == 4
+
+    def test_join_and_restrict_counts(self, tree):
+        assert tree.join_count == 1
+        assert tree.restrict_count == 2
+
+    def test_leaf_relations(self, tree):
+        assert tree.leaf_relations() == ["r1", "r2"]
+
+    def test_operators_exclude_scans(self, tree):
+        assert all(n.opcode != "scan" for n in tree.operators())
+        assert len(tree.operators()) == 4
+
+    def test_parent_of(self, tree):
+        join = next(n for n in tree.nodes() if isinstance(n, JoinNode))
+        parent = tree.parent_of(join)
+        assert isinstance(parent, ProjectNode)
+        assert tree.parent_of(tree.root) is None
+
+    def test_node_by_id(self, tree):
+        node = tree.nodes()[0]
+        assert tree.node_by_id(node.node_id) is node
+
+    def test_node_by_id_missing(self, tree):
+        with pytest.raises(QueryTreeError):
+            tree.node_by_id(-1)
+
+    def test_node_ids_unique(self, tree):
+        ids = [n.node_id for n in tree.nodes()]
+        assert len(set(ids)) == len(ids)
+
+    def test_join_outer_inner_accessors(self, tree):
+        join = next(n for n in tree.nodes() if isinstance(n, JoinNode))
+        assert join.outer is join.children[0]
+        assert join.inner is join.children[1]
+
+
+class TestSchemasAndValidation:
+    def test_validate_ok(self, tree, catalog):
+        tree.validate(catalog)
+
+    def test_scan_of_unknown_relation(self, catalog):
+        tree = QueryTree(ScanNode("ghost"))
+        with pytest.raises(QueryTreeError):
+            tree.validate(catalog)
+
+    def test_restrict_bad_predicate(self, catalog):
+        tree = QueryTree(RestrictNode(ScanNode("r1"), attr("ghost") == 1))
+        with pytest.raises(QueryTreeError):
+            tree.validate(catalog)
+
+    def test_project_missing_attribute(self, catalog):
+        tree = QueryTree(ProjectNode(ScanNode("r1"), ["ghost"]))
+        with pytest.raises(QueryTreeError):
+            tree.validate(catalog)
+
+    def test_project_empty_attribute_list(self, catalog):
+        tree = QueryTree(ProjectNode(ScanNode("r1"), []))
+        with pytest.raises(QueryTreeError):
+            tree.validate(catalog)
+
+    def test_join_bad_condition(self, catalog):
+        tree = QueryTree(
+            JoinNode(ScanNode("r1"), ScanNode("r2"), attr("ghost").equals_attr("grp"))
+        )
+        with pytest.raises(QueryTreeError):
+            tree.validate(catalog)
+
+    def test_join_output_schema_unique_names(self, catalog):
+        join = JoinNode(ScanNode("r1"), ScanNode("r2"), attr("grp").equals_attr("grp"))
+        schema = join.output_schema(catalog)
+        assert schema.names == ("k", "grp", "k_1", "grp_1")
+
+    def test_union_arity_mismatch(self, catalog, simple_schema):
+        catalog.register(Relation("wide", simple_schema))
+        tree = QueryTree(UnionNode(ScanNode("r1"), ScanNode("wide")))
+        with pytest.raises(QueryTreeError):
+            tree.validate(catalog)
+
+    def test_append_unknown_target(self, catalog):
+        tree = QueryTree(AppendNode("ghost", ScanNode("r1")))
+        with pytest.raises(QueryTreeError):
+            tree.validate(catalog)
+
+    def test_append_arity_mismatch(self, catalog, simple_schema):
+        catalog.register(Relation("wide", simple_schema))
+        tree = QueryTree(AppendNode("wide", ScanNode("r1")))
+        with pytest.raises(QueryTreeError):
+            tree.validate(catalog)
+
+    def test_delete_unknown_target(self, catalog):
+        tree = QueryTree(DeleteNode("ghost", attr("k") == 1))
+        with pytest.raises(QueryTreeError):
+            tree.validate(catalog)
+
+    def test_delete_bad_predicate(self, catalog):
+        tree = QueryTree(DeleteNode("r1", attr("ghost") == 1))
+        with pytest.raises(QueryTreeError):
+            tree.validate(catalog)
+
+    def test_updated_relations(self, catalog):
+        tree = QueryTree(AppendNode("r1", ScanNode("r2")))
+        assert tree.updated_relations() == ["r1"]
+        tree2 = QueryTree(DeleteNode("r2", attr("k") == 1))
+        assert tree2.updated_relations() == ["r2"]
+
+
+class TestRendering:
+    def test_render_mentions_every_operator(self, tree):
+        text = tree.render()
+        assert "join" in text and "restrict" in text and "scan r1" in text
+
+    def test_repr(self, tree):
+        assert "1 joins" in repr(tree)
+
+    def test_sample_figure_2_1_tree(self, pair_schema):
+        cat = Catalog()
+        for name in ("r1", "r2", "r3", "r4"):
+            cat.register(
+                Relation.from_rows(name, pair_schema, [(1, 1)], page_bytes=64).empty_like(name)
+            )
+        # relations need a 'k' attribute; pair_schema has one
+        for name in ("r1", "r2", "r3", "r4"):
+            cat.replace(Relation.from_rows(name, pair_schema, [(1, 1)], page_bytes=64))
+        tree = sample_query_tree()(cat)
+        assert tree.join_count == 3
+        assert tree.restrict_count == 4
+        assert tree.name == "figure-2.1"

@@ -1,0 +1,145 @@
+"""Randomized end-to-end equivalence: random query trees, three engines.
+
+The strongest property in the suite: for randomly generated (but valid)
+query trees over randomly generated catalogs, the DIRECT machine, the
+ring machine, and the MIT-model data-flow machine must all produce
+exactly the oracle's rows.  Trees are generated with a seeded RNG (not
+hypothesis) because each case is expensive; 25 seeds x 3 engines gives
+broad shape coverage deterministically.
+"""
+
+import random
+
+import pytest
+
+from repro.dataflow.machine import DataflowMachine
+from repro.direct import scheduler
+from repro.direct.machine import DirectMachine
+from repro.relational.catalog import Catalog
+from repro.relational.predicate import attr
+from repro.relational.relation import Relation
+from repro.relational.schema import DataType, Schema
+from repro.query import execute
+from repro.query.builder import NodeBuilder, scan
+
+SCHEMA = Schema.build(("k", DataType.INT), ("g", DataType.INT))
+
+PAGE_BYTES = 128
+
+
+def random_catalog(rng: random.Random) -> Catalog:
+    catalog = Catalog()
+    for name in ("t1", "t2", "t3"):
+        rows = rng.randint(0, 120)
+        groups = rng.randint(1, 12)
+        catalog.register(
+            Relation.from_rows(
+                name,
+                SCHEMA,
+                [(i, rng.randrange(groups)) for i in range(rows)],
+                page_bytes=PAGE_BYTES,
+            )
+        )
+    return catalog
+
+
+def random_operand(rng: random.Random, catalog: Catalog) -> NodeBuilder:
+    name = rng.choice(catalog.names)
+    builder = scan(name)
+    if rng.random() < 0.7:
+        cut = rng.randint(0, 130)
+        builder = builder.restrict(attr("k") < cut)
+    return builder
+
+
+def random_tree(rng: random.Random, catalog: Catalog):
+    builder = random_operand(rng, catalog)
+    joins = rng.randint(0, 2)
+    for _ in range(joins):
+        builder = builder.equijoin(random_operand(rng, catalog), "g", "g")
+    roll = rng.random()
+    if roll < 0.25:
+        builder = builder.restrict(attr("k") < rng.randint(0, 130))
+    elif roll < 0.45:
+        keep = ["k", "g"] if rng.random() < 0.5 else ["g"]
+        builder = builder.project(keep, eliminate_duplicates=rng.random() < 0.7)
+    elif roll < 0.55 and joins == 0:
+        builder = builder.union(random_operand(rng, catalog))
+    from repro.query.tree import ScanNode
+
+    if isinstance(builder.node, ScanNode):
+        # Machines execute operators, not bare scans; guarantee at least one.
+        builder = builder.restrict(attr("k") >= 0)
+    tree = builder.tree("rand")
+    tree.validate(catalog)
+    return tree
+
+
+SEEDS = list(range(25))
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_direct_machine_random_tree(seed):
+    rng = random.Random(seed)
+    catalog = random_catalog(rng)
+    state = rng.getstate()
+    oracle = execute(random_tree(rng, catalog), catalog)
+    rng.setstate(state)
+    tree = random_tree(rng, catalog)
+    machine = DirectMachine(
+        catalog,
+        processors=rng.randint(1, 5),
+        granularity=rng.choice([scheduler.PAGE, scheduler.RELATION, scheduler.TUPLE]),
+        page_bytes=PAGE_BYTES,
+        cache_bytes=16 * PAGE_BYTES,
+    )
+    machine.submit(tree)
+    report = machine.run()
+    assert report.results[tree.name].same_rows_as(oracle), seed
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_ring_machine_random_tree(seed):
+    rng = random.Random(1000 + seed)
+    catalog = random_catalog(rng)
+    state = rng.getstate()
+    oracle = execute(random_tree(rng, catalog), catalog)
+    rng.setstate(state)
+    tree = random_tree(rng, catalog)
+    machine = RingMachineFactory(rng, catalog)
+    machine.submit(tree)
+    report = machine.run()
+    assert report.results[tree.name].same_rows_as(oracle), seed
+
+
+def RingMachineFactory(rng, catalog):
+    from repro.ring.machine import RingMachine
+
+    return RingMachine(
+        catalog,
+        processors=rng.randint(1, 5),
+        controllers=8,
+        page_bytes=PAGE_BYTES,
+        cache_bytes=24 * PAGE_BYTES,
+        ic_memory_pages=rng.choice([2, 8, 32]),
+        direct_ip_routing=rng.random() < 0.4,
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_dataflow_machine_random_tree(seed):
+    rng = random.Random(2000 + seed)
+    catalog = random_catalog(rng)
+    state = rng.getstate()
+    oracle = execute(random_tree(rng, catalog), catalog)
+    rng.setstate(state)
+    tree = random_tree(rng, catalog)
+    machine = DataflowMachine(
+        catalog,
+        processors=rng.randint(1, 5),
+        granularity=rng.choice(["relation", "page", "tuple"]),
+        page_bytes=PAGE_BYTES,
+    )
+    machine.submit(tree)
+    report = machine.run()
+    assert report.results[tree.name].same_rows_as(oracle), seed

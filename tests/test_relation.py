@@ -1,0 +1,121 @@
+"""Relations and page tables."""
+
+import pytest
+
+from repro.errors import PageError
+from repro.relational.page import Page
+from repro.relational.relation import PageTable, Relation
+
+
+class TestRelationShape:
+    def test_from_rows_cardinality(self, simple_relation):
+        assert simple_relation.cardinality == 100
+
+    def test_page_count_matches_packing(self, simple_relation):
+        per_page = simple_relation.page(0).capacity
+        expected = -(-100 // per_page)
+        assert simple_relation.page_count == expected
+
+    def test_byte_size_is_page_granular(self, simple_relation):
+        assert simple_relation.byte_size == simple_relation.page_count * 256
+
+    def test_data_bytes(self, simple_relation):
+        assert simple_relation.data_bytes == 100 * simple_relation.schema.record_width
+
+    def test_len(self, simple_relation):
+        assert len(simple_relation) == 100
+
+    def test_rows_iterates_all_in_order(self, simple_relation):
+        assert [r[0] for r in simple_relation.rows()] == list(range(100))
+
+    def test_page_out_of_range_raises(self, simple_relation):
+        with pytest.raises(PageError):
+            simple_relation.page(999)
+
+    def test_relation_ids_unique(self, simple_schema):
+        a = Relation("a", simple_schema)
+        b = Relation("b", simple_schema)
+        assert a.relation_id != b.relation_id
+
+
+class TestRelationMutation:
+    def test_insert_opens_new_page_when_full(self, pair_schema):
+        rel = Relation("r", pair_schema, page_bytes=64)  # 3 rows/page
+        for i in range(4):
+            rel.insert((i, i))
+        assert rel.page_count == 2
+
+    def test_insert_many_returns_count(self, pair_schema):
+        rel = Relation("r", pair_schema, page_bytes=64)
+        assert rel.insert_many([(i, i) for i in range(5)]) == 5
+
+    def test_append_page_checks_width(self, simple_relation, pair_schema):
+        alien = Page(pair_schema, 128)
+        with pytest.raises(PageError):
+            simple_relation.append_page(alien)
+
+    def test_compact_removes_interior_slack(self, pair_schema):
+        rel = Relation("r", pair_schema, page_bytes=64)
+        partial = Page(pair_schema, 64)
+        partial.append((1, 1))
+        rel.append_page(partial)
+        rel.append_page(partial.copy())
+        rel.compact()
+        assert rel.page_count == 1
+        assert rel.cardinality == 2
+
+    def test_empty_like(self, simple_relation):
+        empty = simple_relation.empty_like("clone")
+        assert empty.cardinality == 0
+        assert empty.schema is simple_relation.schema
+        assert empty.page_bytes == simple_relation.page_bytes
+
+
+class TestBagEquality:
+    def test_same_rows_ignores_page_boundaries(self, pair_schema):
+        rows = [(i, i) for i in range(10)]
+        a = Relation.from_rows("a", pair_schema, rows, page_bytes=64)
+        b = Relation.from_rows("b", pair_schema, rows, page_bytes=256)
+        assert a.same_rows_as(b)
+
+    def test_same_rows_ignores_order(self, pair_schema):
+        a = Relation.from_rows("a", pair_schema, [(1, 1), (2, 2)], page_bytes=64)
+        b = Relation.from_rows("b", pair_schema, [(2, 2), (1, 1)], page_bytes=64)
+        assert a.same_rows_as(b)
+
+    def test_same_rows_respects_multiplicity(self, pair_schema):
+        a = Relation.from_rows("a", pair_schema, [(1, 1), (1, 1)], page_bytes=64)
+        b = Relation.from_rows("b", pair_schema, [(1, 1)], page_bytes=64)
+        assert not a.same_rows_as(b)
+
+    def test_row_multiset(self, pair_schema):
+        rel = Relation.from_rows("r", pair_schema, [(1, 1), (1, 1), (2, 2)], page_bytes=64)
+        assert rel.row_multiset() == {(1, 1): 2, (2, 2): 1}
+
+
+class TestPageTable:
+    def test_grows_then_completes(self, pair_schema):
+        table = PageTable("op", pair_schema)
+        table.add_page(0)
+        table.add_page(1)
+        assert table.page_count == 2
+        table.mark_complete()
+        assert table.complete
+
+    def test_growth_after_complete_rejected(self, pair_schema):
+        table = PageTable("op", pair_schema)
+        table.mark_complete()
+        with pytest.raises(PageError):
+            table.add_page(0)
+
+    def test_has_pages_is_the_enabling_rule(self, pair_schema):
+        table = PageTable("op", pair_schema)
+        assert not table.has_pages
+        table.add_page(0)
+        assert table.has_pages
+
+    def test_relation_exports_complete_table(self, simple_relation):
+        table = simple_relation.page_table()
+        assert table.complete
+        assert table.page_count == simple_relation.page_count
+        assert list(table) == list(range(simple_relation.page_count))

@@ -1,0 +1,117 @@
+"""The MC's lock manager."""
+
+import pytest
+
+from repro.errors import ConcurrencyError
+from repro.relational.predicate import attr
+from repro.query.builder import delete_from, scan
+from repro.ring.concurrency import LockManager, LockMode, LockRequest
+
+
+def req(name, shared=(), exclusive=()):
+    return LockRequest(query_name=name, shared=frozenset(shared), exclusive=frozenset(exclusive))
+
+
+class TestLockModes:
+    def test_shared_compatible_with_shared(self):
+        assert LockMode.SHARED.compatible(LockMode.SHARED)
+
+    def test_exclusive_incompatible(self):
+        assert not LockMode.EXCLUSIVE.compatible(LockMode.SHARED)
+        assert not LockMode.SHARED.compatible(LockMode.EXCLUSIVE)
+        assert not LockMode.EXCLUSIVE.compatible(LockMode.EXCLUSIVE)
+
+
+class TestLockManager:
+    def test_two_readers_share(self):
+        lm = LockManager()
+        assert lm.try_acquire(req("q1", shared={"r"}))
+        assert lm.try_acquire(req("q2", shared={"r"}))
+        assert lm.holders_of("r") == ["q1", "q2"]
+
+    def test_writer_blocks_reader(self):
+        lm = LockManager()
+        assert lm.try_acquire(req("w", exclusive={"r"}))
+        assert not lm.try_acquire(req("q", shared={"r"}))
+
+    def test_reader_blocks_writer(self):
+        lm = LockManager()
+        assert lm.try_acquire(req("q", shared={"r"}))
+        assert not lm.try_acquire(req("w", exclusive={"r"}))
+
+    def test_all_or_nothing(self):
+        lm = LockManager()
+        lm.try_acquire(req("w", exclusive={"b"}))
+        assert not lm.try_acquire(req("q", shared={"a", "b"}))
+        # "a" must not be half-locked.
+        assert lm.holders_of("a") == []
+
+    def test_release_unblocks(self):
+        lm = LockManager()
+        lm.try_acquire(req("w", exclusive={"r"}))
+        lm.release("w")
+        assert lm.try_acquire(req("q", shared={"r"}))
+
+    def test_release_shared_keeps_other_holder(self):
+        lm = LockManager()
+        lm.try_acquire(req("q1", shared={"r"}))
+        lm.try_acquire(req("q2", shared={"r"}))
+        lm.release("q1")
+        assert lm.holders_of("r") == ["q2"]
+        assert not lm.try_acquire(req("w", exclusive={"r"}))
+
+    def test_double_acquire_rejected(self):
+        lm = LockManager()
+        lm.try_acquire(req("q", shared={"r"}))
+        with pytest.raises(ConcurrencyError):
+            lm.try_acquire(req("q", shared={"r2"}))
+
+    def test_release_without_locks_rejected(self):
+        with pytest.raises(ConcurrencyError):
+            LockManager().release("ghost")
+
+    def test_mode_of(self):
+        lm = LockManager()
+        lm.try_acquire(req("q", shared={"r"}, exclusive={"w"}))
+        assert lm.mode_of("r") is LockMode.SHARED
+        assert lm.mode_of("w") is LockMode.EXCLUSIVE
+
+    def test_mode_of_unlocked_raises(self):
+        with pytest.raises(ConcurrencyError):
+            LockManager().mode_of("r")
+
+    def test_active_queries(self):
+        lm = LockManager()
+        lm.try_acquire(req("a", shared={"x"}))
+        lm.try_acquire(req("b", shared={"y"}))
+        assert lm.active_queries == ["a", "b"]
+
+    def test_disjoint_writers_coexist(self):
+        lm = LockManager()
+        assert lm.try_acquire(req("w1", exclusive={"a"}))
+        assert lm.try_acquire(req("w2", exclusive={"b"}))
+
+
+class TestLockRequestFromTree:
+    def test_read_only_query(self):
+        tree = scan("a").equijoin(scan("b"), "b", "b").tree()
+        request = LockRequest.for_tree(tree)
+        assert request.shared == frozenset({"a", "b"})
+        assert request.exclusive == frozenset()
+
+    def test_delete_takes_exclusive(self):
+        tree = delete_from("a", attr("key") == 1)
+        request = LockRequest.for_tree(tree)
+        assert request.exclusive == frozenset({"a"})
+
+    def test_append_reads_source_writes_target(self):
+        tree = scan("src").append_into("dst").tree()
+        request = LockRequest.for_tree(tree)
+        assert request.shared == frozenset({"src"})
+        assert request.exclusive == frozenset({"dst"})
+
+    def test_self_append_is_exclusive_only(self):
+        tree = scan("a").append_into("a").tree()
+        request = LockRequest.for_tree(tree)
+        assert request.exclusive == frozenset({"a"})
+        assert request.shared == frozenset()

@@ -1,0 +1,169 @@
+"""Requirement 5 (Section 4.0): "survive an arbitrary number of disabled
+processors."
+
+Fail-stop IP failures are injected at chosen simulated times; the ICs'
+watchdogs detect the silence, requeue the lost work units, and report the
+casualty to the MC.  In fault-tolerant mode every work unit ships its
+results atomically at completion, so re-execution can never duplicate
+rows — every test asserts exact oracle equality after the carnage.
+"""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.relational.catalog import Catalog
+from repro.relational.predicate import attr
+from repro.relational.relation import Relation
+from repro.relational.schema import DataType, Schema
+from repro.query import execute
+from repro.query.builder import scan
+from repro.ring.machine import RingMachine
+
+SCHEMA = Schema.build(("k", DataType.INT), ("g", DataType.INT))
+
+
+@pytest.fixture
+def catalog():
+    cat = Catalog()
+    cat.register(
+        Relation.from_rows("big", SCHEMA, [(i, i % 8) for i in range(400)], page_bytes=128)
+    )
+    cat.register(
+        Relation.from_rows("small", SCHEMA, [(i, i % 8) for i in range(200)], page_bytes=128)
+    )
+    return cat
+
+
+def join_tree(name="ft"):
+    return (
+        scan("big")
+        .restrict(attr("k") < 300)
+        .equijoin(scan("small").restrict(attr("k") < 150), "g", "g")
+        .tree(name)
+    )
+
+
+def build_machine(catalog, processors=6, **kwargs):
+    defaults = dict(
+        controllers=8, page_bytes=128, cache_bytes=32 * 128, fault_tolerant=True,
+        watchdog_interval_ms=50.0,
+    )
+    defaults.update(kwargs)
+    return RingMachine(catalog, processors=processors, **defaults)
+
+
+class TestSingleFailure:
+    def test_failure_during_restrict_phase(self, catalog):
+        oracle = execute(join_tree(), catalog)
+        machine = build_machine(catalog)
+        tree = join_tree()
+        machine.submit(tree)
+        machine.schedule_ip_failure(2, 30.0)
+        report = machine.run()
+        assert report.results[tree.name].same_rows_as(oracle)
+        assert machine.failed_ips == [2]
+
+    def test_failure_during_join_phase(self, catalog):
+        oracle = execute(join_tree(), catalog)
+        machine = build_machine(catalog)
+        tree = join_tree()
+        machine.submit(tree)
+        machine.schedule_ip_failure(1, 800.0)
+        report = machine.run()
+        assert report.results[tree.name].same_rows_as(oracle)
+
+    def test_failure_before_any_work(self, catalog):
+        oracle = execute(join_tree(), catalog)
+        machine = build_machine(catalog)
+        tree = join_tree()
+        machine.submit(tree)
+        machine.schedule_ip_failure(4, 0.0)
+        report = machine.run()
+        assert report.results[tree.name].same_rows_as(oracle)
+
+    def test_failure_slows_but_completes(self, catalog):
+        tree_a = join_tree("a")
+        machine_a = build_machine(catalog)
+        machine_a.submit(tree_a)
+        healthy = machine_a.run().elapsed_ms
+
+        tree_b = join_tree("b")
+        machine_b = build_machine(catalog)
+        machine_b.submit(tree_b)
+        machine_b.schedule_ip_failure(1, 10.0)
+        machine_b.schedule_ip_failure(2, 10.0)
+        degraded = machine_b.run().elapsed_ms
+        assert degraded >= healthy
+
+
+class TestArbitraryManyFailures:
+    def test_all_but_one_processor_dies(self, catalog):
+        oracle = execute(join_tree(), catalog)
+        machine = build_machine(catalog, processors=5)
+        tree = join_tree()
+        machine.submit(tree)
+        for ip_id, at in [(1, 50.0), (2, 120.0), (3, 300.0), (4, 700.0)]:
+            machine.schedule_ip_failure(ip_id, at)
+        report = machine.run()
+        assert report.results[tree.name].same_rows_as(oracle)
+        assert len(machine.failed_ips) == 4
+
+    def test_staggered_failures_across_concurrent_queries(self, catalog):
+        builders = [
+            lambda: scan("big").restrict(attr("g") == 2).tree("q1"),
+            lambda: join_tree("q2"),
+            lambda: scan("small").project(["g"]).tree("q3"),
+        ]
+        oracles = {}
+        for b in builders:
+            t = b()
+            oracles[t.name] = execute(t, catalog)
+        machine = build_machine(catalog, processors=6)
+        for b in builders:
+            machine.submit(b())
+        machine.schedule_ip_failure(2, 40.0)
+        machine.schedule_ip_failure(5, 250.0)
+        report = machine.run()
+        for name, oracle in oracles.items():
+            assert report.results[name].same_rows_as(oracle), name
+
+    def test_simultaneous_failures(self, catalog):
+        oracle = execute(join_tree(), catalog)
+        machine = build_machine(catalog, processors=6)
+        tree = join_tree()
+        machine.submit(tree)
+        for ip_id in (1, 2, 3):
+            machine.schedule_ip_failure(ip_id, 100.0)
+        report = machine.run()
+        assert report.results[tree.name].same_rows_as(oracle)
+
+
+class TestFaultToleranceGuards:
+    def test_failure_injection_requires_ft_mode(self, catalog):
+        machine = RingMachine(catalog, processors=2, controllers=4, page_bytes=128)
+        with pytest.raises(MachineError):
+            machine.schedule_ip_failure(1, 10.0)
+
+    def test_unknown_ip_rejected(self, catalog):
+        machine = build_machine(catalog)
+        with pytest.raises(MachineError):
+            machine.schedule_ip_failure(999, 10.0)
+
+    def test_double_failure_is_idempotent(self, catalog):
+        oracle = execute(join_tree(), catalog)
+        machine = build_machine(catalog)
+        tree = join_tree()
+        machine.submit(tree)
+        machine.schedule_ip_failure(1, 50.0)
+        machine.schedule_ip_failure(1, 60.0)
+        report = machine.run()
+        assert machine.failed_ips == [1]
+        assert report.results[tree.name].same_rows_as(oracle)
+
+    def test_ft_mode_without_failures_still_correct(self, catalog):
+        oracle = execute(join_tree(), catalog)
+        machine = build_machine(catalog)
+        tree = join_tree()
+        machine.submit(tree)
+        report = machine.run()
+        assert report.results[tree.name].same_rows_as(oracle)

@@ -1,0 +1,208 @@
+"""The ring machine: oracle equivalence, protocol behaviour, updates."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.relational.catalog import Catalog
+from repro.relational.predicate import attr
+from repro.relational.relation import Relation
+from repro.query import execute
+from repro.query.builder import delete_from, scan
+from repro.ring.machine import RingMachine, run_ring_benchmark
+
+
+def fresh_queries(db, selectivity=0.3):
+    from repro.workload import benchmark_queries
+
+    return benchmark_queries(db.catalog, db.relation_names, selectivity=selectivity)
+
+
+class TestOracleEquivalence:
+    def test_benchmark_matches_oracle(self, tiny_benchmark, tiny_queries):
+        oracle = {t.name: execute(t, tiny_benchmark.catalog) for t in tiny_queries}
+        report = run_ring_benchmark(
+            tiny_benchmark.catalog,
+            fresh_queries(tiny_benchmark),
+            processors=4,
+            controllers=12,
+            page_bytes=2048,
+        )
+        for name, expected in oracle.items():
+            assert report.results[name].same_rows_as(expected), name
+
+    def test_single_ip(self, tiny_benchmark, tiny_queries):
+        oracle = {t.name: execute(t, tiny_benchmark.catalog) for t in tiny_queries}
+        report = run_ring_benchmark(
+            tiny_benchmark.catalog,
+            fresh_queries(tiny_benchmark),
+            processors=1,
+            controllers=12,
+            page_bytes=2048,
+        )
+        for name, expected in oracle.items():
+            assert report.results[name].same_rows_as(expected), name
+
+    def test_direct_ip_routing_correct(self, tiny_benchmark, tiny_queries):
+        oracle = {t.name: execute(t, tiny_benchmark.catalog) for t in tiny_queries}
+        report = run_ring_benchmark(
+            tiny_benchmark.catalog,
+            fresh_queries(tiny_benchmark),
+            processors=4,
+            controllers=12,
+            page_bytes=2048,
+            direct_ip_routing=True,
+        )
+        for name, expected in oracle.items():
+            assert report.results[name].same_rows_as(expected), name
+
+    def test_minimal_ics_serialize_queries(self, tiny_benchmark, tiny_queries):
+        oracle = {t.name: execute(t, tiny_benchmark.catalog) for t in tiny_queries}
+        # q10 needs 11 ICs; with exactly 11 the machine runs nearly
+        # one query at a time and must still be correct.
+        report = run_ring_benchmark(
+            tiny_benchmark.catalog,
+            fresh_queries(tiny_benchmark),
+            processors=4,
+            controllers=11,
+            page_bytes=2048,
+        )
+        for name, expected in oracle.items():
+            assert report.results[name].same_rows_as(expected), name
+
+    def test_tiny_ic_memory_still_correct(self, tiny_benchmark, tiny_queries):
+        oracle = {t.name: execute(t, tiny_benchmark.catalog) for t in tiny_queries}
+        report = run_ring_benchmark(
+            tiny_benchmark.catalog,
+            fresh_queries(tiny_benchmark),
+            processors=3,
+            controllers=12,
+            page_bytes=2048,
+            ic_memory_pages=2,
+        )
+        for name, expected in oracle.items():
+            assert report.results[name].same_rows_as(expected), name
+
+
+class TestProtocol:
+    def test_broadcasts_occur_for_joins(self, tiny_benchmark):
+        report = run_ring_benchmark(
+            tiny_benchmark.catalog,
+            fresh_queries(tiny_benchmark),
+            processors=4,
+            controllers=12,
+            page_bytes=2048,
+        )
+        assert report.broadcasts > 0
+
+    def test_inner_ring_much_quieter_than_outer(self, tiny_benchmark):
+        report = run_ring_benchmark(
+            tiny_benchmark.catalog,
+            fresh_queries(tiny_benchmark),
+            processors=4,
+            controllers=12,
+            page_bytes=2048,
+        )
+        assert report.inner_ring_bytes < report.outer_ring_bytes / 10
+
+    def test_all_queries_admitted(self, tiny_benchmark):
+        report = run_ring_benchmark(
+            tiny_benchmark.catalog,
+            fresh_queries(tiny_benchmark),
+            processors=4,
+            controllers=12,
+            page_bytes=2048,
+        )
+        assert report.queries_admitted == 10
+
+    def test_ips_all_returned_to_pool(self, tiny_benchmark):
+        machine = RingMachine(
+            tiny_benchmark.catalog, processors=4, controllers=12, page_bytes=2048
+        )
+        for tree in fresh_queries(tiny_benchmark):
+            machine.submit(tree)
+        machine.run()
+        assert machine.mc.free_ip_count == 4
+        assert all(ip.is_free for ip in machine.ips)
+
+    def test_all_ics_freed(self, tiny_benchmark):
+        machine = RingMachine(
+            tiny_benchmark.catalog, processors=4, controllers=12, page_bytes=2048
+        )
+        for tree in fresh_queries(tiny_benchmark):
+            machine.submit(tree)
+        machine.run()
+        assert machine.free_ic_count() == 12
+        assert machine.active_ics() == []
+
+    def test_locks_released_at_end(self, tiny_benchmark):
+        machine = RingMachine(
+            tiny_benchmark.catalog, processors=4, controllers=12, page_bytes=2048
+        )
+        for tree in fresh_queries(tiny_benchmark):
+            machine.submit(tree)
+        machine.run()
+        assert machine.mc.locks.active_queries == []
+
+    def test_query_needing_too_many_ics_rejected(self, tiny_benchmark):
+        machine = RingMachine(
+            tiny_benchmark.catalog, processors=2, controllers=3, page_bytes=2048
+        )
+        big = fresh_queries(tiny_benchmark)[-1]  # 5 joins + 6 restricts = 11 ICs
+        machine.submit(big)
+        with pytest.raises(MachineError):
+            machine.run()
+
+
+class TestUpdatesAndLocking:
+    @pytest.fixture
+    def catalog(self, pair_schema):
+        cat = Catalog()
+        cat.register(
+            Relation.from_rows("t", pair_schema, [(i, i % 4) for i in range(60)], page_bytes=128)
+        )
+        cat.register(Relation("sink", pair_schema, page_bytes=128))
+        return cat
+
+    def test_delete_applies_to_catalog(self, catalog):
+        machine = RingMachine(catalog, processors=2, controllers=4, page_bytes=128)
+        machine.submit(delete_from("t", attr("grp") == 0, name="d"))
+        machine.run()
+        assert catalog.get("t").cardinality == 45
+        assert all(r[1] != 0 for r in catalog.get("t").rows())
+
+    def test_append_applies_to_catalog(self, catalog):
+        machine = RingMachine(catalog, processors=2, controllers=4, page_bytes=128)
+        machine.submit(scan("t").restrict(attr("k") < 10).append_into("sink").tree("a"))
+        machine.run()
+        assert catalog.get("sink").cardinality == 10
+
+    def test_conflicting_writer_serialized_after_readers(self, catalog):
+        machine = RingMachine(catalog, processors=2, controllers=8, page_bytes=128)
+        reader = scan("t").restrict(attr("grp") == 1).tree("reader")
+        deleter = delete_from("t", attr("grp") == 1, name="deleter")
+        machine.submit(reader)
+        machine.submit(deleter)
+        report = machine.run()
+        # The reader was admitted first and must have seen all 15 rows.
+        assert report.results["reader"].cardinality == 15
+        assert catalog.get("t").cardinality == 45
+        assert report.query_times["deleter"] > report.query_times["reader"]
+
+    def test_writer_then_reader_sees_update(self, catalog):
+        machine = RingMachine(catalog, processors=2, controllers=8, page_bytes=128)
+        machine.submit(delete_from("t", attr("grp") == 1, name="deleter"))
+        machine.submit(scan("t").restrict(attr("grp") == 1).tree("reader"))
+        report = machine.run()
+        assert report.results["reader"].cardinality == 0
+
+
+class TestErrors:
+    def test_no_queries(self, tiny_benchmark):
+        with pytest.raises(MachineError):
+            RingMachine(tiny_benchmark.catalog).run()
+
+    def test_zero_components_rejected(self, tiny_benchmark):
+        with pytest.raises(MachineError):
+            RingMachine(tiny_benchmark.catalog, processors=0)
+        with pytest.raises(MachineError):
+            RingMachine(tiny_benchmark.catalog, controllers=0)

@@ -1,0 +1,74 @@
+"""The DLCN ring model."""
+
+import pytest
+
+from repro import hw
+from repro.ring.network import Ring
+from repro.sim.engine import Simulator
+
+
+def test_transfer_time_scales_with_bytes():
+    ring = hw.OUTER_RING_TTL
+    assert ring.transfer_time_ms(10_000) > ring.transfer_time_ms(100)
+
+
+def test_bytes_per_ms():
+    assert hw.OUTER_RING_TTL.bytes_per_ms == pytest.approx(5000.0)
+
+
+def test_send_delivers_after_serialization():
+    sim = Simulator()
+    ring = Ring(sim, hw.OUTER_RING_TTL, "test")
+    arrived = []
+    ring.send(5000, lambda: arrived.append(sim.now))
+    sim.run()
+    assert arrived[0] == pytest.approx(1.0 + hw.OUTER_RING_TTL.insertion_delay_ms)
+
+
+def test_messages_serialize_fifo():
+    sim = Simulator()
+    ring = Ring(sim, hw.OUTER_RING_TTL, "test")
+    order = []
+    ring.send(5000, lambda: order.append("a"))
+    ring.send(50, lambda: order.append("b"))
+    sim.run()
+    assert order == ["a", "b"]
+
+
+def test_byte_and_message_accounting():
+    sim = Simulator()
+    ring = Ring(sim, hw.OUTER_RING_TTL, "test")
+    ring.send(100, lambda: None)
+    ring.broadcast(200, lambda: None)
+    sim.run()
+    assert ring.bytes_carried == 300
+    assert ring.messages_carried == 2
+    assert ring.broadcasts == 1
+
+
+def test_offered_mbps():
+    sim = Simulator()
+    ring = Ring(sim, hw.OUTER_RING_TTL, "test")
+    ring.send(125_000, lambda: None)  # one megabit
+    sim.run()
+    assert ring.offered_mbps(1000.0) == pytest.approx(1.0)
+
+
+def test_utilization_bounded():
+    sim = Simulator()
+    ring = Ring(sim, hw.INNER_RING, "test")
+    for _ in range(5):
+        ring.send(1000, lambda: None)
+    sim.run()
+    assert 0 < ring.utilization(sim.now) <= 1.0
+
+
+def test_faster_technology_is_faster():
+    slow_done, fast_done = [], []
+    sim = Simulator()
+    Ring(sim, hw.OUTER_RING_TTL, "slow").send(100_000, lambda: slow_done.append(sim.now))
+    sim.run()
+    sim2 = Simulator()
+    Ring(sim2, hw.OUTER_RING_ECL, "fast").send(100_000, lambda: fast_done.append(sim2.now))
+    sim2.run()
+    assert fast_done[0] < slow_done[0]

@@ -1,0 +1,172 @@
+"""E9: the broadcast-join protocol under pressure.
+
+Section 4.2's protocol has its interesting behaviour exactly when things
+go wrong: IPs are busy when a broadcast passes (missed pages), requests
+race (duplicate suppression), IC local memory overflows mid-join, and
+partial pages must be compressed.  These tests construct those conditions
+deliberately and assert both correctness (oracle equality) and that the
+protocol paths actually fired (broadcast counts, overflow traffic).
+"""
+
+import pytest
+
+from repro.direct import traffic as tl
+from repro.relational.catalog import Catalog
+from repro.relational.predicate import attr
+from repro.relational.relation import Relation
+from repro.relational.schema import DataType, Schema
+from repro.query import execute
+from repro.query.builder import scan
+from repro.ring.machine import RingMachine
+
+SCHEMA = Schema.build(("k", DataType.INT), ("g", DataType.INT), ("pad", DataType.CHAR, 24))
+
+
+def catalog_with(outer_rows: int, inner_rows: int, groups: int = 16, page_bytes: int = 256):
+    catalog = Catalog()
+    catalog.register(
+        Relation.from_rows(
+            "outer_rel", SCHEMA, [(i, i % groups, "") for i in range(outer_rows)], page_bytes
+        )
+    )
+    catalog.register(
+        Relation.from_rows(
+            "inner_rel", SCHEMA, [(i, (i * 3) % groups, "") for i in range(inner_rows)], page_bytes
+        )
+    )
+    return catalog
+
+
+def join_tree():
+    return (
+        scan("outer_rel")
+        .restrict(attr("k") >= 0)
+        .equijoin(scan("inner_rel").restrict(attr("k") >= 0), "g", "g")
+        .tree("stress-join")
+    )
+
+
+def run_machine(catalog, **kwargs):
+    defaults = dict(processors=5, controllers=6, page_bytes=256, cache_bytes=24 * 256)
+    defaults.update(kwargs)
+    machine = RingMachine(catalog, **defaults)
+    tree = join_tree()
+    machine.submit(tree)
+    return machine, machine.run(), tree
+
+
+class TestMissedPageRecovery:
+    def test_many_ips_few_inner_pages_correct(self):
+        """Multiple IPs consuming broadcasts out of sync: with more IPs
+        than inner pages, most broadcasts are missed by someone."""
+        catalog = catalog_with(600, 120)
+        oracle = execute(join_tree(), catalog)
+        machine, report, tree = run_machine(catalog, processors=8)
+        assert report.results[tree.name].same_rows_as(oracle)
+
+    def test_rebroadcasts_prove_misses_happened(self):
+        """With several outer waves per IP, inner pages must be broadcast
+        repeatedly — direct evidence of the missed-page/recovery path."""
+        catalog = catalog_with(600, 120)
+        inner_pages = -(-120 // (256 - 8) * SCHEMA.record_width)  # rough
+        machine, report, tree = run_machine(catalog, processors=4)
+        inner_page_count = len(machine._base_pages["inner_rel"])
+        assert report.broadcasts > inner_page_count
+
+    def test_single_inner_page(self):
+        catalog = catalog_with(200, 4)
+        oracle = execute(join_tree(), catalog)
+        machine, report, tree = run_machine(catalog)
+        assert report.results[tree.name].same_rows_as(oracle)
+
+    def test_inner_larger_than_outer(self):
+        catalog = catalog_with(40, 400)
+        oracle = execute(join_tree(), catalog)
+        machine, report, tree = run_machine(catalog)
+        assert report.results[tree.name].same_rows_as(oracle)
+
+
+class TestMemoryPressure:
+    def test_tiny_ic_memory_overflows_to_cache(self):
+        """IC local memory of 2 pages forces the three-level hierarchy to
+        actually spill and refetch operand pages mid-join."""
+        catalog = catalog_with(500, 300)
+        oracle = execute(join_tree(), catalog)
+        machine, report, tree = run_machine(catalog, ic_memory_pages=2)
+        assert report.results[tree.name].same_rows_as(oracle)
+        assert report.traffic[tl.PROC_TO_CACHE] > 0  # overflow writes happened
+
+    def test_tiny_cache_spills_to_disk(self):
+        """With the cache also tiny, overflow pages reach mass storage
+        and come back — the full 3-level round trip."""
+        catalog = catalog_with(500, 300)
+        oracle = execute(join_tree(), catalog)
+        machine, report, tree = run_machine(
+            catalog, ic_memory_pages=2, cache_bytes=16 * 256
+        )
+        assert report.results[tree.name].same_rows_as(oracle)
+        assert report.traffic[tl.CACHE_TO_DISK] > 0
+
+    def test_one_ip_one_ic_memory_page_extreme(self):
+        catalog = catalog_with(150, 100)
+        oracle = execute(join_tree(), catalog)
+        machine, report, tree = run_machine(
+            catalog, processors=1, ic_memory_pages=2, cache_bytes=16 * 256
+        )
+        assert report.results[tree.name].same_rows_as(oracle)
+
+
+class TestPartialPageCompression:
+    def test_selective_producers_feed_partial_pages(self):
+        """A highly selective restrict under the join emits mostly
+        partial result packets; the consuming IC must compress them into
+        full operand pages (Section 4.2)."""
+        catalog = catalog_with(600, 300)
+
+        def tree():
+            return (
+                scan("outer_rel")
+                .restrict(attr("k") % 1 == 0 if False else attr("g") == 3)
+                .equijoin(scan("inner_rel").restrict(attr("g") == 9), "g", "g")
+                .tree("compress")
+            )
+
+        oracle = execute(tree(), catalog)
+        machine = RingMachine(catalog, processors=4, controllers=6, page_bytes=256)
+        t = tree()
+        machine.submit(t)
+        report = machine.run()
+        assert report.results[t.name].same_rows_as(oracle)
+
+    def test_empty_join_sides_complete_cleanly(self):
+        catalog = catalog_with(100, 100)
+
+        def tree():
+            return (
+                scan("outer_rel")
+                .restrict(attr("k") > 10_000)
+                .equijoin(scan("inner_rel").restrict(attr("k") > 10_000), "g", "g")
+                .tree("empty")
+            )
+
+        oracle = execute(tree(), catalog)
+        machine = RingMachine(catalog, processors=3, controllers=6, page_bytes=256)
+        t = tree()
+        machine.submit(t)
+        report = machine.run()
+        assert report.results[t.name].cardinality == 0
+        assert oracle.cardinality == 0
+
+
+class TestRequestDeduplication:
+    def test_lockstep_ips_share_broadcasts(self):
+        """Identical-speed IPs request the same inner pages nearly
+        simultaneously; the IC's in-flight suppression should keep the
+        broadcast count well below IPs x inner pages."""
+        catalog = catalog_with(800, 200)
+        machine, report, tree = run_machine(catalog, processors=6)
+        inner_page_count = len(machine._base_pages["inner_rel"])
+        outer_page_count = len(machine._base_pages["outer_rel"])
+        # Upper bound without any sharing: every (outer task, inner page)
+        # pair triggers its own broadcast.
+        assert report.broadcasts < outer_page_count * inner_page_count

@@ -1,0 +1,166 @@
+"""Schema construction, packing, and projection."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.schema import Attribute, DataType, Schema
+
+
+class TestAttribute:
+    def test_int_width_is_eight(self):
+        assert Attribute("x", DataType.INT).byte_width == 8
+
+    def test_float_width_is_eight(self):
+        assert Attribute("x", DataType.FLOAT).byte_width == 8
+
+    def test_char_width_is_declared(self):
+        assert Attribute("x", DataType.CHAR, 17).byte_width == 17
+
+    def test_bad_identifier_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("bad name", DataType.INT)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("", DataType.INT)
+
+    def test_char_needs_positive_width(self):
+        with pytest.raises(SchemaError):
+            Attribute("x", DataType.CHAR, 0)
+
+
+class TestSchemaConstruction:
+    def test_build_two_field_specs(self):
+        schema = Schema.build(("a", DataType.INT), ("b", DataType.FLOAT))
+        assert schema.names == ("a", "b")
+
+    def test_build_three_field_spec(self):
+        schema = Schema.build(("s", DataType.CHAR, 5))
+        assert schema.attribute("s").width == 5
+
+    def test_build_rejects_bad_spec(self):
+        with pytest.raises(SchemaError):
+            Schema.build(("a",))
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(())
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.build(("a", DataType.INT), ("a", DataType.FLOAT))
+
+    def test_record_width_sums_attributes(self):
+        schema = Schema.build(("a", DataType.INT), ("s", DataType.CHAR, 12))
+        assert schema.record_width == 20
+
+    def test_arity_and_len(self):
+        schema = Schema.build(("a", DataType.INT), ("b", DataType.INT))
+        assert schema.arity == 2
+        assert len(schema) == 2
+
+    def test_contains(self):
+        schema = Schema.build(("a", DataType.INT))
+        assert "a" in schema
+        assert "z" not in schema
+
+    def test_index_of_missing_raises(self):
+        schema = Schema.build(("a", DataType.INT))
+        with pytest.raises(SchemaError):
+            schema.index_of("nope")
+
+    def test_iteration_yields_attributes(self):
+        schema = Schema.build(("a", DataType.INT), ("b", DataType.FLOAT))
+        assert [a.name for a in schema] == ["a", "b"]
+
+
+class TestPacking:
+    def test_roundtrip_int_float_char(self, simple_schema):
+        row = (42, "hello", 3.25)
+        assert simple_schema.unpack(simple_schema.pack(row)) == row
+
+    def test_packed_width_matches(self, simple_schema):
+        assert len(simple_schema.pack((1, "a", 0.0))) == simple_schema.record_width
+
+    def test_char_padding_stripped(self, simple_schema):
+        packed = simple_schema.pack((1, "ab", 0.0))
+        assert simple_schema.unpack(packed)[1] == "ab"
+
+    def test_empty_string_roundtrip(self, simple_schema):
+        assert simple_schema.unpack(simple_schema.pack((1, "", 0.0)))[1] == ""
+
+    def test_char_overflow_rejected(self, simple_schema):
+        with pytest.raises(SchemaError):
+            simple_schema.pack((1, "x" * 13, 0.0))
+
+    def test_arity_mismatch_rejected(self, simple_schema):
+        with pytest.raises(SchemaError):
+            simple_schema.pack((1, "a"))
+
+    def test_type_mismatch_rejected(self, simple_schema):
+        with pytest.raises(SchemaError):
+            simple_schema.pack(("one", "a", 0.0))
+
+    def test_bool_is_not_int(self, simple_schema):
+        with pytest.raises(SchemaError):
+            simple_schema.pack((True, "a", 0.0))
+
+    def test_int_accepted_for_float_field(self, simple_schema):
+        assert simple_schema.unpack(simple_schema.pack((1, "a", 2)))[2] == 2.0
+
+    def test_negative_int_roundtrip(self, simple_schema):
+        assert simple_schema.unpack(simple_schema.pack((-7, "a", 0.0)))[0] == -7
+
+    def test_unpack_wrong_length_rejected(self, simple_schema):
+        with pytest.raises(SchemaError):
+            simple_schema.unpack(b"\x00" * 3)
+
+    def test_pack_many_roundtrip(self, simple_schema):
+        rows = [(i, f"n{i}", float(i)) for i in range(5)]
+        assert simple_schema.unpack_many(simple_schema.pack_many(rows)) == rows
+
+    def test_unpack_many_misaligned_rejected(self, simple_schema):
+        with pytest.raises(SchemaError):
+            simple_schema.unpack_many(b"\x00" * (simple_schema.record_width + 1))
+
+
+class TestSchemaTransforms:
+    def test_project_keeps_order_given(self, simple_schema):
+        assert simple_schema.project(["score", "id"]).names == ("score", "id")
+
+    def test_project_missing_raises(self, simple_schema):
+        with pytest.raises(SchemaError):
+            simple_schema.project(["ghost"])
+
+    def test_rename(self, simple_schema):
+        renamed = simple_schema.rename({"id": "emp_id"})
+        assert renamed.names == ("emp_id", "name", "score")
+
+    def test_rename_preserves_widths(self, simple_schema):
+        renamed = simple_schema.rename({"name": "label"})
+        assert renamed.attribute("label").width == 12
+
+    def test_concat_disjoint(self, simple_schema):
+        other = Schema.build(("x", DataType.INT))
+        assert simple_schema.concat(other).names == ("id", "name", "score", "x")
+
+    def test_concat_collision_raises_without_prefix(self, simple_schema):
+        with pytest.raises(SchemaError):
+            simple_schema.concat(simple_schema)
+
+    def test_concat_with_prefixes(self, simple_schema):
+        joined = simple_schema.concat(simple_schema, prefix_self="l_", prefix_other="r_")
+        assert "l_id" in joined and "r_id" in joined
+
+    def test_concat_unique_suffixes_collisions(self, simple_schema):
+        joined = simple_schema.concat_unique(simple_schema)
+        assert joined.names == ("id", "name", "score", "id_1", "name_1", "score_1")
+
+    def test_concat_unique_chains(self, simple_schema):
+        twice = simple_schema.concat_unique(simple_schema)
+        thrice = twice.concat_unique(simple_schema)
+        assert "id_2" in thrice
+
+    def test_concat_unique_keeps_outer_names(self, simple_schema):
+        joined = simple_schema.concat_unique(simple_schema)
+        assert joined.index_of("id") == 0

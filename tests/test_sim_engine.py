@@ -1,0 +1,162 @@
+"""The discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_single_event_fires_at_time():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5.0, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [5.0]
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(3.0, lambda: order.append("c"))
+    sim.schedule(1.0, lambda: order.append("a"))
+    sim.schedule(2.0, lambda: order.append("b"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_ties_break_by_insertion_order():
+    sim = Simulator()
+    order = []
+    for tag in "abc":
+        sim.schedule(1.0, lambda t=tag: order.append(t))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_zero_delay_allowed():
+    sim = Simulator()
+    fired = []
+    sim.schedule(0.0, lambda: fired.append(1))
+    sim.run()
+    assert fired == [1]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_events_scheduled_during_run():
+    sim = Simulator()
+    trace = []
+
+    def first():
+        trace.append(sim.now)
+        sim.schedule(2.0, lambda: trace.append(sim.now))
+
+    sim.schedule(1.0, first)
+    sim.run()
+    assert trace == [1.0, 3.0]
+
+
+def test_cancelled_events_skipped():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, lambda: fired.append(1))
+    event.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_cancel_counts_not_processed():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None).cancel()
+    sim.run()
+    assert sim.events_processed == 0
+
+
+def test_run_until_stops_clock():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10.0, lambda: fired.append(1))
+    end = sim.run(until=5.0)
+    assert end == 5.0
+    assert fired == []
+    sim.run()
+    assert fired == [1]
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    sim.schedule(2.0, lambda: None)
+    sim.run()
+    fired = []
+    sim.schedule_at(7.0, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [7.0]
+
+
+def test_max_events_raises_on_livelock():
+    sim = Simulator()
+
+    def forever():
+        sim.schedule(1.0, forever)
+
+    sim.schedule(1.0, forever)
+    with pytest.raises(SimulationError):
+        sim.run(max_events=100)
+
+
+def test_step_returns_false_when_empty():
+    assert Simulator().step() is False
+
+
+def test_step_fires_one_event():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(1))
+    sim.schedule(2.0, lambda: fired.append(2))
+    assert sim.step() is True
+    assert fired == [1]
+
+
+def test_pending_excludes_cancelled():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None).cancel()
+    assert sim.pending == 1
+
+
+def test_not_reentrant():
+    sim = Simulator()
+
+    def nested():
+        sim.run()
+
+    sim.schedule(1.0, nested)
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for i in range(5):
+        sim.schedule(float(i), lambda: None)
+    sim.run()
+    assert sim.events_processed == 5
+
+
+def test_exception_in_callback_propagates():
+    sim = Simulator()
+
+    def boom():
+        raise ValueError("boom")
+
+    sim.schedule(1.0, boom)
+    with pytest.raises(ValueError):
+        sim.run()

@@ -1,0 +1,84 @@
+"""Counters, tallies, time series."""
+
+import math
+
+import pytest
+
+from repro.sim.monitor import Counter, Tally, TimeSeries
+
+
+class TestCounter:
+    def test_add_accumulates(self):
+        c = Counter("c")
+        c.add(2)
+        c.add()
+        assert c.value == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("c").add(-1)
+
+
+class TestTally:
+    def test_mean(self):
+        t = Tally("t")
+        for v in (1.0, 2.0, 3.0):
+            t.observe(v)
+        assert t.mean == pytest.approx(2.0)
+
+    def test_empty_mean_is_zero(self):
+        assert Tally("t").mean == 0.0
+
+    def test_variance_and_stddev(self):
+        t = Tally("t")
+        for v in (2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0):
+            t.observe(v)
+        assert t.variance == pytest.approx(32.0 / 7.0)
+        assert t.stddev == pytest.approx(math.sqrt(32.0 / 7.0))
+
+    def test_variance_below_two_samples_is_zero(self):
+        t = Tally("t")
+        t.observe(5.0)
+        assert t.variance == 0.0
+
+    def test_extrema(self):
+        t = Tally("t")
+        for v in (3.0, -1.0, 7.0):
+            t.observe(v)
+        assert t.minimum == -1.0
+        assert t.maximum == 7.0
+
+    def test_count(self):
+        t = Tally("t")
+        t.observe(1.0)
+        t.observe(1.0)
+        assert t.count == 2
+
+
+class TestTimeSeries:
+    def test_record_and_last(self):
+        ts = TimeSeries("q")
+        ts.record(0.0, 1.0)
+        ts.record(5.0, 3.0)
+        assert ts.last == 3.0
+        assert len(ts) == 2
+
+    def test_time_must_not_go_backwards(self):
+        ts = TimeSeries("q")
+        ts.record(5.0, 1.0)
+        with pytest.raises(ValueError):
+            ts.record(4.0, 1.0)
+
+    def test_time_weighted_mean(self):
+        ts = TimeSeries("q")
+        ts.record(0.0, 0.0)
+        ts.record(10.0, 10.0)  # held 0 for 10ms, then 10 for 10ms
+        assert ts.time_weighted_mean(20.0) == pytest.approx(5.0)
+
+    def test_time_weighted_mean_empty(self):
+        assert TimeSeries("q").time_weighted_mean(10.0) == 0.0
+
+    def test_time_weighted_mean_single_sample(self):
+        ts = TimeSeries("q")
+        ts.record(5.0, 2.0)
+        assert ts.time_weighted_mean(5.0) == 2.0

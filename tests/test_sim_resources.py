@@ -1,0 +1,121 @@
+"""FIFO server resources."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.resources import Resource
+
+
+def test_single_server_serializes():
+    sim = Simulator()
+    res = Resource(sim, "r", capacity=1)
+    done = []
+    res.submit(10.0, lambda: done.append(sim.now))
+    res.submit(10.0, lambda: done.append(sim.now))
+    sim.run()
+    assert done == [10.0, 20.0]
+
+
+def test_two_servers_parallelize():
+    sim = Simulator()
+    res = Resource(sim, "r", capacity=2)
+    done = []
+    res.submit(10.0, lambda: done.append(sim.now))
+    res.submit(10.0, lambda: done.append(sim.now))
+    sim.run()
+    assert done == [10.0, 10.0]
+
+
+def test_fifo_order():
+    sim = Simulator()
+    res = Resource(sim, "r", capacity=1)
+    order = []
+    for tag in "abc":
+        res.submit(1.0, lambda t=tag: order.append(t))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_zero_capacity_rejected():
+    with pytest.raises(SimulationError):
+        Resource(Simulator(), "r", capacity=0)
+
+
+def test_negative_service_rejected():
+    res = Resource(Simulator(), "r")
+    with pytest.raises(SimulationError):
+        res.submit(-1.0)
+
+
+def test_busy_and_queued_counters():
+    sim = Simulator()
+    res = Resource(sim, "r", capacity=1)
+    res.submit(5.0)
+    res.submit(5.0)
+    assert res.busy == 1
+    assert res.queued == 1
+    assert res.idle == 0
+    sim.run()
+    assert res.busy == 0
+
+
+def test_stats_jobs_and_busy_time():
+    sim = Simulator()
+    res = Resource(sim, "r")
+    res.submit(3.0, nbytes=100)
+    res.submit(4.0, nbytes=200)
+    sim.run()
+    assert res.stats.jobs_completed == 2
+    assert res.stats.busy_time == 7.0
+    assert res.stats.bytes_served == 300
+
+
+def test_wait_time_accumulates():
+    sim = Simulator()
+    res = Resource(sim, "r")
+    res.submit(10.0)
+    res.submit(10.0)  # waits 10
+    sim.run()
+    assert res.stats.wait_time == 10.0
+    assert res.stats.mean_wait() == 5.0
+
+
+def test_utilization():
+    sim = Simulator()
+    res = Resource(sim, "r", capacity=2)
+    res.submit(10.0)
+    sim.run()
+    assert res.stats.utilization(10.0, 2) == 0.5
+
+
+def test_peak_queue():
+    sim = Simulator()
+    res = Resource(sim, "r")
+    for _ in range(4):
+        res.submit(1.0)
+    assert res.stats.peak_queue >= 3
+
+
+def test_submission_inside_completion():
+    sim = Simulator()
+    res = Resource(sim, "r")
+    done = []
+
+    def chain():
+        done.append(sim.now)
+        if len(done) < 3:
+            res.submit(2.0, chain)
+
+    res.submit(2.0, chain)
+    sim.run()
+    assert done == [2.0, 4.0, 6.0]
+
+
+def test_zero_service_time_completes():
+    sim = Simulator()
+    res = Resource(sim, "r")
+    done = []
+    res.submit(0.0, lambda: done.append(sim.now))
+    sim.run()
+    assert done == [0.0]

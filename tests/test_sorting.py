@@ -1,0 +1,78 @@
+"""External merge sort."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.relation import Relation
+from repro.relational.sorting import is_sorted, make_runs, merge_runs, sort_relation
+
+
+@pytest.fixture
+def relation(pair_schema):
+    rows = [(i * 7 % 23, i % 4) for i in range(23)]
+    return Relation.from_rows("S", pair_schema, rows, page_bytes=64)
+
+
+def test_sorted_output_is_ordered(relation):
+    out = sort_relation(relation, ["k"])
+    assert is_sorted(out, ["k"])
+
+
+def test_sort_preserves_bag(relation):
+    out = sort_relation(relation, ["k"])
+    assert out.same_rows_as(relation)
+
+
+def test_multi_key_sort(relation):
+    out = sort_relation(relation, ["grp", "k"])
+    assert is_sorted(out, ["grp", "k"])
+
+
+def test_tiny_memory_forces_many_runs(relation):
+    runs = make_runs(relation, ["k"], memory_pages=1)
+    assert len(runs) == relation.page_count
+    for run in runs:
+        assert run == sorted(run)
+
+
+def test_merge_of_runs_is_globally_sorted(relation):
+    runs = make_runs(relation, ["k"], memory_pages=2)
+    merged = list(merge_runs(runs, relation, ["k"]))
+    assert merged == sorted(merged)
+    assert len(merged) == 23
+
+
+def test_single_run_when_memory_large(relation):
+    assert len(make_runs(relation, ["k"], memory_pages=999)) == 1
+
+
+def test_zero_memory_rejected(relation):
+    with pytest.raises(SchemaError):
+        make_runs(relation, ["k"], memory_pages=0)
+
+
+def test_no_key_rejected(relation):
+    with pytest.raises(SchemaError):
+        sort_relation(relation, [])
+
+
+def test_sort_is_stable(pair_schema):
+    rows = [(1, 3), (1, 1), (1, 2)]
+    rel = Relation.from_rows("T", pair_schema, rows, page_bytes=256)
+    out = sort_relation(rel, ["k"])
+    assert [r[1] for r in out.rows()] == [3, 1, 2]
+
+
+def test_empty_relation_sorts_to_empty(pair_schema):
+    rel = Relation("E", pair_schema, page_bytes=64)
+    assert sort_relation(rel, ["k"]).cardinality == 0
+
+
+def test_is_sorted_detects_disorder(pair_schema):
+    rel = Relation.from_rows("U", pair_schema, [(2, 0), (1, 0)], page_bytes=64)
+    assert not is_sorted(rel, ["k"])
+
+
+def test_is_sorted_accepts_equal_keys(pair_schema):
+    rel = Relation.from_rows("V", pair_schema, [(1, 0), (1, 1)], page_bytes=64)
+    assert is_sorted(rel, ["k"])

@@ -1,0 +1,89 @@
+"""Relation statistics and selectivity estimation."""
+
+import pytest
+
+from repro.relational.predicate import FalsePredicate, TruePredicate, attr
+from repro.relational.relation import Relation
+from repro.relational.statistics import (
+    collect_stats,
+    estimate_join_cardinality,
+    estimate_selectivity,
+)
+
+
+@pytest.fixture
+def stats(pair_schema):
+    rows = [(i, i % 5) for i in range(100)]
+    return collect_stats(Relation.from_rows("S", pair_schema, rows, page_bytes=128))
+
+
+class TestCollectStats:
+    def test_cardinality(self, stats):
+        assert stats.cardinality == 100
+
+    def test_distinct_counts(self, stats):
+        assert stats.column("k").distinct == 100
+        assert stats.column("grp").distinct == 5
+
+    def test_min_max(self, stats):
+        assert stats.column("k").minimum == 0
+        assert stats.column("k").maximum == 99
+
+    def test_pages_recorded(self, stats):
+        assert stats.pages > 0
+
+
+class TestSelectivity:
+    def test_true_false(self, stats):
+        assert estimate_selectivity(TruePredicate(), stats) == 1.0
+        assert estimate_selectivity(FalsePredicate(), stats) == 0.0
+
+    def test_equality_uses_distinct(self, stats):
+        assert estimate_selectivity(attr("grp") == 2, stats) == pytest.approx(0.2)
+
+    def test_inequality(self, stats):
+        assert estimate_selectivity(attr("grp") != 2, stats) == pytest.approx(0.8)
+
+    def test_range_interpolation(self, stats):
+        sel = estimate_selectivity(attr("k") < 50, stats)
+        assert 0.4 < sel < 0.6
+
+    def test_between(self, stats):
+        sel = estimate_selectivity(attr("k").between(0, 49), stats)
+        assert 0.4 < sel < 0.6
+
+    def test_out_of_range_is_zero(self, stats):
+        assert estimate_selectivity(attr("k").between(500, 600), stats) == 0.0
+
+    def test_conjunction_multiplies(self, stats):
+        sel = estimate_selectivity((attr("grp") == 2) & (attr("grp") == 3), stats)
+        assert sel == pytest.approx(0.04)
+
+    def test_disjunction_inclusion_exclusion(self, stats):
+        sel = estimate_selectivity((attr("grp") == 2) | (attr("grp") == 3), stats)
+        assert sel == pytest.approx(0.2 + 0.2 - 0.04)
+
+    def test_negation(self, stats):
+        sel = estimate_selectivity(~(attr("grp") == 2), stats)
+        assert sel == pytest.approx(0.8)
+
+    def test_clamped_to_unit_interval(self, stats):
+        pred = (attr("k") >= 0) | (attr("k") <= 99)
+        assert 0.0 <= estimate_selectivity(pred, stats) <= 1.0
+
+
+class TestJoinCardinality:
+    def test_equijoin_divides_by_max_distinct(self, stats):
+        est = estimate_join_cardinality(stats, stats, attr("grp").equals_attr("grp"))
+        assert est == 100 * 100 // 5
+
+    def test_theta_join_uses_default(self, stats):
+        from repro.relational.predicate import CompareOp
+
+        est = estimate_join_cardinality(stats, stats, attr("k").joins(CompareOp.LT, "k"))
+        assert est == int(100 * 100 / 3)
+
+    def test_empty_relation(self, pair_schema):
+        empty = collect_stats(Relation("E", pair_schema, page_bytes=128))
+        est = estimate_join_cardinality(empty, empty, attr("grp").equals_attr("grp"))
+        assert est == 0

@@ -1,0 +1,152 @@
+"""The Section 3.2 benchmark: database generator and query mix."""
+
+import pytest
+
+from repro import hw
+from repro.errors import WorkloadError
+from repro.workload.generator import (
+    BENCHMARK_SCHEMA,
+    benchmark_relation_specs,
+    generate_benchmark_database,
+)
+from repro.workload.queries import BENCHMARK_MIX, benchmark_queries, verify_benchmark_mix
+from repro.workload.zipf import ZipfGenerator, shuffled_range, weighted_partition
+
+import random
+
+
+class TestGenerators:
+    def test_zipf_range(self):
+        z = ZipfGenerator(50, s=1.0)
+        rng = random.Random(1)
+        draws = [z.draw(rng) for _ in range(500)]
+        assert all(1 <= d <= 50 for d in draws)
+
+    def test_zipf_is_skewed(self):
+        z = ZipfGenerator(50, s=1.2)
+        rng = random.Random(1)
+        draws = [z.draw(rng) for _ in range(2000)]
+        assert draws.count(1) > draws.count(25) * 3
+
+    def test_zipf_zero_skew_roughly_uniform(self):
+        z = ZipfGenerator(10, s=0.0)
+        rng = random.Random(1)
+        draws = [z.draw(rng) for _ in range(5000)]
+        counts = [draws.count(v) for v in range(1, 11)]
+        assert max(counts) < 2 * min(counts)
+
+    def test_zipf_validates_args(self):
+        with pytest.raises(ValueError):
+            ZipfGenerator(0)
+        with pytest.raises(ValueError):
+            ZipfGenerator(5, s=-1)
+
+    def test_shuffled_range_is_permutation(self):
+        values = shuffled_range(random.Random(3), 100)
+        assert sorted(values) == list(range(100))
+
+    def test_weighted_partition_sums_exactly(self):
+        parts = weighted_partition(1000, [1, 2, 3, 4])
+        assert sum(parts) == 1000
+
+    def test_weighted_partition_proportional(self):
+        parts = weighted_partition(1000, [1, 3])
+        assert parts[1] > 2.5 * parts[0]
+
+    def test_weighted_partition_no_zero_parts(self):
+        parts = weighted_partition(100, [100, 1, 1])
+        assert all(p >= 1 for p in parts)
+
+
+class TestDatabase:
+    def test_fifteen_relations(self, tiny_benchmark):
+        assert len(tiny_benchmark.specs) == hw.BENCHMARK_NUM_RELATIONS
+        assert len(tiny_benchmark.catalog) == 15
+
+    def test_full_scale_hits_55_megabytes(self):
+        specs = benchmark_relation_specs(scale=1.0)
+        total = sum(s.data_bytes for s in specs)
+        assert total == pytest.approx(hw.BENCHMARK_DB_BYTES, rel=0.01)
+
+    def test_record_width_near_100_bytes(self):
+        assert BENCHMARK_SCHEMA.record_width == 96
+
+    def test_deterministic_under_seed(self):
+        a = generate_benchmark_database(scale=0.02, seed=5)
+        b = generate_benchmark_database(scale=0.02, seed=5)
+        for name in a.relation_names:
+            assert a.catalog.get(name).same_rows_as(b.catalog.get(name))
+
+    def test_different_seed_differs(self):
+        a = generate_benchmark_database(scale=0.02, seed=5)
+        b = generate_benchmark_database(scale=0.02, seed=6)
+        assert not all(
+            a.catalog.get(n).same_rows_as(b.catalog.get(n)) for n in a.relation_names
+        )
+
+    def test_keys_unique_per_relation(self, tiny_benchmark):
+        for rel in tiny_benchmark.catalog:
+            keys = [r[0] for r in rel.rows()]
+            assert len(set(keys)) == len(keys)
+
+    def test_b_domain_respected(self, tiny_benchmark):
+        for rel in tiny_benchmark.catalog:
+            assert all(0 <= r[2] < 25 for r in rel.rows())
+
+    def test_scale_too_small_rejected(self):
+        with pytest.raises(WorkloadError):
+            generate_benchmark_database(scale=1e-7)
+
+    def test_bad_b_domain_rejected(self):
+        with pytest.raises(WorkloadError):
+            generate_benchmark_database(scale=0.02, b_domain=0)
+
+    def test_relation_sizes_spread(self, tiny_benchmark):
+        sizes = [s.rows for s in tiny_benchmark.specs]
+        assert max(sizes) > 3 * min(sizes)
+
+
+class TestQueryMix:
+    def test_ten_queries(self, tiny_queries):
+        assert len(tiny_queries) == 10
+
+    def test_mix_matches_paper(self, tiny_queries):
+        verify_benchmark_mix(tiny_queries)  # raises on mismatch
+
+    def test_mix_totals(self):
+        queries = sum(n for _, _, n in BENCHMARK_MIX)
+        joins = sum(j * n for j, _, n in BENCHMARK_MIX)
+        restricts = sum(r * n for _, r, n in BENCHMARK_MIX)
+        assert (queries, joins, restricts) == (10, 19, 28)
+
+    def test_all_queries_validate(self, tiny_benchmark, tiny_queries):
+        for tree in tiny_queries:
+            tree.validate(tiny_benchmark.catalog)
+
+    def test_every_query_has_distinct_relations(self, tiny_queries):
+        for tree in tiny_queries:
+            leaves = tree.leaf_relations()
+            assert len(set(leaves)) == len(leaves)
+
+    def test_selectivity_is_exact(self, tiny_benchmark):
+        trees = benchmark_queries(
+            tiny_benchmark.catalog, tiny_benchmark.relation_names, selectivity=0.5
+        )
+        from repro.query import execute
+
+        q1 = trees[0]
+        rel = tiny_benchmark.catalog.get(q1.leaf_relations()[0])
+        out = execute(q1, tiny_benchmark.catalog)
+        assert out.cardinality == pytest.approx(rel.cardinality * 0.5, abs=1)
+
+    def test_bad_selectivity_rejected(self, tiny_benchmark):
+        with pytest.raises(WorkloadError):
+            benchmark_queries(tiny_benchmark.catalog, tiny_benchmark.relation_names, selectivity=0)
+
+    def test_verify_mix_rejects_wrong_shape(self, tiny_benchmark, tiny_queries):
+        with pytest.raises(WorkloadError):
+            verify_benchmark_mix(tiny_queries[:9])
+
+    def test_too_few_relations_rejected(self, tiny_benchmark):
+        with pytest.raises(WorkloadError):
+            benchmark_queries(tiny_benchmark.catalog, tiny_benchmark.relation_names[:3])
