@@ -4,6 +4,8 @@ Commands:
 
 * ``list``                    — the experiment catalog with one-line summaries
 * ``run <experiment> [...]``  — regenerate one paper artifact (table + chart)
+* ``trace <experiment>``      — run instrumented; write a Chrome/Perfetto trace
+* ``metrics <experiment>``    — run instrumented; emit a JSON metrics report
 * ``bench-info``              — how to run the benchmark suite
 * ``workload``                — describe the Section 3.2 benchmark database
 
@@ -13,14 +15,19 @@ Examples::
     python -m repro run figure_3_1 --scale 0.25 --processors 5,15,30
     python -m repro run section_3_3
     python -m repro run figure_4_2 --ips 5,25,50
+    python -m repro trace figure_3_1 --scale 0.1 --processors 5
+    python -m repro metrics ring_vs_direct --scale 0.1
     python -m repro workload --scale 0.1
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable, Dict, List, Optional
+
+from repro import obs
 
 from repro.experiments import (
     dataflow_machine,
@@ -62,12 +69,8 @@ def _cmd_list(_args) -> int:
     return 0
 
 
-def _cmd_run(args) -> int:
-    if args.experiment not in _EXPERIMENTS:
-        print(f"unknown experiment {args.experiment!r}; try 'python -m repro list'")
-        return 2
-    module, _summary = _EXPERIMENTS[args.experiment]
-    kwargs = {}
+def _experiment_kwargs(args) -> Dict[str, object]:
+    kwargs: Dict[str, object] = {}
     if args.scale is not None:
         kwargs["scale"] = args.scale
     if args.selectivity is not None:
@@ -76,11 +79,26 @@ def _cmd_run(args) -> int:
         kwargs["processors"] = tuple(args.processors)
     if args.ips is not None:
         kwargs["ips"] = tuple(args.ips)
+    return kwargs
+
+
+def _run_experiment(args):
+    """Resolve and run one experiment; returns (result, error_code)."""
+    if args.experiment not in _EXPERIMENTS:
+        print(f"unknown experiment {args.experiment!r}; try 'python -m repro list'")
+        return None, 2
+    module, _summary = _EXPERIMENTS[args.experiment]
     try:
-        result = module.run(**kwargs)
+        return module.run(**_experiment_kwargs(args)), 0
     except TypeError as exc:
         print(f"experiment {args.experiment!r} rejected options: {exc}")
-        return 2
+        return None, 2
+
+
+def _cmd_run(args) -> int:
+    result, code = _run_experiment(args)
+    if result is None:
+        return code
     print(result.render())
     if args.experiment == "figure_3_1" and len(result.rows) > 1:
         print()
@@ -88,6 +106,38 @@ def _cmd_run(args) -> int:
     if args.experiment == "figure_4_2" and len(result.rows) > 1:
         print()
         print(figure_4_2_chart(result.rows))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    with obs.observe(trace=True, metrics=False) as session:
+        result, code = _run_experiment(args)
+    if result is None:
+        return code
+    out = args.out or f"{args.experiment}.trace.json"
+    session.tracer.write(out)
+    print(
+        f"wrote {session.tracer.event_count} trace events to {out} "
+        f"(load in chrome://tracing or https://ui.perfetto.dev)"
+    )
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    from repro.experiments.common import metrics_report
+
+    with obs.observe(trace=False, metrics=True) as session:
+        result, code = _run_experiment(args)
+    if result is None:
+        return code
+    report = metrics_report(session.metrics, experiment_id=args.experiment)
+    text = json.dumps(report, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote metrics report to {args.out}")
+    else:
+        print(text)
     return 0
 
 
@@ -129,12 +179,37 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list available experiments")
 
+    def add_experiment_options(parser_: argparse.ArgumentParser) -> None:
+        parser_.add_argument("experiment", help="experiment name (see 'list')")
+        parser_.add_argument(
+            "--scale", type=float, default=None, help="database scale (1.0 = 5.5 MB)"
+        )
+        parser_.add_argument(
+            "--selectivity", type=float, default=None, help="restrict selectivity"
+        )
+        parser_.add_argument(
+            "--processors", type=_int_list, default=None, help="e.g. 5,15,30"
+        )
+        parser_.add_argument("--ips", type=_int_list, default=None, help="e.g. 5,25,50")
+
     run = sub.add_parser("run", help="run one experiment")
-    run.add_argument("experiment", help="experiment name (see 'list')")
-    run.add_argument("--scale", type=float, default=None, help="database scale (1.0 = 5.5 MB)")
-    run.add_argument("--selectivity", type=float, default=None, help="restrict selectivity")
-    run.add_argument("--processors", type=_int_list, default=None, help="e.g. 5,15,30")
-    run.add_argument("--ips", type=_int_list, default=None, help="e.g. 5,25,50")
+    add_experiment_options(run)
+
+    trace = sub.add_parser(
+        "trace", help="run one experiment with tracing; write Chrome trace JSON"
+    )
+    add_experiment_options(trace)
+    trace.add_argument(
+        "--out", default=None, help="trace file path (default <experiment>.trace.json)"
+    )
+
+    metrics = sub.add_parser(
+        "metrics", help="run one experiment with metrics; emit a JSON report"
+    )
+    add_experiment_options(metrics)
+    metrics.add_argument(
+        "--out", default=None, help="write the JSON report here instead of stdout"
+    )
 
     workload = sub.add_parser("workload", help="describe the benchmark database")
     workload.add_argument("--scale", type=float, default=0.1)
@@ -151,6 +226,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     commands: Dict[str, Callable] = {
         "list": _cmd_list,
         "run": _cmd_run,
+        "trace": _cmd_trace,
+        "metrics": _cmd_metrics,
         "workload": _cmd_workload,
         "bench-info": _cmd_bench_info,
     }

@@ -317,6 +317,7 @@ class DirectMachine:
         elapsed = self.sim.now
         busy = sum(p.busy_ms for p in self.processors)
         utilization = busy / (elapsed * len(self.processors)) if elapsed > 0 else 0.0
+        self._publish_metrics(elapsed, min(1.0, utilization))
         return DirectReport(
             granularity=self.granularity.key,
             processors=len(self.processors),
@@ -329,6 +330,40 @@ class DirectMachine:
             processor_utilization=min(1.0, utilization),
             events_processed=self.sim.events_processed,
         )
+
+    def _publish_metrics(self, elapsed: float, utilization: float) -> None:
+        """Summarize the run into the metrics registry (stable names)."""
+        metrics = self.sim.metrics
+        if not metrics.enabled:
+            return
+        rid = self.sim.run_id
+        metrics.set_gauge("machine.elapsed_ms", elapsed, machine="direct", run=rid)
+        metrics.set_gauge(
+            "machine.processor_utilization", utilization, machine="direct", run=rid
+        )
+        for resource in [self.ports] + self.disks:
+            metrics.set_gauge(
+                "resource.utilization",
+                resource.utilization(elapsed),
+                resource=resource.name,
+                run=rid,
+            )
+            metrics.set_gauge(
+                "resource.peak_queue",
+                resource.stats.peak_queue,
+                resource=resource.name,
+                run=rid,
+            )
+        for level, nbytes in self.meter.snapshot().items():
+            metrics.set_gauge("traffic.bytes", nbytes, machine="direct", level=level, run=rid)
+        for run in self._runs:
+            if run.elapsed_ms is not None:
+                metrics.set_gauge(
+                    "query.elapsed_ms", run.elapsed_ms, query=run.tree.name, run=rid
+                )
+                metrics.set_gauge(
+                    "query.result_rows", run.result_rows, query=run.tree.name, run=rid
+                )
 
     def _result_relation(self, run: QueryRun) -> Relation:
         instr = run.root_instruction
@@ -347,9 +382,17 @@ class DirectMachine:
             proc = self._stageable_processor()
             if proc is None:
                 return
-            instr = pick_instruction(self._instructions)
+            instr = pick_instruction(self._instructions, metrics=self.sim.metrics)
             if instr is None:
                 return
+            if self.sim.tracer.enabled:
+                self.sim.tracer.instant(
+                    f"dispatch.{instr.label}",
+                    "mc",
+                    self.sim.now,
+                    "controller",
+                    args={"processor": proc.pid},
+                )
             task = instr.pop_task()
             instr.in_flight += 1
             instr.assigned_processors += 1
@@ -439,6 +482,10 @@ class DirectMachine:
 
     def _charge(self, proc: _Processor, delay: float, then: Callable[[], None]) -> None:
         proc.busy_ms += delay
+        if self.sim.tracer.enabled:
+            self.sim.tracer.span("cpu", "proc", self.sim.now, delay, f"P{proc.pid}")
+        if self.sim.metrics.enabled:
+            self.sim.metrics.tally("proc.charge_ms", kind="cpu").observe(delay)
         self.sim.schedule(delay, then, label=f"p{proc.pid}.cpu")
 
     def _unary_execute(self, proc: _Processor, task: Task) -> None:
@@ -500,6 +547,12 @@ class DirectMachine:
                 self._charge(proc, cpu, joined)
 
             proc.busy_ms += fill
+            if self.sim.tracer.enabled:
+                self.sim.tracer.span(
+                    "inner-fill", "proc", self.sim.now, fill, f"P{proc.pid}"
+                )
+            if self.sim.metrics.enabled:
+                self.sim.metrics.tally("proc.charge_ms", kind="inner-fill").observe(fill)
             self.sim.schedule(fill, filled, label=f"p{proc.pid}.inner-fill")
 
         self._fetch_operand(inner_ref, inner_delivered)
@@ -722,6 +775,15 @@ class DirectMachine:
             if run.root_instruction is instr:
                 run.completed_at = self.sim.now
                 run.result_rows = instr.assembler.rows_emitted
+                if self.sim.tracer.enabled:
+                    self.sim.tracer.span(
+                        run.tree.name,
+                        "query",
+                        run.submitted_at,
+                        run.completed_at - run.submitted_at,
+                        "queries",
+                        args={"result_rows": run.result_rows},
+                    )
                 # The host drains the result; its pages leave the machine.
                 for ref in instr.produced_pages:
                     self._drop_intermediate(ref)

@@ -1,10 +1,19 @@
-"""Shared experiment infrastructure: result containers and table rendering."""
+"""Shared experiment infrastructure: result containers, table rendering,
+and registry-backed metric reports.
+
+Per-run measurement lives in the :mod:`repro.obs` registry (the machines
+publish stable metric names at the end of every run); the helpers here
+*read* the registry instead of each experiment hand-rolling its own
+counters.  ``repro metrics <experiment>`` is built on them.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
+from repro import hw
+from repro.obs import MetricsRegistry, metric_key, parse_metric_key
 from repro.workload import generate_benchmark_database, benchmark_queries
 from repro.workload.generator import BenchmarkDatabase
 
@@ -80,6 +89,119 @@ def benchmark_database(scale: float = None, page_bytes: int = None) -> Benchmark
         seed=DEFAULTS["seed"],
         page_bytes=page_bytes or DEFAULTS["direct_page_bytes"],
     )
+
+
+#: The ring technologies priced in Section 4, as name -> raw Mbps.  The
+#: metrics report compares each run's offered load against all three.
+RING_TECHNOLOGY_MBPS = {
+    "ttl_40mbps": hw.OUTER_RING_TTL.bit_rate_mbps,
+    "fiber_400mbps": hw.OUTER_RING_FIBER.bit_rate_mbps,
+    "ecl_1gbps": hw.OUTER_RING_ECL.bit_rate_mbps,
+}
+
+
+def ring_technology_headroom(offered_mbps: float) -> Dict[str, float]:
+    """Fraction of each Section 4 ring technology ``offered_mbps`` consumes."""
+    return {
+        tech: offered_mbps / capacity
+        for tech, capacity in RING_TECHNOLOGY_MBPS.items()
+    }
+
+
+def _run_sort_key(value: str):
+    """Order ``run`` label values numerically where possible."""
+    try:
+        return (0, int(value))
+    except (TypeError, ValueError):
+        return (1, str(value))
+
+
+def per_query_metrics(registry: MetricsRegistry) -> List[dict]:
+    """Per-query rows read back from the registry's stable gauge names.
+
+    A sweep publishes gauges from many runs (``run`` label); each row is
+    one (run, query) pair, joined with that run's machine- and ring-level
+    utilization so the row stands alone.
+    """
+    gauges = registry.report()["gauges"]
+    # Run-level context to join onto every query row of the same run.
+    run_context: Dict[str, dict] = {}
+    for key, value in gauges.items():
+        name, labels = parse_metric_key(key)
+        run = labels.get("run")
+        if run is None:
+            continue
+        context = run_context.setdefault(run, {})
+        if name in ("machine.ip_utilization", "machine.processor_utilization"):
+            context["machine_utilization"] = value
+        elif name == "ring.utilization":
+            context[f"ring_utilization.{labels['ring']}"] = value
+    queries: Dict[tuple, dict] = {}
+    for key, value in gauges.items():
+        name, labels = parse_metric_key(key)
+        query = labels.get("query")
+        if query is None:
+            continue
+        run = labels.get("run", "")
+        row = queries.setdefault((run, query), {"run": run, "query": query})
+        row[name] = value
+    rows = []
+    for run, query in sorted(queries, key=lambda k: (_run_sort_key(k[0]), k[1])):
+        row = queries[(run, query)]
+        row.update(run_context.get(run, {}))
+        rows.append(row)
+    return rows
+
+
+def metrics_report(registry: MetricsRegistry, experiment_id: str = "") -> dict:
+    """The machine-readable per-run report ``repro metrics`` emits.
+
+    Combines the raw registry snapshot with the derived views every
+    experiment used to compute by hand: per-query rows, resource queue
+    statistics, and each ring's offered load against the three priced
+    ring technologies (Section 4).  Sweeps publish one entry per ``run``
+    label.
+    """
+    snapshot = registry.report()
+    gauges = snapshot["gauges"]
+    rings = []
+    for key in sorted(gauges):
+        name, labels = parse_metric_key(key)
+        if name != "ring.offered_mbps":
+            continue
+        offered = gauges[key]
+
+        def sibling(gauge_name: str) -> float:
+            return gauges.get(metric_key(gauge_name, labels), 0.0)
+
+        rings.append(
+            {
+                "ring": labels["ring"],
+                "run": labels.get("run", ""),
+                "offered_mbps": offered,
+                "utilization": sibling("ring.utilization"),
+                "peak_queue": sibling("ring.peak_queue"),
+                "mean_queue_wait_ms": sibling("ring.mean_queue_wait_ms"),
+                "technology_headroom": ring_technology_headroom(offered),
+            }
+        )
+    rings.sort(key=lambda r: (_run_sort_key(r["run"]), r["ring"]))
+    queues = []
+    for key, stats in snapshot["series"].items():
+        name, labels = parse_metric_key(key)
+        if name != "resource.queue_depth":
+            continue
+        entry = {"resource": labels["resource"], "run": labels.get("run", "")}
+        entry.update(stats)
+        queues.append(entry)
+    queues.sort(key=lambda q: (_run_sort_key(q["run"]), q["resource"]))
+    return {
+        "experiment": experiment_id,
+        "queries": per_query_metrics(registry),
+        "rings": rings,
+        "queue_depths": queues,
+        "metrics": snapshot,
+    }
 
 
 def benchmark_workload(db: BenchmarkDatabase, selectivity: float = None):

@@ -1,0 +1,114 @@
+"""Unified observability: metrics registry + structured tracing.
+
+Both simulators (:mod:`repro.direct`, :mod:`repro.ring`) are instrumented
+against this package.  Observability is carried by an :class:`ObsSession`
+— a (tracer, metrics) pair — and the *ambient* session is what a freshly
+constructed :class:`repro.sim.engine.Simulator` picks up.  The default
+ambient session is disabled on both axes, so an uninstrumented run pays
+one ``.enabled`` attribute check per hook and records nothing; behaviour
+and results are bit-identical either way (hooks only observe, never
+schedule).
+
+Typical use::
+
+    from repro import obs
+
+    with obs.observe(trace=True, metrics=True) as session:
+        report = run_ring_benchmark(catalog, queries)     # instrumented
+    session.tracer.write("run.trace.json")                # Perfetto-loadable
+    print(session.metrics.report(end_time_ms=report.elapsed_ms))
+"""
+
+from __future__ import annotations
+
+import itertools
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    metric_key,
+    parse_metric_key,
+)
+from repro.obs.tracer import NULL_TRACER, Tracer
+
+__all__ = [
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NULL_TRACER",
+    "ObsSession",
+    "Tracer",
+    "ambient",
+    "install",
+    "metric_key",
+    "next_run_id",
+    "observe",
+    "parse_metric_key",
+]
+
+
+@dataclass
+class ObsSession:
+    """One (tracer, metrics) pair the simulators record into."""
+
+    tracer: Tracer = field(default_factory=lambda: NULL_TRACER)
+    metrics: MetricsRegistry = field(default_factory=lambda: NULL_REGISTRY)
+
+    @property
+    def enabled(self) -> bool:
+        """True when either axis is recording."""
+        return self.tracer.enabled or self.metrics.enabled
+
+
+#: The disabled default every simulator sees unless someone observes.
+_DISABLED = ObsSession()
+_ambient: ObsSession = _DISABLED
+
+#: Monotone ids handed to instrumented Simulators.  A sweep experiment
+#: builds many machines under one session; the id becomes the ``run``
+#: label that keeps their time series and per-query gauges apart.
+_run_ids = itertools.count(1)
+
+
+def next_run_id() -> int:
+    """A fresh ``run`` label value for one instrumented simulator."""
+    return next(_run_ids)
+
+
+def ambient() -> ObsSession:
+    """The session a newly built Simulator will record into."""
+    return _ambient
+
+
+def install(session: ObsSession) -> ObsSession:
+    """Make ``session`` ambient; returns the one it replaced."""
+    global _ambient
+    previous = _ambient
+    _ambient = session
+    return previous
+
+
+@contextmanager
+def observe(
+    trace: bool = True,
+    metrics: bool = True,
+    tracer: Tracer = None,
+    registry: MetricsRegistry = None,
+):
+    """Install a fresh (or given) session as ambient for the block.
+
+    Only simulators *constructed inside* the block pick the session up —
+    a Simulator binds its session once, at construction.
+    """
+    session = ObsSession(
+        tracer=tracer if tracer is not None else (Tracer() if trace else NULL_TRACER),
+        metrics=registry
+        if registry is not None
+        else (MetricsRegistry() if metrics else NULL_REGISTRY),
+    )
+    previous = install(session)
+    try:
+        yield session
+    finally:
+        install(previous)

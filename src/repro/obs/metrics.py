@@ -1,0 +1,153 @@
+"""A namespaced metrics registry with labeled dimensions.
+
+Instruments are the :mod:`repro.sim.monitor` primitives — :class:`Counter`,
+:class:`Tally`, :class:`TimeSeries` — plus plain *gauges* (last-write-wins
+summary values).  Every instrument is identified by a name and a set of
+``label=value`` dimensions, rendered Prometheus-style::
+
+    ring.bytes{ring=outer-ring}
+    resource.queue_depth{resource=disk0}
+    query.elapsed_ms{query=Q3}
+
+The metric names the simulators emit are a stable interface, documented in
+README.md ("Observability"); experiments and the ``repro metrics`` CLI read
+them back instead of hand-rolling counters.
+
+A disabled registry hands out shared throwaway instruments and records
+nothing, so instrumentation hooks cost one attribute check when metrics
+are off.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.sim.monitor import Counter, Tally, TimeSeries
+
+
+def metric_key(name: str, labels: Optional[dict] = None) -> str:
+    """Canonical ``name{k=v,...}`` key (labels sorted; bare name if none)."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+def parse_metric_key(key: str):
+    """Invert :func:`metric_key`: ``"name{k=v}"`` -> ``(name, {k: v})``."""
+    if not key.endswith("}") or "{" not in key:
+        return key, {}
+    name, _, inner = key[:-1].partition("{")
+    labels = {}
+    for part in inner.split(","):
+        if part:
+            k, _, v = part.partition("=")
+            labels[k] = v
+    return name, labels
+
+
+class MetricsRegistry:
+    """Namespaced counters, tallies, time series, and gauges."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._counters: Dict[str, Counter] = {}
+        self._tallies: Dict[str, Tally] = {}
+        self._series: Dict[str, TimeSeries] = {}
+        self._gauges: Dict[str, float] = {}
+        # Shared sinks handed out while disabled: recorded values are
+        # simply discarded with the instance.
+        self._null_counter = Counter("null")
+        self._null_tally = Tally("null")
+        self._null_series = TimeSeries("null")
+
+    # -- instrument access -----------------------------------------------------
+
+    def counter(self, name: str, **labels) -> Counter:
+        """The monotone counter for ``name`` + ``labels`` (created on first use)."""
+        if not self.enabled:
+            return self._null_counter
+        key = metric_key(name, labels)
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter(key)
+        return instrument
+
+    def tally(self, name: str, **labels) -> Tally:
+        """The sample tally for ``name`` + ``labels``."""
+        if not self.enabled:
+            return self._null_tally
+        key = metric_key(name, labels)
+        instrument = self._tallies.get(key)
+        if instrument is None:
+            instrument = self._tallies[key] = Tally(key)
+        return instrument
+
+    def series(self, name: str, **labels) -> TimeSeries:
+        """The time series for ``name`` + ``labels``."""
+        if not self.enabled:
+            return self._null_series
+        key = metric_key(name, labels)
+        instrument = self._series.get(key)
+        if instrument is None:
+            instrument = self._series[key] = TimeSeries(key)
+        return instrument
+
+    def set_gauge(self, name: str, value: float, **labels) -> None:
+        """Record a summary value (last write wins)."""
+        if not self.enabled:
+            return
+        self._gauges[metric_key(name, labels)] = value
+
+    # -- reading ---------------------------------------------------------------
+
+    def value(self, name: str, **labels) -> float:
+        """A counter's or gauge's current value (0.0 when never recorded)."""
+        key = metric_key(name, labels)
+        if key in self._counters:
+            return self._counters[key].value
+        return self._gauges.get(key, 0.0)
+
+    def report(self, end_time_ms: Optional[float] = None) -> dict:
+        """A machine-readable snapshot of every instrument.
+
+        Time series are summarized (count, last, time-weighted mean to
+        ``end_time_ms``) rather than dumped sample-by-sample.
+        """
+        series = {}
+        for key, ts in sorted(self._series.items()):
+            end = end_time_ms if end_time_ms is not None else (
+                ts.samples[-1][0] if ts.samples else 0.0
+            )
+            series[key] = {
+                "samples": len(ts),
+                "last": ts.last,
+                "time_weighted_mean": ts.time_weighted_mean(end),
+            }
+        return {
+            "counters": {k: c.value for k, c in sorted(self._counters.items())},
+            "gauges": dict(sorted(self._gauges.items())),
+            "tallies": {
+                k: {
+                    "count": t.count,
+                    "mean": t.mean,
+                    "min": t.minimum if t.count else 0.0,
+                    "max": t.maximum if t.count else 0.0,
+                    "stddev": t.stddev,
+                }
+                for k, t in sorted(self._tallies.items())
+            },
+            "series": series,
+        }
+
+    def __repr__(self) -> str:
+        state = "on" if self.enabled else "off"
+        return (
+            f"MetricsRegistry({state}, {len(self._counters)} counters, "
+            f"{len(self._tallies)} tallies, {len(self._series)} series, "
+            f"{len(self._gauges)} gauges)"
+        )
+
+
+#: The shared disabled registry: the ambient default when no one measures.
+NULL_REGISTRY = MetricsRegistry(enabled=False)

@@ -1,0 +1,147 @@
+"""Structured event tracing in Chrome trace-event format.
+
+A :class:`Tracer` collects *spans* (``ph: "X"`` complete events), *instants*
+(``ph: "i"``) and *counter samples* (``ph: "C"``) from the simulators and
+serializes them as Chrome trace-event JSON — the format read by
+``chrome://tracing`` and Perfetto (https://ui.perfetto.dev).
+
+Conventions:
+
+* timestamps and durations arrive in **simulated milliseconds** and are
+  written in microseconds (``ts``/``dur``), as the format requires;
+* each span names a ``track`` (a device, processor, ring, or the query
+  lane); tracks map to trace *thread ids* with ``thread_name`` metadata so
+  viewers show one swim-lane per simulated component;
+* a disabled tracer (``enabled=False``) records nothing — every recording
+  method returns immediately, so instrumentation hooks cost one attribute
+  check when tracing is off.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+
+class Tracer:
+    """Collects trace events; renders/writes Chrome trace-event JSON."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._events: List[dict] = []
+        self._tracks: Dict[str, int] = {}
+
+    # -- recording ------------------------------------------------------------
+
+    def span(
+        self,
+        name: str,
+        cat: str,
+        start_ms: float,
+        dur_ms: float,
+        track: str,
+        args: Optional[dict] = None,
+    ) -> None:
+        """One complete (``ph: "X"``) event covering ``[start, start+dur)``."""
+        if not self.enabled:
+            return
+        event = {
+            "name": name,
+            "cat": cat,
+            "ph": "X",
+            "ts": start_ms * 1000.0,
+            "dur": dur_ms * 1000.0,
+            "pid": 1,
+            "tid": self._tid(track),
+        }
+        if args:
+            event["args"] = args
+        self._events.append(event)
+
+    def instant(
+        self,
+        name: str,
+        cat: str,
+        ts_ms: float,
+        track: str,
+        args: Optional[dict] = None,
+    ) -> None:
+        """One instant (``ph: "i"``) event at ``ts_ms``."""
+        if not self.enabled:
+            return
+        event = {
+            "name": name,
+            "cat": cat,
+            "ph": "i",
+            "s": "t",
+            "ts": ts_ms * 1000.0,
+            "pid": 1,
+            "tid": self._tid(track),
+        }
+        if args:
+            event["args"] = args
+        self._events.append(event)
+
+    def counter(self, name: str, ts_ms: float, values: Dict[str, float]) -> None:
+        """One counter (``ph: "C"``) sample; Perfetto plots it as a graph."""
+        if not self.enabled:
+            return
+        self._events.append(
+            {
+                "name": name,
+                "cat": "counter",
+                "ph": "C",
+                "ts": ts_ms * 1000.0,
+                "pid": 1,
+                "tid": 0,
+                "args": dict(values),
+            }
+        )
+
+    def _tid(self, track: str) -> int:
+        tid = self._tracks.get(track)
+        if tid is None:
+            tid = len(self._tracks) + 1
+            self._tracks[track] = tid
+        return tid
+
+    # -- output ---------------------------------------------------------------
+
+    @property
+    def event_count(self) -> int:
+        """Events recorded so far (excluding thread-name metadata)."""
+        return len(self._events)
+
+    def chrome_trace(self) -> dict:
+        """The trace as a Chrome trace-event JSON object."""
+        metadata = [
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": track},
+            }
+            for track, tid in sorted(self._tracks.items(), key=lambda kv: kv[1])
+        ]
+        return {
+            "traceEvents": metadata + list(self._events),
+            "displayTimeUnit": "ms",
+        }
+
+    def write(self, path: str) -> None:
+        """Serialize the trace to ``path`` as JSON."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.chrome_trace(), handle)
+
+    def clear(self) -> None:
+        """Drop all recorded events (track ids are kept stable)."""
+        self._events.clear()
+
+    def __repr__(self) -> str:
+        state = "on" if self.enabled else "off"
+        return f"Tracer({state}, {len(self._events)} events, {len(self._tracks)} tracks)"
+
+
+#: The shared disabled tracer: the ambient default when no one is tracing.
+NULL_TRACER = Tracer(enabled=False)

@@ -344,6 +344,8 @@ class InstructionController:
         shortfall = desired - len(self.my_ips) - self.want_outstanding
         if shortfall > 0:
             self.want_outstanding += shortfall
+            if self.machine.sim.metrics.enabled:
+                self.machine.sim.metrics.counter("ic.ip_requests").add(shortfall)
             self.machine.ic_request_ips(self, shortfall)
 
     def grant_ip(self, ip: "InstructionProcessor") -> None:
@@ -359,6 +361,8 @@ class InstructionController:
         self.idle_ips.append(ip)
         if self.started_at is None:
             self.started_at = self.machine.sim.now
+        if self.machine.sim.metrics.enabled:
+            self.machine.sim.metrics.counter("ic.ip_grants").add()
         self.dispatch_idle_ips()
 
     def _release_ip(self, ip: "InstructionProcessor") -> None:
@@ -372,8 +376,23 @@ class InstructionController:
 
     def dispatch_idle_ips(self) -> None:
         """Feed every idle IP with the next packet of work."""
+        sim = self.machine.sim
         while self.idle_ips and self._work_available() > 0:
             ip = self.idle_ips.pop(0)
+            kind = "join" if self.is_join else "unary"
+            if sim.tracer.enabled:
+                sim.tracer.instant(
+                    f"dispatch.{kind}",
+                    "ic",
+                    sim.now,
+                    f"IC{self.ic_id}",
+                    args={"ip": ip.ip_id, "backlog": self._work_available()},
+                )
+            if sim.metrics.enabled:
+                sim.metrics.counter("ic.dispatch", kind=kind).add()
+                sim.metrics.series(
+                    "ic.backlog", ic=self.ic_id, run=sim.run_id
+                ).record(sim.now, self._work_available())
             if self.is_join:
                 self._dispatch_join(ip)
             else:
@@ -487,12 +506,29 @@ class InstructionController:
         """REQUEST_INNER(i): broadcast page i, or queue, or signal the end."""
         inner = self.operands[1]
         if index < inner.page_count:
-            if index in self.broadcast_inflight:
-                # "Subsequent requests ... received 'soon' afterwards can
-                # be ignored" — the in-flight broadcast will serve it.
-                return
-            self._broadcast_inner(index)
+            decision = "ignored" if index in self.broadcast_inflight else "broadcast"
         elif inner.complete:
+            decision = "last"
+        else:
+            decision = "queued"
+        sim = self.machine.sim
+        if sim.tracer.enabled:
+            sim.tracer.instant(
+                "request_inner",
+                "ic",
+                sim.now,
+                f"IC{self.ic_id}",
+                args={"ip": ip.ip_id, "index": index, "decision": decision},
+            )
+        if sim.metrics.enabled:
+            sim.metrics.counter("ic.inner_requests", decision=decision).add()
+        if decision == "ignored":
+            # "Subsequent requests ... received 'soon' afterwards can
+            # be ignored" — the in-flight broadcast will serve it.
+            return
+        if decision == "broadcast":
+            self._broadcast_inner(index)
+        elif decision == "last":
             self.machine.ic_send_inner_last(self, ip, inner.page_count)
         else:
             self.pending_inner_requests.setdefault(index, []).append(ip)
@@ -501,6 +537,8 @@ class InstructionController:
         inner = self.operands[1]
         ref = inner.pages[index]
         self.broadcast_inflight.add(index)
+        if self.machine.sim.metrics.enabled:
+            self.machine.sim.metrics.counter("ic.inner_broadcasts").add()
         last_known = inner.page_count if inner.complete else None
 
         def have_page(page: Page) -> None:
@@ -594,6 +632,19 @@ class InstructionController:
             return
         self.done = True
         self.completed_at = self.machine.sim.now
+        sim = self.machine.sim
+        if sim.tracer.enabled:
+            start = self.started_at if self.started_at is not None else self.completed_at
+            sim.tracer.span(
+                f"{self.tree.name}.{self.node.opcode}{self.node.node_id}",
+                "instruction",
+                start,
+                self.completed_at - start,
+                f"IC{self.ic_id}",
+                args={"rows_out": self.rows_emitted_to_consumer},
+            )
+        if sim.metrics.enabled:
+            sim.metrics.counter("ic.instructions_done", op=self.node.opcode).add()
         self.machine.ic_instruction_done(self)
 
     # ------------------------------------------------------------------ local memory (level 1)

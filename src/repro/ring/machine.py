@@ -156,6 +156,10 @@ class RingMachine:
         tree.validate(self.catalog)
         run = RingQueryRun(tree=tree, submitted_at=self.sim.now)
         self._runs.append(run)
+        if self.sim.tracer.enabled:
+            self.sim.tracer.instant(
+                f"submit.{tree.name}", "query", self.sim.now, "queries"
+            )
         self.mc.enqueue(tree)
         self.sim.schedule(0.0, self.mc.try_admit, label="mc.admit")
         return run
@@ -205,6 +209,7 @@ class RingMachine:
         elapsed = self.sim.now
         busy = sum(ip.busy_ms for ip in self.ips)
         util = busy / (elapsed * len(self.ips)) if elapsed > 0 else 0.0
+        self._publish_metrics(elapsed, min(1.0, util))
         return RingReport(
             processors=len(self.ips),
             controllers=self.total_ics,
@@ -222,6 +227,49 @@ class RingMachine:
             events_processed=self.sim.events_processed,
             queries_admitted=self.mc.queries_admitted,
         )
+
+    def _publish_metrics(self, elapsed: float, ip_utilization: float) -> None:
+        """Summarize the run into the metrics registry (stable names)."""
+        metrics = self.sim.metrics
+        if not metrics.enabled:
+            return
+        rid = self.sim.run_id
+        for ring in (self.outer_ring, self.inner_ring):
+            metrics.set_gauge(
+                "ring.offered_mbps", ring.offered_mbps(elapsed), ring=ring.name, run=rid
+            )
+            metrics.set_gauge(
+                "ring.utilization", ring.utilization(elapsed), ring=ring.name, run=rid
+            )
+            metrics.set_gauge("ring.peak_queue", ring.peak_queue, ring=ring.name, run=rid)
+            metrics.set_gauge(
+                "ring.mean_queue_wait_ms", ring.mean_queue_wait_ms, ring=ring.name, run=rid
+            )
+        metrics.set_gauge("machine.elapsed_ms", elapsed, machine="ring", run=rid)
+        metrics.set_gauge("machine.ip_utilization", ip_utilization, machine="ring", run=rid)
+        for resource in [self.ports] + self.disks:
+            metrics.set_gauge(
+                "resource.utilization",
+                resource.utilization(elapsed),
+                resource=resource.name,
+                run=rid,
+            )
+            metrics.set_gauge(
+                "resource.peak_queue",
+                resource.stats.peak_queue,
+                resource=resource.name,
+                run=rid,
+            )
+        for level, nbytes in self.meter.snapshot().items():
+            metrics.set_gauge("traffic.bytes", nbytes, machine="ring", level=level, run=rid)
+        for run in self._runs:
+            if run.elapsed_ms is not None:
+                metrics.set_gauge(
+                    "query.elapsed_ms", run.elapsed_ms, query=run.tree.name, run=rid
+                )
+                metrics.set_gauge(
+                    "query.result_rows", run.result_rows, query=run.tree.name, run=rid
+                )
 
     def _result_relation(self, run: RingQueryRun) -> Relation:
         root = run.tree.root
@@ -541,6 +589,15 @@ class RingMachine:
             if run.tree is tree and run.completed_at is None:
                 run.completed_at = self.sim.now
                 run.result_rows = len(rows)
+                if self.sim.tracer.enabled:
+                    self.sim.tracer.span(
+                        tree.name,
+                        "query",
+                        run.submitted_at,
+                        run.completed_at - run.submitted_at,
+                        "queries",
+                        args={"result_rows": run.result_rows},
+                    )
                 break
         self.mc.query_finished(tree)
 

@@ -52,6 +52,21 @@ class Ring:
         self.messages_carried += 1
         if broadcast:
             self.broadcasts += 1
+        if self.sim.tracer.enabled:
+            self.sim.tracer.instant(
+                "ring.broadcast" if broadcast else "ring.send",
+                "ring",
+                self.sim.now,
+                self.name,
+                args={"bytes": nbytes, "queued": self._medium.queued},
+            )
+        if self.sim.metrics.enabled:
+            metrics = self.sim.metrics
+            metrics.counter("ring.bytes", ring=self.name).add(nbytes)
+            metrics.counter("ring.messages", ring=self.name).add()
+            if broadcast:
+                metrics.counter("ring.broadcasts", ring=self.name).add()
+            metrics.tally("ring.message_bytes", ring=self.name).observe(nbytes)
         self._medium.submit(self.model.transfer_time_ms(nbytes), deliver, nbytes=nbytes)
 
     # -- measurement ---------------------------------------------------------
@@ -63,13 +78,23 @@ class Ring:
         return self.bytes_carried * 8.0 / 1e6 / (elapsed_ms / 1000.0)
 
     def utilization(self, elapsed_ms: float) -> float:
-        """Fraction of the loop's capacity in use."""
-        return self._medium.stats.utilization(elapsed_ms, 1)
+        """Fraction of the loop's capacity in use (in-flight time included)."""
+        return self._medium.utilization(elapsed_ms)
 
     @property
     def queue_depth(self) -> int:
         """Messages waiting to enter the loop."""
         return self._medium.queued
+
+    @property
+    def peak_queue(self) -> int:
+        """Deepest insertion queue seen so far."""
+        return self._medium.stats.peak_queue
+
+    @property
+    def mean_queue_wait_ms(self) -> float:
+        """Mean time a message waited to enter the loop."""
+        return self._medium.stats.mean_wait()
 
     def __repr__(self) -> str:
         return f"Ring({self.name!r}, {self.model.bit_rate_mbps} Mbps, {self.bytes_carried} B)"

@@ -100,7 +100,7 @@ class InstructionProcessor:
         self.busy = True
         fill = self.machine.model.proc_read_ms(ic.page_bytes)
         cpu = ic.unary_cpu_ms(page.row_count)
-        self._charge(fill + cpu, lambda: self._unary_done(page, flush_when_done))
+        self._charge(fill + cpu, lambda: self._unary_done(page, flush_when_done), "unary")
 
     def _unary_done(self, page: Page, flush_when_done: bool) -> None:
         ic = self._require_owner()
@@ -143,9 +143,9 @@ class InstructionProcessor:
         fill = self.machine.model.proc_read_ms(ic.page_bytes)
         if inner_page is not None:
             fill += self.machine.model.proc_read_ms(ic.page_bytes)
-            self._charge(fill, lambda: self._join_inner(inner_page, inner_index))
+            self._charge(fill, lambda: self._join_inner(inner_page, inner_index), "fill")
         else:
-            self._charge(fill, self._advance_join)
+            self._charge(fill, self._advance_join, "fill")
 
     def receive_inner_broadcast(self, inner_index: int, page: Page, is_last_known: Optional[int]) -> None:
         """An inner page passes on the ring (broadcast by the IC).
@@ -162,7 +162,7 @@ class InstructionProcessor:
         self.busy = True
         self._awaiting_inner = None
         fill = self.machine.model.proc_read_ms(self._require_owner().page_bytes)
-        self._charge(fill, lambda: self._join_inner(page, inner_index))
+        self._charge(fill, lambda: self._join_inner(page, inner_index), "fill")
 
     def receive_inner_last(self, inner_count: int) -> None:
         """IC reply: no inner page numbered >= ``inner_count`` exists."""
@@ -193,7 +193,7 @@ class InstructionProcessor:
             else:
                 self._ship_full_pages(self._advance_join)
 
-        self._charge(cpu, joined)
+        self._charge(cpu, joined, "join")
 
     def _advance_join(self) -> None:
         """Examine the IRC vector; request the next hole or finish the outer."""
@@ -280,7 +280,7 @@ class InstructionProcessor:
                 self.machine.ip_send_result(self, ic, page)
             then()
 
-        self._charge(write_ms, shipped)
+        self._charge(write_ms, shipped, "ship")
 
     # ------------------------------------------------------------------ plumbing
 
@@ -289,8 +289,16 @@ class InstructionProcessor:
             raise MachineError(f"IP{self.ip_id} has no owning IC")
         return self.owner
 
-    def _charge(self, delay: float, then: Callable[[], None]) -> None:
+    def _charge(self, delay: float, then: Callable[[], None], what: str = "work") -> None:
         self.busy_ms += delay
+        sim = self.machine.sim
+        if sim.tracer.enabled:
+            owner = f"IC{self.owner.ic_id}" if self.owner else "pool"
+            sim.tracer.span(
+                what, "ip", sim.now, delay, f"IP{self.ip_id}", args={"owner": owner}
+            )
+        if sim.metrics.enabled:
+            sim.metrics.tally("ip.charge_ms", kind=what).observe(delay)
 
         def guarded() -> None:
             if self.failed:

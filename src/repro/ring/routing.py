@@ -83,13 +83,14 @@ def break_even_fill_fraction(
     """
     header = instruction_packet_bytes(result_schema, [(operand_schema, 0)])
     result_header = result_packet_bytes(0)
-    # via IC per full page: result pkt + full instruction pkt
+    # Per full page of data, via IC the page crosses the ring twice:
+    #   bytes_via_ic = (result_header + full) + (header + full)
+    # Direct, the data crosses once, but at fill fraction f it is spread
+    # over 1/f packets, each paying both headers:
+    #   bytes_direct(f) = full + (1/f) * (result_header + header)
+    # Setting bytes_direct(f*) = bytes_via_ic and solving for f*:
+    #   f* = (result_header + header) / (bytes_via_ic - full)
     via_full = result_header + full_page_bytes + header + full_page_bytes
-    # direct per f-full page, scaled to one full page of data: (1/f) pages
-    # each carrying f*full bytes once plus two headers
-    # bytes_direct(f) = (1/f) * (result_header + header) + 2? no: data once
-    # bytes_direct(f) = full + (1/f) * (result_header + header)
-    # solve bytes_direct(f) = via_full
     denom = via_full - full_page_bytes
     if denom <= 0:
         return 1.0

@@ -45,12 +45,32 @@ class Simulator:
     [5.0]
     """
 
-    def __init__(self):
+    def __init__(self, tracer=None, metrics=None):
         self._now = 0.0
         self._heap: List[Event] = []
         self._sequence = itertools.count()
         self._events_processed = 0
         self._running = False
+        # Observability binds once, at construction: explicit arguments
+        # win, otherwise the ambient repro.obs session (disabled by
+        # default).  Imported lazily — repro.obs reuses the monitor
+        # instruments from this package.
+        if tracer is None or metrics is None:
+            from repro.obs import ambient
+
+            session = ambient()
+            tracer = tracer if tracer is not None else session.tracer
+            metrics = metrics if metrics is not None else session.metrics
+        self.tracer = tracer
+        self.metrics = metrics
+        # The ``run`` metric label: sweeps build many simulators under one
+        # registry; the label keeps their series and gauges apart.
+        if metrics.enabled:
+            from repro.obs import next_run_id
+
+            self.run_id = next_run_id()
+        else:
+            self.run_id = 0
 
     # -- clock ----------------------------------------------------------------
 
@@ -93,6 +113,12 @@ class Simulator:
                 continue
             self._now = event.time
             self._events_processed += 1
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    event.label or "event", "sim", event.time, "simulator"
+                )
+            if self.metrics.enabled:
+                self.metrics.counter("sim.events").add()
             event.action()
             return True
         return False
@@ -115,7 +141,6 @@ class Simulator:
                     heapq.heappop(self._heap)
                     continue
                 if until is not None and head.time > until:
-                    self._now = until
                     break
                 if max_events is not None and fired >= max_events:
                     raise SimulationError(
@@ -124,6 +149,11 @@ class Simulator:
                     )
                 self.step()
                 fired += 1
+            # The clock always advances to ``until`` — even when the heap
+            # drains first — so elapsed-time denominators (utilization,
+            # offered Mbps) are consistent across stopping conditions.
+            if until is not None and until > self._now:
+                self._now = until
         finally:
             self._running = False
         return self._now

@@ -9,9 +9,10 @@ and queueing statistics are tracked for the experiment reports.
 
 from __future__ import annotations
 
+import itertools
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, Optional, Tuple
+from typing import Callable, Deque, Dict, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.sim.engine import Simulator
@@ -56,6 +57,9 @@ class Resource:
         self.stats = ResourceStats()
         self._busy = 0
         self._queue: Deque[Tuple[float, Callable[[], None], int, float]] = deque()
+        #: Jobs currently in service: job id -> (start time, service time).
+        self._in_service: Dict[int, Tuple[float, float]] = {}
+        self._job_ids = itertools.count()
 
     # -- state ----------------------------------------------------------------
 
@@ -74,6 +78,28 @@ class Resource:
         """Free servers."""
         return self.capacity - self._busy
 
+    def in_flight_busy_ms(self) -> float:
+        """Service time already elapsed on jobs still being served.
+
+        Completed jobs credit :attr:`ResourceStats.busy_time`; this is the
+        complement, so mid-run utilization reads do not under-report a
+        server halfway through a long transfer.
+        """
+        now = self.sim.now
+        return sum(
+            min(now - start, service) for start, service in self._in_service.values()
+        )
+
+    def utilization(self, elapsed_ms: Optional[float] = None) -> float:
+        """Mean fraction of servers busy over ``elapsed_ms`` (default: now),
+        counting both completed and in-flight service time."""
+        if elapsed_ms is None:
+            elapsed_ms = self.sim.now
+        if elapsed_ms <= 0:
+            return 0.0
+        busy = self.stats.busy_time + self.in_flight_busy_ms()
+        return min(1.0, busy / (elapsed_ms * self.capacity))
+
     # -- job submission ----------------------------------------------------------
 
     def submit(
@@ -91,16 +117,38 @@ class Resource:
             raise SimulationError(f"{self.name}: negative service time {service_time}")
         self._queue.append((service_time, done or (lambda: None), nbytes, self.sim.now))
         self.stats.peak_queue = max(self.stats.peak_queue, len(self._queue))
+        if self.sim.metrics.enabled:
+            self.sim.metrics.series(
+                "resource.queue_depth", resource=self.name, run=self.sim.run_id
+            ).record(self.sim.now, len(self._queue))
         self._dispatch()
 
     def _dispatch(self) -> None:
         while self._busy < self.capacity and self._queue:
             service_time, done, nbytes, enqueued_at = self._queue.popleft()
             self._busy += 1
-            self.stats.wait_time += self.sim.now - enqueued_at
+            wait = self.sim.now - enqueued_at
+            self.stats.wait_time += wait
+            job_id = next(self._job_ids)
+            self._in_service[job_id] = (self.sim.now, service_time)
+            if self.sim.tracer.enabled:
+                self.sim.tracer.span(
+                    f"{self.name}.service",
+                    "resource",
+                    self.sim.now,
+                    service_time,
+                    self.name,
+                    args={"bytes": nbytes, "wait_ms": wait},
+                )
+            if self.sim.metrics.enabled:
+                self.sim.metrics.tally("resource.wait_ms", resource=self.name).observe(wait)
+                self.sim.metrics.series(
+                    "resource.queue_depth", resource=self.name, run=self.sim.run_id
+                ).record(self.sim.now, len(self._queue))
 
-            def finish(st=service_time, cb=done, nb=nbytes):
+            def finish(st=service_time, cb=done, nb=nbytes, jid=job_id):
                 self._busy -= 1
+                del self._in_service[jid]
                 self.stats.jobs_completed += 1
                 self.stats.busy_time += st
                 self.stats.bytes_served += nb

@@ -1,0 +1,182 @@
+"""The observability layer: tracer, metrics registry, ambient session,
+and the determinism guarantee (hooks observe, never schedule)."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import MetricsRegistry, ObsSession, Tracer, metric_key, parse_metric_key
+from repro.obs.tracer import NULL_TRACER
+from repro.sim.engine import Simulator
+from repro.sim.resources import Resource
+
+
+class TestTracer:
+    def test_span_and_instant_recorded(self):
+        tracer = Tracer()
+        tracer.span("service", "resource", 1.0, 2.0, "disk0", args={"bytes": 512})
+        tracer.instant("send", "ring", 3.0, "outer-ring")
+        assert tracer.event_count == 2
+
+    def test_chrome_trace_shape(self):
+        tracer = Tracer()
+        tracer.span("work", "ip", 0.5, 1.5, "IP1")
+        doc = tracer.chrome_trace()
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        # Thread-name metadata precedes the recorded events.
+        meta = [e for e in events if e["ph"] == "M"]
+        assert meta and meta[0]["args"]["name"] == "IP1"
+        span = [e for e in events if e["ph"] == "X"][0]
+        assert span["ts"] == 500.0 and span["dur"] == 1500.0  # ms -> us
+
+    def test_write_produces_valid_json(self, tmp_path):
+        tracer = Tracer()
+        tracer.instant("event", "sim", 1.0, "simulator")
+        path = tmp_path / "out.trace.json"
+        tracer.write(str(path))
+        doc = json.loads(path.read_text())
+        assert isinstance(doc["traceEvents"], list)
+        assert all("ph" in e and "ts" in e for e in doc["traceEvents"] if e["ph"] != "M")
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        tracer.span("x", "c", 0.0, 1.0, "t")
+        tracer.instant("y", "c", 0.0, "t")
+        tracer.counter("z", 0.0, {"v": 1})
+        assert tracer.event_count == 0
+
+    def test_tracks_map_to_stable_tids(self):
+        tracer = Tracer()
+        tracer.instant("a", "c", 0.0, "first")
+        tracer.instant("b", "c", 1.0, "second")
+        tracer.instant("c", "c", 2.0, "first")
+        events = [e for e in tracer.chrome_trace()["traceEvents"] if e["ph"] == "i"]
+        assert events[0]["tid"] == events[2]["tid"] != events[1]["tid"]
+
+
+class TestMetricKey:
+    def test_bare_name(self):
+        assert metric_key("sim.events") == "sim.events"
+        assert parse_metric_key("sim.events") == ("sim.events", {})
+
+    def test_labels_sorted_and_roundtrip(self):
+        key = metric_key("ring.bytes", {"ring": "outer-ring", "run": 1})
+        assert key == "ring.bytes{ring=outer-ring,run=1}"
+        assert parse_metric_key(key) == ("ring.bytes", {"ring": "outer-ring", "run": "1"})
+
+
+class TestMetricsRegistry:
+    def test_counter_tally_series_gauge(self):
+        reg = MetricsRegistry()
+        reg.counter("n", kind="a").add(2)
+        reg.counter("n", kind="a").add(3)
+        reg.tally("t").observe(4.0)
+        reg.series("s", run=1).record(1.0, 10)
+        reg.set_gauge("g", 0.5, machine="direct")
+        assert reg.value("n", kind="a") == 5
+        assert reg.value("g", machine="direct") == 0.5
+        report = reg.report()
+        assert report["counters"]["n{kind=a}"] == 5
+        assert report["tallies"]["t"]["count"] == 1
+        assert report["series"]["s{run=1}"]["last"] == 10
+
+    def test_labels_namespace_instruments(self):
+        reg = MetricsRegistry()
+        reg.counter("n", kind="a").add()
+        reg.counter("n", kind="b").add()
+        assert reg.value("n", kind="a") == 1
+        assert reg.value("n", kind="b") == 1
+
+    def test_disabled_registry_records_nothing(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.counter("n").add(5)
+        reg.tally("t").observe(1.0)
+        reg.set_gauge("g", 1.0)
+        assert reg.value("n") == 0.0
+        report = reg.report()
+        assert report["counters"] == {} and report["gauges"] == {}
+
+
+class TestAmbientSession:
+    def test_default_ambient_is_disabled(self):
+        session = obs.ambient()
+        assert not session.enabled
+
+    def test_observe_installs_and_restores(self):
+        before = obs.ambient()
+        with obs.observe() as session:
+            assert obs.ambient() is session
+            assert session.tracer.enabled and session.metrics.enabled
+        assert obs.ambient() is before
+
+    def test_observe_axes_independent(self):
+        with obs.observe(trace=True, metrics=False) as session:
+            assert session.tracer.enabled and not session.metrics.enabled
+        with obs.observe(trace=False, metrics=True) as session:
+            assert not session.tracer.enabled and session.metrics.enabled
+
+    def test_simulator_binds_session_at_construction(self):
+        with obs.observe() as session:
+            sim = Simulator()
+        assert sim.tracer is session.tracer
+        assert sim.metrics is session.metrics
+        assert sim.run_id > 0
+        assert Simulator().run_id == 0  # outside the block: disabled, unlabeled
+
+    def test_explicit_arguments_beat_ambient(self):
+        tracer = Tracer()
+        sim = Simulator(tracer=tracer)
+        assert sim.tracer is tracer
+        assert sim.metrics is obs.ambient().metrics
+
+
+class TestWiring:
+    def test_simulator_events_traced_and_counted(self):
+        with obs.observe() as session:
+            sim = Simulator()
+            sim.schedule(1.0, lambda: None, label="tick")
+            sim.run()
+        assert session.tracer.event_count == 1
+        assert session.metrics.value("sim.events") == 1
+
+    def test_resource_service_traced_with_queue_series(self):
+        with obs.observe() as session:
+            sim = Simulator()
+            res = Resource(sim, "disk0")
+            res.submit(3.0, nbytes=100)
+            sim.run()
+        spans = [
+            e
+            for e in session.tracer.chrome_trace()["traceEvents"]
+            if e["ph"] == "X" and e["name"] == "disk0.service"
+        ]
+        assert spans and spans[0]["args"]["bytes"] == 100
+        report = session.metrics.report()
+        key = metric_key(
+            "resource.queue_depth", {"resource": "disk0", "run": sim.run_id}
+        )
+        assert key in report["series"]
+
+
+class TestDeterminism:
+    """Tracing must never perturb simulation results."""
+
+    def test_experiment_identical_with_and_without_observability(self):
+        from repro.experiments import figure_3_1
+
+        plain = figure_3_1.run(scale=0.05, selectivity=0.3, processors=(5,))
+        with obs.observe() as session:
+            observed = figure_3_1.run(scale=0.05, selectivity=0.3, processors=(5,))
+        assert observed.rows == plain.rows
+        assert session.tracer.event_count > 0
+        # And a second uninstrumented run is identical again.
+        again = figure_3_1.run(scale=0.05, selectivity=0.3, processors=(5,))
+        assert again.rows == plain.rows
+
+    def test_null_instruments_are_shared(self):
+        assert Tracer(enabled=False).event_count == 0
+        assert NULL_TRACER.event_count == 0
+        session = ObsSession()
+        assert not session.enabled

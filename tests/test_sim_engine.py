@@ -91,6 +91,30 @@ def test_run_until_stops_clock():
     assert fired == [1]
 
 
+def test_run_until_advances_clock_when_heap_drains():
+    # Bugfix: the clock used to stall at the last event when the heap
+    # drained before ``until``, skewing elapsed-time denominators.
+    sim = Simulator()
+    sim.schedule(2.0, lambda: None)
+    assert sim.run(until=10.0) == 10.0
+    assert sim.now == 10.0
+
+
+def test_run_until_on_empty_heap_returns_until():
+    sim = Simulator()
+    assert sim.run(until=7.5) == 7.5
+    assert sim.now == 7.5
+
+
+def test_run_until_never_rewinds_clock():
+    sim = Simulator()
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    assert sim.now == 5.0
+    assert sim.run(until=3.0) == 5.0
+    assert sim.now == 5.0
+
+
 def test_schedule_at_absolute_time():
     sim = Simulator()
     sim.schedule(2.0, lambda: None)

@@ -89,6 +89,39 @@ def test_utilization():
     assert res.stats.utilization(10.0, 2) == 0.5
 
 
+def test_utilization_mid_service_counts_in_flight_time():
+    # Bugfix: busy_time is only credited at completion, so a mid-run
+    # utilization read used to see an idle server halfway through a job.
+    sim = Simulator()
+    res = Resource(sim, "r", capacity=1)
+    res.submit(10.0)
+    sim.run(until=5.0)
+    assert res.in_flight_busy_ms() == 5.0
+    # Busy the whole 5 ms so far; over a 10 ms window, half busy.
+    assert res.utilization() == pytest.approx(1.0)
+    assert res.utilization(10.0) == pytest.approx(0.5)
+    sim.run()
+    assert res.in_flight_busy_ms() == 0.0
+    assert res.utilization(10.0) == pytest.approx(1.0)
+
+
+def test_utilization_mid_service_multiple_servers():
+    sim = Simulator()
+    res = Resource(sim, "r", capacity=2)
+    res.submit(10.0)
+    res.submit(4.0)
+    sim.run(until=6.0)
+    # One job still in flight (6 ms elapsed), one completed (4 ms).
+    assert res.in_flight_busy_ms() == pytest.approx(6.0)
+    assert res.utilization() == pytest.approx((4.0 + 6.0) / (6.0 * 2))
+
+
+def test_utilization_at_time_zero_is_zero():
+    sim = Simulator()
+    res = Resource(sim, "r")
+    assert res.utilization() == 0.0
+
+
 def test_peak_queue():
     sim = Simulator()
     res = Resource(sim, "r")
