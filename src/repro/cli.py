@@ -6,17 +6,22 @@ Commands:
 * ``run <experiment> [...]``  — regenerate one paper artifact (table + chart)
 * ``trace <experiment>``      — run instrumented; write a Chrome/Perfetto trace
 * ``metrics <experiment>``    — run instrumented; emit a JSON metrics report
+* ``bench``                   — time the sweep experiments; write BENCH_sweeps.json
 * ``bench-info``              — how to run the benchmark suite
 * ``workload``                — describe the Section 3.2 benchmark database
+
+Sweep experiments accept ``--workers N`` to fan independent sweep points
+out over N worker processes; results are byte-identical to serial.
 
 Examples::
 
     python -m repro list
     python -m repro run figure_3_1 --scale 0.25 --processors 5,15,30
     python -m repro run section_3_3
-    python -m repro run figure_4_2 --ips 5,25,50
+    python -m repro run figure_4_2 --ips 5,25,50 --workers 4
     python -m repro trace figure_3_1 --scale 0.1 --processors 5
     python -m repro metrics ring_vs_direct --scale 0.1
+    python -m repro bench --quick
     python -m repro workload --scale 0.1
 """
 
@@ -79,6 +84,8 @@ def _experiment_kwargs(args) -> Dict[str, object]:
         kwargs["processors"] = tuple(args.processors)
     if args.ips is not None:
         kwargs["ips"] = tuple(args.ips)
+    if getattr(args, "workers", None) is not None:
+        kwargs["workers"] = args.workers
     return kwargs
 
 
@@ -157,6 +164,27 @@ def _cmd_workload(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from repro.sweep import bench
+
+    only = [part for part in (args.only or "").split(",") if part] or None
+    report = bench.run_bench(
+        quick=args.quick, scale=args.scale, workers=args.workers, only=only
+    )
+    bench.write_bench(report, args.out)
+    totals = report["totals"]
+    for entry in report["experiments"]:
+        print(
+            f"  {entry['experiment']:<20} {entry['wall_s']:>8.2f}s  "
+            f"{entry['sim_events']:>10} events  {entry['events_per_sec']:>9} ev/s"
+        )
+    print(
+        f"\nwrote {args.out}: {totals['wall_s']:.2f}s total, "
+        f"{totals['sim_events']} events, {totals['events_per_sec']} ev/s"
+    )
+    return 0
+
+
 def _cmd_bench_info(_args) -> int:
     print(
         "benchmark suite (one per paper table/figure):\n\n"
@@ -191,6 +219,13 @@ def build_parser() -> argparse.ArgumentParser:
             "--processors", type=_int_list, default=None, help="e.g. 5,15,30"
         )
         parser_.add_argument("--ips", type=_int_list, default=None, help="e.g. 5,25,50")
+        parser_.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            help="worker processes for sweep points (0 = one per CPU); "
+            "results are byte-identical to serial",
+        )
 
     run = sub.add_parser("run", help="run one experiment")
     add_experiment_options(run)
@@ -215,6 +250,30 @@ def build_parser() -> argparse.ArgumentParser:
     workload.add_argument("--scale", type=float, default=0.1)
     workload.add_argument("--seed", type=int, default=1979)
 
+    bench = sub.add_parser(
+        "bench", help="time the sweep experiments; write a BENCH JSON report"
+    )
+    bench.add_argument(
+        "--quick", action="store_true", help="small grids at scale 0.05 (CI smoke)"
+    )
+    bench.add_argument(
+        "--scale", type=float, default=None, help="override the workload scale"
+    )
+    bench.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="sweep worker processes (0 = one per CPU)",
+    )
+    bench.add_argument(
+        "--out", default="BENCH_sweeps.json", help="report path (JSON)"
+    )
+    bench.add_argument(
+        "--only",
+        default=None,
+        help="comma-separated experiment subset (e.g. figure_3_1,sim_core)",
+    )
+
     sub.add_parser("bench-info", help="how to run the benchmark suite")
     return parser
 
@@ -229,6 +288,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "trace": _cmd_trace,
         "metrics": _cmd_metrics,
         "workload": _cmd_workload,
+        "bench": _cmd_bench,
         "bench-info": _cmd_bench_info,
     }
     if args.command is None:

@@ -149,18 +149,30 @@ class DiskCache:
 
         Charges one port transaction and counts processor-to-cache
         interconnect bytes; the frame lands dirty (an intermediate page
-        with no disk copy yet).
+        with no disk copy yet).  Writing a key that is already resident
+        rewrites its frame in place — allocating a second slot for the
+        same key would leak the first reservation and shrink effective
+        capacity for the rest of the run.
         """
 
+        def delivered() -> None:
+            self.meter.add(tlevels.PROC_TO_CACHE, self.model.packet_bytes(ref.nbytes))
+            self._unpin(ref.key)
+            done()
+
+        existing = self._frames.get(ref.key)
+        if existing is not None:
+            existing.ref = ref
+            existing.dirty = dirty
+            existing.pins += 1
+            existing.last_use = next(self._use_clock)
+            self.ports.submit(self.model.cache_port_ms(ref.nbytes), delivered, nbytes=ref.nbytes)
+            return
+
         def with_frame() -> None:
-            self._frames[ref.key] = _Frame(ref=ref, dirty=dirty, last_use=next(self._use_clock))
-            self._frames[ref.key].pins = 1
-
-            def delivered() -> None:
-                self.meter.add(tlevels.PROC_TO_CACHE, self.model.packet_bytes(ref.nbytes))
-                self._unpin(ref.key)
-                done()
-
+            self._frames[ref.key] = _Frame(
+                ref=ref, dirty=dirty, pins=1, last_use=next(self._use_clock)
+            )
             self.ports.submit(self.model.cache_port_ms(ref.nbytes), delivered, nbytes=ref.nbytes)
 
         self._allocate(with_frame)
@@ -232,23 +244,38 @@ class DiskCache:
         self._evict_then(victim, granted)
 
     def _evict_then(self, victim: str, granted: Callable[[], None]) -> None:
-        """Evict ``victim`` (spilling a dirty frame first), then grant."""
+        """Evict ``victim`` (spilling a dirty frame first), then grant.
+
+        A dirty victim's write-back takes disk time, during which the frame
+        stays resident (readers may legitimately hit it — the page is still
+        in the cache).  If anyone re-pins the frame while the write-back is
+        in flight, the eviction *aborts* at completion rather than deleting
+        a frame a consumer believes is resident; the allocation then retries
+        against the current frame population.  The write-back itself is
+        never wasted: the spilled content is on disk either way.
+        """
         frame = self._frames[victim]
         if frame.dirty:
             frame.pins += 1  # protect the victim during the write-back
+            spilled_ref = frame.ref  # the content this write-back persists
 
             def spilled() -> None:
-                self.meter.add(tlevels.CACHE_TO_DISK, frame.ref.nbytes)
-                frame.ref.on_disk = True
-                frame.dirty = False
+                self.meter.add(tlevels.CACHE_TO_DISK, spilled_ref.nbytes)
+                spilled_ref.on_disk = True
+                if frame.ref is spilled_ref:
+                    # Not rewritten mid-spill: the frame is clean now.
+                    frame.dirty = False
                 frame.pins -= 1
+                if frame.pins > 0:
+                    self._allocate(granted)  # re-referenced: abort eviction
+                    return
                 del self._frames[victim]
                 granted()
 
-            disk_index = frame.ref.disk_id % len(self.disks)
+            disk_index = spilled_ref.disk_id % len(self.disks)
             disk = self.disks[disk_index]
-            self._disk_last[disk_index] = frame.ref.key  # spill moves the arm
-            disk.submit(self.model.disk_ms(frame.ref.nbytes), spilled, nbytes=frame.ref.nbytes)
+            self._disk_last[disk_index] = spilled_ref.key  # spill moves the arm
+            disk.submit(self.model.disk_ms(spilled_ref.nbytes), spilled, nbytes=spilled_ref.nbytes)
         else:
             del self._frames[victim]
             granted()

@@ -10,6 +10,7 @@ counters.  ``repro metrics <experiment>`` is built on them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, List, Sequence
 
 from repro import hw
@@ -89,6 +90,18 @@ def benchmark_database(scale: float = None, page_bytes: int = None) -> Benchmark
         seed=DEFAULTS["seed"],
         page_bytes=page_bytes or DEFAULTS["direct_page_bytes"],
     )
+
+
+@lru_cache(maxsize=8)
+def cached_benchmark_database(scale: float = None, page_bytes: int = None) -> BenchmarkDatabase:
+    """:func:`benchmark_database`, memoized per process.
+
+    Generation is seeded, so every process — the serial runner and each
+    sweep worker alike — materializes an identical database.  The catalog
+    is read-only to the machines (each run packs its own page images and
+    builds fresh query trees), so sweep points can share one instance.
+    """
+    return benchmark_database(scale=scale, page_bytes=page_bytes)
 
 
 #: The ring technologies priced in Section 4, as name -> raw Mbps.  The

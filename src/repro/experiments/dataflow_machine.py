@@ -11,17 +11,57 @@ memory cells, the two networks, and the processor pool:
 * tuple granularity moves each tuple (pair) as its own packet through the
   arbitration network — the Section 3.3 byte blowup, now *measured* on a
   running machine rather than computed.
+
+Each (processor count, granularity) cell is an independent machine
+build, so the sweep fans out over :func:`repro.sweep.map_points`
+(``workers > 1`` parallelizes; results are byte-identical to serial).
 """
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Sequence
 
 from repro.dataflow.machine import run_dataflow
 from repro.experiments.common import ExperimentResult
+from repro.sweep import map_points
 from repro.workload import benchmark_queries, generate_benchmark_database
 
 DEFAULT_PROCESSORS = (2, 8, 32)
+
+#: Granularities compared, in per-point execution order.
+_GRANULARITIES = ("relation", "page", "tuple")
+
+
+@lru_cache(maxsize=8)
+def _database(scale: float, seed: int, page_bytes: int):
+    """The benchmark database, memoized per process (generation is seeded,
+    so every sweep worker materializes an identical copy)."""
+    return generate_benchmark_database(scale=scale, seed=seed, page_bytes=page_bytes)
+
+
+def _point(
+    processors: int,
+    granularity: str,
+    scale: float,
+    selectivity: float,
+    page_bytes: int,
+    seed: int,
+) -> dict:
+    """One sweep cell: the benchmark on the MIT-model machine."""
+    db = _database(scale, seed, page_bytes)
+    trees = benchmark_queries(db.catalog, db.relation_names, selectivity=selectivity)
+    report = run_dataflow(
+        db.catalog,
+        trees,
+        processors=processors,
+        granularity=granularity,
+        page_bytes=page_bytes,
+    )
+    return {
+        "elapsed_ms": report.elapsed_ms,
+        "arbitration_bytes": report.arbitration_bytes,
+    }
 
 
 def run(
@@ -30,14 +70,16 @@ def run(
     selectivity: float = 0.3,
     page_bytes: int = 2048,
     seed: int = 1979,
+    workers: int = None,
 ) -> ExperimentResult:
     """Sweep processors x granularities on the data-flow machine.
 
     The default scale is smaller than E1's: the MIT model keeps all data
     memory-resident, so the interesting effects (firing concurrency and
-    network load) appear at any scale.
+    network load) appear at any scale.  ``workers`` fans the grid out
+    over worker processes; output is identical to the serial run.
     """
-    db = generate_benchmark_database(scale=scale, seed=seed, page_bytes=page_bytes)
+    db = _database(scale, seed, page_bytes)
     result = ExperimentResult(
         experiment_id="E6 (Figure 2.2 model)",
         title="Granularities on the MIT-model data-flow machine",
@@ -48,19 +90,24 @@ def run(
             "database_bytes": db.catalog.total_bytes,
         },
     )
-    for procs in processors:
+    points = [
+        dict(
+            processors=procs,
+            granularity=granularity,
+            scale=scale,
+            selectivity=selectivity,
+            page_bytes=page_bytes,
+            seed=seed,
+        )
+        for procs in processors
+        for granularity in _GRANULARITIES
+    ]
+    cells = map_points(_point, points, workers=workers)
+    for i, procs in enumerate(processors):
         row = {"processors": procs}
-        for granularity in ("relation", "page", "tuple"):
-            trees = benchmark_queries(db.catalog, db.relation_names, selectivity=selectivity)
-            report = run_dataflow(
-                db.catalog,
-                trees,
-                processors=procs,
-                granularity=granularity,
-                page_bytes=page_bytes,
-            )
-            row[f"{granularity}_ms"] = round(report.elapsed_ms, 1)
-            row[f"{granularity}_arb_bytes"] = report.arbitration_bytes
+        for granularity, cell in zip(_GRANULARITIES, cells[3 * i : 3 * i + 3]):
+            row[f"{granularity}_ms"] = round(cell["elapsed_ms"], 1)
+            row[f"{granularity}_arb_bytes"] = cell["arbitration_bytes"]
         row["rel_over_page"] = row["relation_ms"] / row["page_ms"]
         row["tuple_traffic_blowup"] = (
             row["tuple_arb_bytes"] / row["page_arb_bytes"]

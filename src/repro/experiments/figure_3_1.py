@@ -11,6 +11,10 @@ We sweep the processor count on the DIRECT simulator and report both
 execution times and the ratio.  Expected shape: times fall with
 processors and flatten; the ratio grows toward ~2 once the machine has
 enough processors to expose relation-level's materialization stalls.
+
+Each (processor count, granularity) cell is an independent simulator
+build, so the sweep fans out over :func:`repro.sweep.map_points`
+(``workers > 1`` parallelizes; results are byte-identical to serial).
 """
 
 from __future__ import annotations
@@ -19,24 +23,64 @@ from typing import Optional, Sequence
 
 from repro.direct.machine import run_benchmark
 from repro.direct import scheduler
-from repro.experiments.common import DEFAULTS, ExperimentResult, benchmark_database, benchmark_workload
+from repro.experiments.common import (
+    DEFAULTS,
+    ExperimentResult,
+    benchmark_workload,
+    cached_benchmark_database,
+)
+from repro.sweep import map_points
 
 #: Processor counts swept by default (the paper's axis is unlabeled in our
 #: copy; 5..50 brackets the 50-IP anchor of Section 4.1).
 DEFAULT_PROCESSORS = (5, 10, 20, 30, 40, 50)
+
+#: Granularities compared, in per-point execution order.
+_GRANULARITIES = (scheduler.PAGE, scheduler.RELATION)
+
+
+def _point(
+    processors: int,
+    granularity: str,
+    scale: Optional[float],
+    selectivity: Optional[float],
+) -> dict:
+    """One sweep cell: the ten-query benchmark at one configuration.
+
+    Module-level and returning plain numbers so it runs identically
+    inline or in a sweep worker process.
+    """
+    db = cached_benchmark_database(scale=scale, page_bytes=DEFAULTS["direct_page_bytes"])
+    trees = benchmark_workload(db, selectivity=selectivity)
+    report = run_benchmark(
+        db.catalog,
+        trees,
+        processors=processors,
+        granularity=scheduler.granularity(granularity),
+        page_bytes=DEFAULTS["direct_page_bytes"],
+        cache_bytes=DEFAULTS["direct_cache_bytes"],
+    )
+    return {
+        "elapsed_ms": report.elapsed_ms,
+        "mbps": report.bandwidth_mbps(),
+        "disk_bytes": report.disk_bytes,
+    }
 
 
 def run(
     processors: Sequence[int] = DEFAULT_PROCESSORS,
     scale: Optional[float] = None,
     selectivity: Optional[float] = None,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Run the Figure 3.1 sweep and return its rows.
 
     Row fields: ``processors``, ``page_ms``, ``relation_ms``, ``ratio``,
     ``page_mbps`` (average interconnect bandwidth at page level).
+    ``workers`` fans the (processors x granularity) grid out over worker
+    processes; output is identical to the serial run.
     """
-    db = benchmark_database(scale=scale, page_bytes=DEFAULTS["direct_page_bytes"])
+    db = cached_benchmark_database(scale=scale, page_bytes=DEFAULTS["direct_page_bytes"])
     result = ExperimentResult(
         experiment_id="E1 (Figure 3.1)",
         title="Comparison of page-level and relation-level granularities",
@@ -49,29 +93,24 @@ def run(
             "database_bytes": db.catalog.total_bytes,
         },
     )
-    for procs in processors:
-        reports = {}
-        for granularity in (scheduler.PAGE, scheduler.RELATION):
-            trees = benchmark_workload(db, selectivity=selectivity)
-            reports[granularity.key] = run_benchmark(
-                db.catalog,
-                trees,
-                processors=procs,
-                granularity=granularity,
-                page_bytes=DEFAULTS["direct_page_bytes"],
-                cache_bytes=DEFAULTS["direct_cache_bytes"],
-            )
-        page = reports["page"]
-        relation = reports["relation"]
+    points = [
+        dict(processors=procs, granularity=g.key, scale=scale, selectivity=selectivity)
+        for procs in processors
+        for g in _GRANULARITIES
+    ]
+    cells = map_points(_point, points, workers=workers)
+    for i, procs in enumerate(processors):
+        page = cells[2 * i]
+        relation = cells[2 * i + 1]
         result.rows.append(
             {
                 "processors": procs,
-                "page_ms": round(page.elapsed_ms, 1),
-                "relation_ms": round(relation.elapsed_ms, 1),
-                "ratio": relation.elapsed_ms / page.elapsed_ms,
-                "page_mbps": page.bandwidth_mbps(),
-                "page_disk_bytes": page.disk_bytes,
-                "relation_disk_bytes": relation.disk_bytes,
+                "page_ms": round(page["elapsed_ms"], 1),
+                "relation_ms": round(relation["elapsed_ms"], 1),
+                "ratio": relation["elapsed_ms"] / page["elapsed_ms"],
+                "page_mbps": page["mbps"],
+                "page_disk_bytes": page["disk_bytes"],
+                "relation_disk_bytes": relation["disk_bytes"],
             }
         )
     return result

@@ -10,6 +10,10 @@ We run the benchmark on the *ring machine* (the design Figure 4.2 sizes)
 across IP counts, reporting the outer-ring offered load alongside the
 storage-hierarchy levels, and check the paper's anchors: <= 40 Mbps
 through 50 IPs, <= 100 Mbps for larger configurations.
+
+Each IP count is an independent simulator build, so the sweep fans out
+over :func:`repro.sweep.map_points` (``workers > 1`` parallelizes;
+results are byte-identical to serial).
 """
 
 from __future__ import annotations
@@ -17,8 +21,14 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.direct import traffic as tlevels
-from repro.experiments.common import DEFAULTS, ExperimentResult, benchmark_database, benchmark_workload
+from repro.experiments.common import (
+    DEFAULTS,
+    ExperimentResult,
+    benchmark_workload,
+    cached_benchmark_database,
+)
 from repro.ring.machine import run_ring_benchmark
+from repro.sweep import map_points
 
 #: The paper's anchor points.
 TTL_RING_MBPS = 40.0
@@ -27,19 +37,57 @@ LARGE_CONFIG_MBPS = 100.0
 DEFAULT_IPS = (5, 10, 25, 50, 75, 100)
 
 
+def _point(
+    ips: int,
+    controllers: int,
+    scale: Optional[float],
+    selectivity: Optional[float],
+) -> dict:
+    """One sweep cell: the ring-machine benchmark at one IP count."""
+    db = cached_benchmark_database(scale=scale, page_bytes=DEFAULTS["ring_page_bytes"])
+    trees = benchmark_workload(db, selectivity=selectivity)
+    report = run_ring_benchmark(
+        db.catalog,
+        trees,
+        processors=ips,
+        controllers=controllers,
+        page_bytes=DEFAULTS["ring_page_bytes"],
+        cache_bytes=DEFAULTS["ring_cache_bytes"],
+    )
+    elapsed_s = report.elapsed_ms / 1000.0
+    cache_bytes = (
+        report.traffic[tlevels.CACHE_TO_PROC] + report.traffic[tlevels.PROC_TO_CACHE]
+    )
+    disk_bytes = (
+        report.traffic[tlevels.DISK_TO_CACHE] + report.traffic[tlevels.CACHE_TO_DISK]
+    )
+    return {
+        "ips": ips,
+        "elapsed_ms": round(report.elapsed_ms, 1),
+        "outer_ring_mbps": report.outer_ring_mbps,
+        "inner_ring_mbps": report.inner_ring_mbps,
+        "cache_level_mbps": cache_bytes * 8.0 / 1e6 / elapsed_s,
+        "disk_level_mbps": disk_bytes * 8.0 / 1e6 / elapsed_s,
+        "fits_40mbps": report.outer_ring_mbps <= TTL_RING_MBPS,
+        "fits_100mbps": report.outer_ring_mbps <= LARGE_CONFIG_MBPS,
+    }
+
+
 def run(
     ips: Sequence[int] = DEFAULT_IPS,
     scale: Optional[float] = None,
     selectivity: Optional[float] = None,
     controllers: int = 24,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     """The Figure 4.2 sweep on the ring machine.
 
     Row fields: ``ips``, ``elapsed_ms``, ``outer_ring_mbps``,
     ``inner_ring_mbps``, ``cache_level_mbps``, ``disk_level_mbps``,
-    ``fits_40mbps``, ``fits_100mbps``.
+    ``fits_40mbps``, ``fits_100mbps``.  ``workers`` fans the IP counts
+    out over worker processes; output is identical to the serial run.
     """
-    db = benchmark_database(scale=scale, page_bytes=DEFAULTS["ring_page_bytes"])
+    db = cached_benchmark_database(scale=scale, page_bytes=DEFAULTS["ring_page_bytes"])
     result = ExperimentResult(
         experiment_id="E3 (Figure 4.2)",
         title="Average bandwidth by level vs number of instruction processors",
@@ -51,35 +99,11 @@ def run(
             "database_bytes": db.catalog.total_bytes,
         },
     )
-    for n in ips:
-        trees = benchmark_workload(db, selectivity=selectivity)
-        report = run_ring_benchmark(
-            db.catalog,
-            trees,
-            processors=n,
-            controllers=controllers,
-            page_bytes=DEFAULTS["ring_page_bytes"],
-            cache_bytes=DEFAULTS["ring_cache_bytes"],
-        )
-        elapsed_s = report.elapsed_ms / 1000.0
-        cache_bytes = (
-            report.traffic[tlevels.CACHE_TO_PROC] + report.traffic[tlevels.PROC_TO_CACHE]
-        )
-        disk_bytes = (
-            report.traffic[tlevels.DISK_TO_CACHE] + report.traffic[tlevels.CACHE_TO_DISK]
-        )
-        result.rows.append(
-            {
-                "ips": n,
-                "elapsed_ms": round(report.elapsed_ms, 1),
-                "outer_ring_mbps": report.outer_ring_mbps,
-                "inner_ring_mbps": report.inner_ring_mbps,
-                "cache_level_mbps": cache_bytes * 8.0 / 1e6 / elapsed_s,
-                "disk_level_mbps": disk_bytes * 8.0 / 1e6 / elapsed_s,
-                "fits_40mbps": report.outer_ring_mbps <= TTL_RING_MBPS,
-                "fits_100mbps": report.outer_ring_mbps <= LARGE_CONFIG_MBPS,
-            }
-        )
+    points = [
+        dict(ips=n, controllers=controllers, scale=scale, selectivity=selectivity)
+        for n in ips
+    ]
+    result.rows = map_points(_point, points, workers=workers)
     return result
 
 

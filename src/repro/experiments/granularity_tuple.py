@@ -6,6 +6,10 @@ per-tuple packet overhead through the arbitration network (n*m*(w_o+w_i+c)
 bytes per join page pair plus per-tuple dispatch CPU).  Expected shape:
 execution time no better than page level, with an order of magnitude more
 interconnect traffic — confirming the paper's argument by measurement.
+
+Each (processor count, granularity) cell is an independent simulator
+build, so the sweep fans out over :func:`repro.sweep.map_points`
+(``workers > 1`` parallelizes; results are byte-identical to serial).
 """
 
 from __future__ import annotations
@@ -14,22 +18,56 @@ from typing import Optional, Sequence
 
 from repro.direct.machine import run_benchmark
 from repro.direct import scheduler
-from repro.experiments.common import DEFAULTS, ExperimentResult, benchmark_database, benchmark_workload
+from repro.experiments.common import (
+    DEFAULTS,
+    ExperimentResult,
+    benchmark_workload,
+    cached_benchmark_database,
+)
+from repro.sweep import map_points
 
 DEFAULT_PROCESSORS = (10, 30, 50)
+
+#: Granularities compared, in per-point execution order.
+_GRANULARITIES = (scheduler.PAGE, scheduler.RELATION, scheduler.TUPLE)
+
+
+def _point(
+    processors: int,
+    granularity: str,
+    scale: Optional[float],
+    selectivity: Optional[float],
+) -> dict:
+    """One sweep cell: the benchmark at one (processors, granularity)."""
+    db = cached_benchmark_database(scale=scale, page_bytes=DEFAULTS["direct_page_bytes"])
+    trees = benchmark_workload(db, selectivity=selectivity)
+    report = run_benchmark(
+        db.catalog,
+        trees,
+        processors=processors,
+        granularity=scheduler.granularity(granularity),
+        page_bytes=DEFAULTS["direct_page_bytes"],
+        cache_bytes=DEFAULTS["direct_cache_bytes"],
+    )
+    return {
+        "elapsed_ms": report.elapsed_ms,
+        "interconnect_bytes": report.interconnect_bytes,
+    }
 
 
 def run(
     processors: Sequence[int] = DEFAULT_PROCESSORS,
     scale: Optional[float] = None,
     selectivity: Optional[float] = None,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Measure all three granularities on the same workload.
 
     Row fields per processor count: times for page/relation/tuple and the
     interconnect bytes for page vs tuple (the headline blowup).
+    ``workers`` fans the (processors x granularity) grid out over worker
+    processes; output is identical to the serial run.
     """
-    db = benchmark_database(scale=scale, page_bytes=DEFAULTS["direct_page_bytes"])
     result = ExperimentResult(
         experiment_id="E8 (extension)",
         title="Tuple-level granularity measured against page and relation",
@@ -39,30 +77,25 @@ def run(
             "page_bytes": DEFAULTS["direct_page_bytes"],
         },
     )
-    for procs in processors:
-        reports = {}
-        for granularity in (scheduler.PAGE, scheduler.RELATION, scheduler.TUPLE):
-            trees = benchmark_workload(db, selectivity=selectivity)
-            reports[granularity.key] = run_benchmark(
-                db.catalog,
-                trees,
-                processors=procs,
-                granularity=granularity,
-                page_bytes=DEFAULTS["direct_page_bytes"],
-                cache_bytes=DEFAULTS["direct_cache_bytes"],
-            )
-        page, tup = reports["page"], reports["tuple"]
+    points = [
+        dict(processors=procs, granularity=g.key, scale=scale, selectivity=selectivity)
+        for procs in processors
+        for g in _GRANULARITIES
+    ]
+    cells = map_points(_point, points, workers=workers)
+    for i, procs in enumerate(processors):
+        page, relation, tup = cells[3 * i : 3 * i + 3]
         result.rows.append(
             {
                 "processors": procs,
-                "page_ms": round(page.elapsed_ms, 1),
-                "relation_ms": round(reports["relation"].elapsed_ms, 1),
-                "tuple_ms": round(tup.elapsed_ms, 1),
-                "page_net_bytes": page.interconnect_bytes,
-                "tuple_net_bytes": tup.interconnect_bytes,
+                "page_ms": round(page["elapsed_ms"], 1),
+                "relation_ms": round(relation["elapsed_ms"], 1),
+                "tuple_ms": round(tup["elapsed_ms"], 1),
+                "page_net_bytes": page["interconnect_bytes"],
+                "tuple_net_bytes": tup["interconnect_bytes"],
                 "traffic_blowup": (
-                    tup.interconnect_bytes / page.interconnect_bytes
-                    if page.interconnect_bytes
+                    tup["interconnect_bytes"] / page["interconnect_bytes"]
+                    if page["interconnect_bytes"]
                     else float("inf")
                 ),
             }

@@ -20,14 +20,16 @@ def run(
     ips: Sequence[int] = figure_4_2.DEFAULT_IPS,
     scale: Optional[float] = None,
     selectivity: Optional[float] = None,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Measure demand (via E3), then evaluate each ring technology.
 
     Adds a closing row with the TTL ring's supported IP count under the
     per-IP demand measured at the smallest configuration (conservative:
-    small configurations have the highest per-IP load).
+    small configurations have the highest per-IP load).  ``workers`` is
+    forwarded to the underlying E3 sweep.
     """
-    sweep = figure_4_2.run(ips=ips, scale=scale, selectivity=selectivity)
+    sweep = figure_4_2.run(ips=ips, scale=scale, selectivity=selectivity, workers=workers)
     demand_points = [(row["ips"], row["outer_ring_mbps"]) for row in sweep.rows]
     result = ExperimentResult(
         experiment_id="E7 (Section 4.1)",

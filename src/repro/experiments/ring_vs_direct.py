@@ -9,6 +9,10 @@ Two questions the paper raises but does not measure:
 2. Section 5.0: does routing intermediate pages IP->IP "without first
    sending the page to an IC" reduce outer-ring traffic, and what does it
    cost?  We run the ring machine with ``direct_ip_routing`` off and on.
+
+Every (IP count, machine variant) pair is an independent simulator build,
+so the sweep fans out over :func:`repro.sweep.map_points` (``workers >
+1`` parallelizes; results are byte-identical to serial).
 """
 
 from __future__ import annotations
@@ -17,10 +21,52 @@ from typing import Optional, Sequence
 
 from repro.direct.machine import run_benchmark
 from repro.direct import scheduler
-from repro.experiments.common import DEFAULTS, ExperimentResult, benchmark_database, benchmark_workload
+from repro.experiments.common import (
+    DEFAULTS,
+    ExperimentResult,
+    benchmark_workload,
+    cached_benchmark_database,
+)
 from repro.ring.machine import run_ring_benchmark
+from repro.sweep import map_points
 
 DEFAULT_IPS = (10, 25, 50)
+
+#: Machine variants compared, in per-point execution order.
+_VARIANTS = ("direct", "ring", "ring_routed")
+
+
+def _point(
+    ips: int,
+    variant: str,
+    controllers: int,
+    scale: Optional[float],
+    selectivity: Optional[float],
+) -> dict:
+    """One sweep cell: the benchmark on one machine variant at one size."""
+    page_bytes = DEFAULTS["ring_page_bytes"]
+    db = cached_benchmark_database(scale=scale, page_bytes=page_bytes)
+    trees = benchmark_workload(db, selectivity=selectivity)
+    if variant == "direct":
+        report = run_benchmark(
+            db.catalog,
+            trees,
+            processors=ips,
+            granularity=scheduler.PAGE,
+            page_bytes=page_bytes,
+            cache_bytes=DEFAULTS["ring_cache_bytes"],
+        )
+        return {"elapsed_ms": report.elapsed_ms, "net_bytes": report.interconnect_bytes}
+    report = run_ring_benchmark(
+        db.catalog,
+        trees,
+        processors=ips,
+        controllers=controllers,
+        page_bytes=page_bytes,
+        cache_bytes=DEFAULTS["ring_cache_bytes"],
+        direct_ip_routing=(variant == "ring_routed"),
+    )
+    return {"elapsed_ms": report.elapsed_ms, "net_bytes": report.outer_ring_bytes}
 
 
 def run(
@@ -28,62 +74,50 @@ def run(
     scale: Optional[float] = None,
     selectivity: Optional[float] = None,
     controllers: int = 24,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Compare DIRECT, ring, and ring+direct-routing per processor count.
 
     Row fields: ``ips``, ``direct_ms``, ``ring_ms``, ``ring_routed_ms``,
     ``ring_net_bytes``, ``ring_routed_net_bytes``, ``routing_byte_delta``.
+    ``workers`` fans the (ips x variant) grid out over worker processes;
+    output is identical to the serial run.
     """
-    page_bytes = DEFAULTS["ring_page_bytes"]
-    db = benchmark_database(scale=scale, page_bytes=page_bytes)
     result = ExperimentResult(
         experiment_id="E10 (extension)",
         title="Centralized (DIRECT) vs distributed (ring) control; IP->IP routing",
         parameters={
             "scale": scale if scale is not None else DEFAULTS["scale"],
             "selectivity": selectivity if selectivity is not None else DEFAULTS["selectivity"],
-            "page_bytes": page_bytes,
+            "page_bytes": DEFAULTS["ring_page_bytes"],
             "controllers": controllers,
         },
     )
-    for n in ips:
-        direct = run_benchmark(
-            db.catalog,
-            benchmark_workload(db, selectivity=selectivity),
-            processors=n,
-            granularity=scheduler.PAGE,
-            page_bytes=page_bytes,
-            cache_bytes=DEFAULTS["ring_cache_bytes"],
-        )
-        ring = run_ring_benchmark(
-            db.catalog,
-            benchmark_workload(db, selectivity=selectivity),
-            processors=n,
+    points = [
+        dict(
+            ips=n,
+            variant=variant,
             controllers=controllers,
-            page_bytes=page_bytes,
-            cache_bytes=DEFAULTS["ring_cache_bytes"],
+            scale=scale,
+            selectivity=selectivity,
         )
-        routed = run_ring_benchmark(
-            db.catalog,
-            benchmark_workload(db, selectivity=selectivity),
-            processors=n,
-            controllers=controllers,
-            page_bytes=page_bytes,
-            cache_bytes=DEFAULTS["ring_cache_bytes"],
-            direct_ip_routing=True,
-        )
+        for n in ips
+        for variant in _VARIANTS
+    ]
+    cells = map_points(_point, points, workers=workers)
+    for i, n in enumerate(ips):
+        direct, ring, routed = cells[3 * i : 3 * i + 3]
         result.rows.append(
             {
                 "ips": n,
-                "direct_ms": round(direct.elapsed_ms, 1),
-                "ring_ms": round(ring.elapsed_ms, 1),
-                "ring_routed_ms": round(routed.elapsed_ms, 1),
-                "ring_net_bytes": ring.outer_ring_bytes,
-                "ring_routed_net_bytes": routed.outer_ring_bytes,
+                "direct_ms": round(direct["elapsed_ms"], 1),
+                "ring_ms": round(ring["elapsed_ms"], 1),
+                "ring_routed_ms": round(routed["elapsed_ms"], 1),
+                "ring_net_bytes": ring["net_bytes"],
+                "ring_routed_net_bytes": routed["net_bytes"],
                 "routing_byte_delta": (
-                    (routed.outer_ring_bytes - ring.outer_ring_bytes)
-                    / ring.outer_ring_bytes
-                    if ring.outer_ring_bytes
+                    (routed["net_bytes"] - ring["net_bytes"]) / ring["net_bytes"]
+                    if ring["net_bytes"]
                     else 0.0
                 ),
             }

@@ -21,7 +21,6 @@ Typical use::
 
 from __future__ import annotations
 
-import itertools
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
@@ -45,6 +44,8 @@ __all__ = [
     "next_run_id",
     "observe",
     "parse_metric_key",
+    "peek_run_id",
+    "set_next_run_id",
 ]
 
 
@@ -67,13 +68,37 @@ _ambient: ObsSession = _DISABLED
 
 #: Monotone ids handed to instrumented Simulators.  A sweep experiment
 #: builds many machines under one session; the id becomes the ``run``
-#: label that keeps their time series and per-query gauges apart.
-_run_ids = itertools.count(1)
+#: label that keeps their time series and per-query gauges apart.  A
+#: plain integer (not itertools.count) so the sweep runner can read and
+#: re-seed the counter — parallel workers number their runs locally and
+#: the merge relabels them to the ids serial execution would have used.
+_next_run = 1
 
 
 def next_run_id() -> int:
     """A fresh ``run`` label value for one instrumented simulator."""
-    return next(_run_ids)
+    global _next_run
+    rid = _next_run
+    _next_run += 1
+    return rid
+
+
+def peek_run_id() -> int:
+    """The id the next instrumented simulator would receive (no consume)."""
+    return _next_run
+
+
+def set_next_run_id(value: int) -> None:
+    """Re-seed the run-id counter.
+
+    The sweep runner uses this in two places: each worker resets to 1
+    before executing a point (so per-point numbering is deterministic
+    regardless of worker reuse), and the parent advances past all merged
+    runs (so simulators built after a parallel sweep continue exactly
+    where a serial sweep would have).
+    """
+    global _next_run
+    _next_run = value
 
 
 def ambient() -> ObsSession:

@@ -49,8 +49,11 @@ def parse_metric_key(key: str):
 class MetricsRegistry:
     """Namespaced counters, tallies, time series, and gauges."""
 
-    def __init__(self, enabled: bool = True):
+    def __init__(self, enabled: bool = True, capture_tally_samples: bool = False):
         self.enabled = enabled
+        #: Sweep worker registries keep raw tally samples so the parent's
+        #: merge can replay them in order (bit-identical to serial).
+        self._capture_tally = capture_tally_samples
         self._counters: Dict[str, Counter] = {}
         self._tallies: Dict[str, Tally] = {}
         self._series: Dict[str, TimeSeries] = {}
@@ -80,7 +83,9 @@ class MetricsRegistry:
         key = metric_key(name, labels)
         instrument = self._tallies.get(key)
         if instrument is None:
-            instrument = self._tallies[key] = Tally(key)
+            instrument = self._tallies[key] = Tally(
+                key, samples=[] if self._capture_tally else None
+            )
         return instrument
 
     def series(self, name: str, **labels) -> TimeSeries:
@@ -98,6 +103,73 @@ class MetricsRegistry:
         if not self.enabled:
             return
         self._gauges[metric_key(name, labels)] = value
+
+    # -- cross-process transfer --------------------------------------------------
+
+    def dump(self) -> dict:
+        """A full-fidelity, picklable snapshot of every instrument.
+
+        Unlike :meth:`report` (which summarizes for humans and JSON), a
+        dump preserves raw tally state and raw time-series samples so a
+        :meth:`merge` into another registry is lossless.  This is the
+        transport format between sweep worker processes and the parent.
+        """
+        return {
+            "counters": {k: c.value for k, c in self._counters.items()},
+            "gauges": dict(self._gauges),
+            "tallies": {
+                k: (t.count, t._mean, t._m2, t.minimum, t.maximum, t.samples)
+                for k, t in self._tallies.items()
+            },
+            "series": {k: list(ts.samples) for k, ts in self._series.items()},
+        }
+
+    def merge(self, dump: dict, run_offset: int = 0) -> None:
+        """Fold a :meth:`dump` from another registry into this one.
+
+        ``run_offset`` is added to every numeric ``run`` label before the
+        merge, so a sweep worker's locally numbered runs (1, 2, ...) land
+        under exactly the ids the serial execution order would have
+        assigned.  Counters add, gauges last-write-win, series extend
+        sample-by-sample (still monotonicity-checked).  Tallies whose dump
+        carries raw samples (``capture_tally_samples`` registries) are
+        *replayed* observation-by-observation — bit-identical to having
+        recorded serially; tallies without samples fall back to the
+        pairwise Welford combine.
+        """
+        if not self.enabled:
+            return
+
+        def rekey(key: str) -> str:
+            if run_offset == 0:
+                return key
+            name, labels = parse_metric_key(key)
+            run = labels.get("run")
+            if run is None or not run.lstrip("-").isdigit():
+                return key
+            labels["run"] = str(int(run) + run_offset)
+            return metric_key(name, labels)
+
+        for key, value in dump["counters"].items():
+            name, labels = parse_metric_key(rekey(key))
+            self.counter(name, **labels).add(value)
+        for key, value in dump["gauges"].items():
+            name, labels = parse_metric_key(rekey(key))
+            self.set_gauge(name, value, **labels)
+        for key, state in dump["tallies"].items():
+            name, labels = parse_metric_key(rekey(key))
+            tally = self.tally(name, **labels)
+            samples = state[5] if len(state) > 5 else None
+            if samples is not None:
+                for sample in samples:
+                    tally.observe(sample)
+            else:
+                tally.combine(*state[:5])
+        for key, samples in dump["series"].items():
+            name, labels = parse_metric_key(rekey(key))
+            series = self.series(name, **labels)
+            for time, value in samples:
+                series.record(time, value)
 
     # -- reading ---------------------------------------------------------------
 

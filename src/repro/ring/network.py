@@ -34,6 +34,19 @@ class Ring:
         self.bytes_carried = 0
         self.messages_carried = 0
         self.broadcasts = 0
+        # Pre-bound observability (the session never flips after the
+        # simulator is built): a disabled run pays one ``is not None``
+        # check per message, and an enabled run skips the per-message
+        # registry re-keying by holding its instruments directly.
+        self._trace = sim.tracer if sim.tracer.enabled else None
+        if sim.metrics.enabled:
+            metrics = sim.metrics
+            self._bytes_counter = metrics.counter("ring.bytes", ring=name)
+            self._messages_counter = metrics.counter("ring.messages", ring=name)
+            self._broadcasts_counter = metrics.counter("ring.broadcasts", ring=name)
+            self._message_bytes_tally = metrics.tally("ring.message_bytes", ring=name)
+        else:
+            self._bytes_counter = None
 
     def send(self, nbytes: int, deliver: Callable[[], None]) -> None:
         """Transmit one ``nbytes`` message; ``deliver`` fires at arrival."""
@@ -52,21 +65,20 @@ class Ring:
         self.messages_carried += 1
         if broadcast:
             self.broadcasts += 1
-        if self.sim.tracer.enabled:
-            self.sim.tracer.instant(
+        if self._trace is not None:
+            self._trace.instant(
                 "ring.broadcast" if broadcast else "ring.send",
                 "ring",
                 self.sim.now,
                 self.name,
                 args={"bytes": nbytes, "queued": self._medium.queued},
             )
-        if self.sim.metrics.enabled:
-            metrics = self.sim.metrics
-            metrics.counter("ring.bytes", ring=self.name).add(nbytes)
-            metrics.counter("ring.messages", ring=self.name).add()
+        if self._bytes_counter is not None:
+            self._bytes_counter.add(nbytes)
+            self._messages_counter.add()
             if broadcast:
-                metrics.counter("ring.broadcasts", ring=self.name).add()
-            metrics.tally("ring.message_bytes", ring=self.name).observe(nbytes)
+                self._broadcasts_counter.add()
+            self._message_bytes_tally.observe(nbytes)
         self._medium.submit(self.model.transfer_time_ms(nbytes), deliver, nbytes=nbytes)
 
     # -- measurement ---------------------------------------------------------

@@ -3,35 +3,56 @@
 Events are plain callbacks.  Ties in time are broken by a monotone sequence
 number so simulation runs are exactly reproducible regardless of callback
 contents.
+
+Hot-path note: the heap holds ``(time, sequence, Event)`` tuples rather
+than ordered dataclasses — tuple comparison is a single C-level operation,
+where dataclass ordering re-enters Python per field.  The sequence number
+is unique, so the :class:`Event` object itself never participates in a
+comparison.  Observability hooks are likewise pre-bound at construction
+(a session binds once, at ``__init__``) so a disabled run pays one ``is
+not None`` check per event instead of chained attribute loads.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
 
 
-@dataclass(order=True)
 class Event:
     """One scheduled callback.
 
-    Ordering is ``(time, sequence)``; the callback itself never participates
-    in comparisons.  Cancelled events stay in the heap but are skipped.
+    Heap ordering is carried by the enclosing ``(time, sequence)`` tuple;
+    the event itself is never compared.  Cancelled events stay in the heap
+    but are skipped.
     """
 
-    time: float
-    sequence: int
-    action: Callable[[], None] = field(compare=False)
-    label: str = field(compare=False, default="")
-    cancelled: bool = field(compare=False, default=False)
+    __slots__ = ("time", "sequence", "action", "label", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        sequence: int,
+        action: Callable[[], None],
+        label: str = "",
+        cancelled: bool = False,
+    ):
+        self.time = time
+        self.sequence = sequence
+        self.action = action
+        self.label = label
+        self.cancelled = cancelled
 
     def cancel(self) -> None:
         """Prevent this event from firing (lazy deletion)."""
         self.cancelled = True
+
+    def __repr__(self) -> str:
+        state = ", cancelled" if self.cancelled else ""
+        return f"Event(t={self.time}, seq={self.sequence}{state})"
 
 
 class Simulator:
@@ -47,7 +68,7 @@ class Simulator:
 
     def __init__(self, tracer=None, metrics=None):
         self._now = 0.0
-        self._heap: List[Event] = []
+        self._heap: List[Tuple[float, int, Event]] = []
         self._sequence = itertools.count()
         self._events_processed = 0
         self._running = False
@@ -63,6 +84,11 @@ class Simulator:
             metrics = metrics if metrics is not None else session.metrics
         self.tracer = tracer
         self.metrics = metrics
+        # Pre-bound fast paths: None when the axis is disabled, so the
+        # event loop does one identity check instead of two attribute
+        # chains per event.  ``enabled`` never flips after construction.
+        self._trace = tracer if tracer.enabled else None
+        self._event_counter = metrics.counter("sim.events") if metrics.enabled else None
         # The ``run`` metric label: sweeps build many simulators under one
         # registry; the label keeps their series and gauges apart.
         if metrics.enabled:
@@ -87,7 +113,7 @@ class Simulator:
     @property
     def pending(self) -> int:
         """Events still in the heap (including cancelled ones)."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        return sum(1 for _, _, event in self._heap if not event.cancelled)
 
     # -- scheduling -----------------------------------------------------------
 
@@ -95,8 +121,10 @@ class Simulator:
         """Schedule ``action`` to fire ``delay`` ms from now; returns the event."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        event = Event(self._now + delay, next(self._sequence), action, label)
-        heapq.heappush(self._heap, event)
+        time = self._now + delay
+        sequence = next(self._sequence)
+        event = Event(time, sequence, action, label)
+        heapq.heappush(self._heap, (time, sequence, event))
         return event
 
     def schedule_at(self, time: float, action: Callable[[], None], label: str = "") -> Event:
@@ -105,21 +133,24 @@ class Simulator:
 
     # -- execution --------------------------------------------------------------
 
+    def _fire(self, time: float, event: Event) -> None:
+        """Advance the clock to ``time``, record, and run ``event``."""
+        self._now = time
+        self._events_processed += 1
+        if self._trace is not None:
+            self._trace.instant(event.label or "event", "sim", time, "simulator")
+        if self._event_counter is not None:
+            self._event_counter.add()
+        event.action()
+
     def step(self) -> bool:
         """Fire the next event; returns False when the heap is empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            time, _, event = heapq.heappop(heap)
             if event.cancelled:
                 continue
-            self._now = event.time
-            self._events_processed += 1
-            if self.tracer.enabled:
-                self.tracer.instant(
-                    event.label or "event", "sim", event.time, "simulator"
-                )
-            if self.metrics.enabled:
-                self.metrics.counter("sim.events").add()
-            event.action()
+            self._fire(time, event)
             return True
         return False
 
@@ -134,20 +165,23 @@ class Simulator:
             raise SimulationError("simulator is not reentrant")
         self._running = True
         fired = 0
+        heap = self._heap
+        heappop = heapq.heappop
         try:
-            while self._heap:
-                head = self._heap[0]
-                if head.cancelled:
-                    heapq.heappop(self._heap)
+            while heap:
+                time, _, event = heap[0]
+                if event.cancelled:
+                    heappop(heap)
                     continue
-                if until is not None and head.time > until:
+                if until is not None and time > until:
                     break
                 if max_events is not None and fired >= max_events:
                     raise SimulationError(
                         f"exceeded max_events={max_events} at t={self._now:.3f} "
-                        f"(likely a protocol livelock; next: {head.label!r})"
+                        f"(likely a protocol livelock; next: {event.label!r})"
                     )
-                self.step()
+                heappop(heap)
+                self._fire(time, event)
                 fired += 1
             # The clock always advances to ``until`` — even when the heap
             # drains first — so elapsed-time denominators (utilization,

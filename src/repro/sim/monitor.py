@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 
 @dataclass
@@ -39,6 +39,12 @@ class Tally:
     _m2: float = 0.0
     minimum: float = math.inf
     maximum: float = -math.inf
+    #: When not None, every observed sample is also kept raw, so another
+    #: tally can *replay* them (bit-identical to having observed them
+    #: itself) instead of merging summary state.  Sweep worker registries
+    #: turn this on; it is what makes parallel metrics byte-identical to
+    #: serial.
+    samples: Optional[List[float]] = None
 
     def observe(self, sample: float) -> None:
         """Record one sample."""
@@ -48,6 +54,8 @@ class Tally:
         self._m2 += delta * (sample - self._mean)
         self.minimum = min(self.minimum, sample)
         self.maximum = max(self.maximum, sample)
+        if self.samples is not None:
+            self.samples.append(sample)
 
     @property
     def mean(self) -> float:
@@ -65,6 +73,29 @@ class Tally:
     def stddev(self) -> float:
         """Sample standard deviation."""
         return math.sqrt(self.variance)
+
+    def combine(
+        self, count: int, mean: float, m2: float, minimum: float, maximum: float
+    ) -> None:
+        """Fold another tally's state into this one (parallel Welford merge).
+
+        The sweep runner uses this to merge per-worker registries; the
+        combined count/extrema are exact, mean and variance are the
+        standard pairwise combination.
+        """
+        if count <= 0:
+            return
+        if self.count == 0:
+            self.count, self._mean, self._m2 = count, mean, m2
+            self.minimum, self.maximum = minimum, maximum
+            return
+        total = self.count + count
+        delta = mean - self._mean
+        self._m2 += m2 + delta * delta * self.count * count / total
+        self._mean += delta * count / total
+        self.count = total
+        self.minimum = min(self.minimum, minimum)
+        self.maximum = max(self.maximum, maximum)
 
     def __repr__(self) -> str:
         return f"Tally({self.name!r}, n={self.count}, mean={self.mean:.3f})"

@@ -5,6 +5,12 @@ A :class:`Resource` models a device with ``capacity`` identical servers
 Callers submit *jobs* with a known service time; the resource runs up to
 ``capacity`` jobs at once and queues the rest in FIFO order.  Utilization
 and queueing statistics are tracked for the experiment reports.
+
+Hot-path note: observability is pre-bound at construction (the simulator's
+session never flips after ``__init__``), so the per-job cost of disabled
+tracing/metrics is one ``is not None`` check rather than chained attribute
+loads and registry lookups.  The queue-depth series instrument is likewise
+resolved once instead of re-keyed on every submit.
 """
 
 from __future__ import annotations
@@ -60,6 +66,16 @@ class Resource:
         #: Jobs currently in service: job id -> (start time, service time).
         self._in_service: Dict[int, Tuple[float, float]] = {}
         self._job_ids = itertools.count()
+        # Pre-bound observability (None when the axis is disabled).
+        self._trace = sim.tracer if sim.tracer.enabled else None
+        if sim.metrics.enabled:
+            self._wait_tally = sim.metrics.tally("resource.wait_ms", resource=name)
+            self._depth_series = sim.metrics.series(
+                "resource.queue_depth", resource=name, run=sim.run_id
+            )
+        else:
+            self._wait_tally = None
+            self._depth_series = None
 
     # -- state ----------------------------------------------------------------
 
@@ -116,12 +132,16 @@ class Resource:
         if service_time < 0:
             raise SimulationError(f"{self.name}: negative service time {service_time}")
         self._queue.append((service_time, done or (lambda: None), nbytes, self.sim.now))
-        self.stats.peak_queue = max(self.stats.peak_queue, len(self._queue))
-        if self.sim.metrics.enabled:
-            self.sim.metrics.series(
-                "resource.queue_depth", resource=self.name, run=self.sim.run_id
-            ).record(self.sim.now, len(self._queue))
+        if self._depth_series is not None:
+            self._depth_series.record(self.sim.now, len(self._queue))
         self._dispatch()
+        # Peak depth is measured *after* dispatch: a job that went straight
+        # into a free server never waited, so an uncongested resource
+        # reports peak_queue == 0 (it used to read 1 — the depth was
+        # sampled before the dispatch pop).
+        depth = len(self._queue)
+        if depth > self.stats.peak_queue:
+            self.stats.peak_queue = depth
 
     def _dispatch(self) -> None:
         while self._busy < self.capacity and self._queue:
@@ -131,8 +151,8 @@ class Resource:
             self.stats.wait_time += wait
             job_id = next(self._job_ids)
             self._in_service[job_id] = (self.sim.now, service_time)
-            if self.sim.tracer.enabled:
-                self.sim.tracer.span(
+            if self._trace is not None:
+                self._trace.span(
                     f"{self.name}.service",
                     "resource",
                     self.sim.now,
@@ -140,11 +160,9 @@ class Resource:
                     self.name,
                     args={"bytes": nbytes, "wait_ms": wait},
                 )
-            if self.sim.metrics.enabled:
-                self.sim.metrics.tally("resource.wait_ms", resource=self.name).observe(wait)
-                self.sim.metrics.series(
-                    "resource.queue_depth", resource=self.name, run=self.sim.run_id
-                ).record(self.sim.now, len(self._queue))
+            if self._wait_tally is not None:
+                self._wait_tally.observe(wait)
+                self._depth_series.record(self.sim.now, len(self._queue))
 
             def finish(st=service_time, cb=done, nb=nbytes, jid=job_id):
                 self._busy -= 1

@@ -1,0 +1,198 @@
+"""The ``repro bench`` harness: the repo's wall-clock perf baseline.
+
+Runs each sweep experiment once (instrumented, metrics on) and records
+wall-clock seconds plus simulator events/second into a JSON report —
+``BENCH_sweeps.json`` by default.  A ``sim_core`` microbenchmark rides
+along to anchor the raw event-loop throughput independently of any
+workload.
+
+The report schema (``repro-bench/v1``) is stable: existing keys keep
+their names and meanings; new keys may be added.  Top level::
+
+    schema        "repro-bench/v1"
+    created_unix  wall-clock timestamp of the run
+    host          {python, platform, cpu_count}
+    quick         True for --quick
+    scale         workload scale the sweeps ran at
+    workers       sweep worker processes (1 = serial)
+    experiments   [{experiment, wall_s, sim_events, events_per_sec,
+                    points, rows}, ...]
+    totals        {wall_s, sim_events, events_per_sec}
+
+``sim_events`` is the merged ``sim.events`` counter across every
+simulator the experiment built; ``points`` is the number of independent
+sweep points the experiment fanned out.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro import obs
+
+#: Default output path (repo root when run from there).
+DEFAULT_OUT = "BENCH_sweeps.json"
+
+BENCH_SCHEMA = "repro-bench/v1"
+
+#: Events scheduled+fired by the event-loop microbenchmark.
+SIM_CORE_EVENTS = 200_000
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One benchmarked experiment: a runner plus per-mode kwargs."""
+
+    name: str
+    run: Callable
+    quick_kwargs: Dict
+    full_kwargs: Dict
+    #: Sweep points the kwargs produce (for the report's ``points`` field).
+    points: Callable[[Dict], int]
+
+    def kwargs(self, quick: bool) -> Dict:
+        return dict(self.quick_kwargs if quick else self.full_kwargs)
+
+
+def _grid(field: str, factors: int = 1) -> Callable[[Dict], int]:
+    return lambda kwargs: len(kwargs[field]) * factors
+
+
+def bench_cases() -> List[BenchCase]:
+    """The benchmarked sweeps (imported here to keep the CLI import light)."""
+    from repro.experiments import (
+        dataflow_machine,
+        figure_3_1,
+        figure_4_2,
+        granularity_tuple,
+        ring_vs_direct,
+    )
+
+    return [
+        BenchCase(
+            "figure_3_1",
+            figure_3_1.run,
+            quick_kwargs=dict(processors=(2, 4), scale=0.05, selectivity=0.3),
+            full_kwargs=dict(processors=(5, 10, 20), scale=0.25),
+            points=_grid("processors", 2),  # x (page, relation)
+        ),
+        BenchCase(
+            "figure_4_2",
+            figure_4_2.run,
+            quick_kwargs=dict(ips=(2, 4), scale=0.05, selectivity=0.3, controllers=12),
+            full_kwargs=dict(ips=(5, 10, 25), scale=0.25),
+            points=_grid("ips"),
+        ),
+        BenchCase(
+            "ring_vs_direct",
+            ring_vs_direct.run,
+            quick_kwargs=dict(ips=(3,), scale=0.05, selectivity=0.3, controllers=12),
+            full_kwargs=dict(ips=(10, 25), scale=0.25),
+            points=_grid("ips", 3),  # x (direct, ring, ring-routed)
+        ),
+        BenchCase(
+            "granularity_tuple",
+            granularity_tuple.run,
+            quick_kwargs=dict(processors=(3,), scale=0.05, selectivity=0.3),
+            full_kwargs=dict(processors=(10, 30), scale=0.25),
+            points=_grid("processors", 3),  # x (page, relation, tuple)
+        ),
+        BenchCase(
+            "dataflow",
+            dataflow_machine.run,
+            quick_kwargs=dict(processors=(2, 8), scale=0.05),
+            full_kwargs=dict(processors=(2, 8, 32), scale=0.1),
+            points=_grid("processors", 3),  # x granularities
+        ),
+    ]
+
+
+def _sim_core_entry() -> dict:
+    """Raw event-loop throughput: schedule and fire SIM_CORE_EVENTS noops."""
+    from repro.sim.engine import Simulator
+
+    sim = Simulator()  # uninstrumented: measures the bare heap loop
+
+    def noop() -> None:
+        pass
+
+    start = time.perf_counter()
+    for i in range(SIM_CORE_EVENTS):
+        sim.schedule(float(i % 97), noop)
+    sim.run()
+    wall = time.perf_counter() - start
+    return {
+        "experiment": "sim_core",
+        "wall_s": round(wall, 4),
+        "sim_events": SIM_CORE_EVENTS,
+        "events_per_sec": round(SIM_CORE_EVENTS / wall) if wall > 0 else 0,
+        "points": 1,
+        "rows": 0,
+    }
+
+
+def run_bench(
+    quick: bool = True,
+    scale: Optional[float] = None,
+    workers: Optional[int] = None,
+    only: Optional[Sequence[str]] = None,
+) -> dict:
+    """Run the bench suite and return the report dict (see module docstring)."""
+    entries = [_sim_core_entry()] if not only or "sim_core" in only else []
+    used_scale = None
+    for case in bench_cases():
+        if only and case.name not in only:
+            continue
+        kwargs = case.kwargs(quick)
+        if scale is not None:
+            kwargs["scale"] = scale
+        if workers is not None:
+            kwargs["workers"] = workers
+        used_scale = kwargs.get("scale")
+        with obs.observe(trace=False, metrics=True) as session:
+            start = time.perf_counter()
+            result = case.run(**kwargs)
+            wall = time.perf_counter() - start
+        events = int(session.metrics.value("sim.events"))
+        entries.append(
+            {
+                "experiment": case.name,
+                "wall_s": round(wall, 4),
+                "sim_events": events,
+                "events_per_sec": round(events / wall) if wall > 0 else 0,
+                "points": case.points(kwargs),
+                "rows": len(result.rows),
+            }
+        )
+    total_wall = sum(e["wall_s"] for e in entries)
+    total_events = sum(e["sim_events"] for e in entries)
+    return {
+        "schema": BENCH_SCHEMA,
+        "created_unix": round(time.time(), 3),
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+        "quick": quick,
+        "scale": used_scale,
+        "workers": workers if workers is not None else 1,
+        "experiments": entries,
+        "totals": {
+            "wall_s": round(total_wall, 4),
+            "sim_events": total_events,
+            "events_per_sec": round(total_events / total_wall) if total_wall > 0 else 0,
+        },
+    }
+
+
+def write_bench(report: dict, path: str = DEFAULT_OUT) -> None:
+    """Write a bench report as stable, diff-friendly JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -174,6 +174,82 @@ def test_sequential_read_faster_than_random():
     assert second < first  # follow-on read skipped the seek
 
 
+def test_read_during_spill_aborts_eviction():
+    # Bugfix: a dirty victim's write-back takes disk time, and a reader
+    # that hits the still-resident frame mid-spill pins it.  Eviction used
+    # to delete the frame anyway when the spill completed, yanking it out
+    # from under the pinned reader; now the eviction aborts and retries
+    # against a different victim.
+    sim, meter, cache = make_cache(frames=4)
+    victim = make_ref("q.n1:0", on_disk=False)
+    cache.write_page(victim, lambda: None)
+    sim.run()
+    for i in range(1, 4):
+        cache.write_page(make_ref(f"q.n1:{i}", on_disk=False), lambda: None)
+    sim.run()
+    assert cache.resident_frames == 4
+
+    # The fifth page forces a dirty eviction of the LRU victim; its spill
+    # occupies the disk until disk_ms(128) from now.
+    spill_ms = cache.model.disk_ms(128)
+    port_ms = cache.model.cache_port_ms(128)
+    assert port_ms < spill_ms  # the read below must still be pinned at spill end
+    cache.write_page(make_ref("q.n1:4", on_disk=False), lambda: None)
+    read_done = []
+    sim.schedule(
+        spill_ms - port_ms / 2,
+        lambda: cache.read_shared(victim, lambda: read_done.append(sim.now)),
+    )
+    sim.run()
+    assert read_done  # the pinned reader was served
+    assert cache.is_resident(victim)  # eviction aborted, frame survived
+    assert cache.resident_frames == 4  # capacity accounting intact
+    # The aborted write-back still persisted the page.
+    assert victim.on_disk
+    # A later read of the survivor is a plain cache hit.
+    before = meter.bytes_at(tl.DISK_TO_CACHE)
+    cache.read_shared(victim, lambda: read_done.append(sim.now))
+    sim.run()
+    assert len(read_done) == 2
+    assert meter.bytes_at(tl.DISK_TO_CACHE) == before
+
+
+def test_rewrite_resident_key_does_not_leak_slots():
+    # Bugfix: re-installing an already-resident key used to allocate a
+    # *second* slot (evicting an innocent neighbour) while the dict entry
+    # was simply overwritten, so the reserved count drifted one above the
+    # real frame population on every rewrite.
+    sim, meter, cache = make_cache(frames=4)
+    refs = [make_ref(f"q.n1:{i}", on_disk=False) for i in range(4)]
+    for ref in refs:
+        cache.write_page(ref, lambda: None)
+    sim.run()
+    assert cache.resident_frames == 4
+    for _ in range(3):  # rewrite one key repeatedly at full capacity
+        cache.write_page(make_ref("q.n1:0", on_disk=False), lambda: None)
+        sim.run()
+        assert cache.resident_frames == 4
+    # In-place refresh: nothing was evicted or spilled.
+    assert all(cache.is_resident(ref) for ref in refs)
+    assert meter.bytes_at(tl.CACHE_TO_DISK) == 0
+
+
+def test_rewrite_updates_frame_content():
+    sim, meter, cache = make_cache(frames=4)
+    first = make_ref("q.n1:0", on_disk=False)
+    cache.write_page(first, lambda: None)
+    sim.run()
+    second = make_ref("q.n1:0", on_disk=False)
+    second.row_count = 7
+    cache.write_page(second, lambda: None)
+    sim.run()
+    assert cache.resident_frames == 1
+    done = []
+    cache.read_shared(second, lambda: done.append(1))
+    sim.run()
+    assert done == [1]
+
+
 def test_minimum_frames_enforced():
     sim = Simulator()
     with pytest.raises(MachineError):

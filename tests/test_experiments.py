@@ -3,9 +3,9 @@ shows the paper's shape."""
 
 import pytest
 
-from repro.experiments import figure_3_1, figure_4_2, granularity_tuple
-from repro.experiments import packets_demo, project_operator, ring_sizing_exp
-from repro.experiments import ring_vs_direct, section_3_3
+from repro.experiments import dataflow_machine, figure_3_1, figure_4_2
+from repro.experiments import granularity_tuple, packets_demo, project_operator
+from repro.experiments import ring_sizing_exp, ring_vs_direct, section_3_3
 from repro.experiments.common import ExperimentResult, render_table
 
 SMALL = dict(scale=0.05, selectivity=0.3)
@@ -83,6 +83,16 @@ class TestE8TupleGranularity:
         row = res.rows[0]
         assert row["traffic_blowup"] > 1.5
         assert row["tuple_ms"] >= row["page_ms"] * 0.9
+
+
+class TestE6Dataflow:
+    def test_three_granularities_run(self):
+        res = dataflow_machine.run(processors=(2,), scale=0.05)
+        row = res.rows[0]
+        assert row["relation_ms"] > 0
+        assert row["page_ms"] > 0
+        assert row["tuple_ms"] > 0
+        assert row["tuple_traffic_blowup"] > 1.0
 
 
 class TestE10RingVsDirect:

@@ -130,6 +130,31 @@ def test_peak_queue():
     assert res.stats.peak_queue >= 3
 
 
+def test_peak_queue_uncongested_is_zero():
+    # Bugfix: the queue depth used to be sampled before dispatch, so a job
+    # that went straight into a free server still counted as "queued" and
+    # an uncongested resource reported peak_queue == 1.
+    sim = Simulator()
+    res = Resource(sim, "r")
+    res.submit(1.0)
+    sim.run()
+    res.submit(1.0)
+    sim.run()
+    assert res.stats.peak_queue == 0
+
+
+def test_peak_queue_counts_only_waiters():
+    sim = Simulator()
+    res = Resource(sim, "r", capacity=2)
+    res.submit(5.0)
+    res.submit(5.0)  # both enter free servers immediately
+    assert res.stats.peak_queue == 0
+    res.submit(5.0)  # this one actually waits
+    assert res.stats.peak_queue == 1
+    sim.run()
+    assert res.stats.peak_queue == 1
+
+
 def test_submission_inside_completion():
     sim = Simulator()
     res = Resource(sim, "r")
