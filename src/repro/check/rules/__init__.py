@@ -1,0 +1,15 @@
+"""The ``repro check`` rule registry — one module per rule."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.check.rules.base import Rule
+from repro.check.rules.r001_rng import RULE as R001
+from repro.check.rules.r002_wallclock import RULE as R002
+from repro.check.rules.r003_set_order import RULE as R003
+from repro.check.rules.r004_float_eq import RULE as R004
+from repro.check.rules.r005_leases import RULE as R005
+
+#: Every registered rule, in id order.
+ALL_RULES: List[Rule] = [R001, R002, R003, R004, R005]

@@ -1,0 +1,66 @@
+"""Shared plumbing for ``repro check`` lint rules.
+
+Each rule is a tiny class: a stable id, a scope predicate over the
+``repro/...``-relative module path, and an AST check yielding
+``(line, col, message)`` triples.  Rules are pure functions of the parsed
+tree — suppression comments and path handling live in
+:mod:`repro.check.lint`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Sequence, Tuple
+
+#: A single violation: (line, col, message).
+Violation = Tuple[int, int, str]
+
+#: The packages whose modules schedule events or emit packets — the scope
+#: of the ordering/wall-clock rules (R002-R004).
+SIMULATION_PACKAGES = (
+    "repro/sim/",
+    "repro/ring/",
+    "repro/direct/",
+    "repro/dataflow/",
+)
+
+
+class Rule:
+    """Base class: subclasses set ``rule_id`` and override ``check``."""
+
+    rule_id = "R000"
+
+    def applies_to(self, module: str) -> bool:  # pragma: no cover - trivial
+        return True
+
+    def check(self, tree: ast.AST) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.rule_id}>"
+
+
+def in_packages(module: str, packages: Sequence[str]) -> bool:
+    """True when the module path falls under any of ``packages``.
+
+    Bare filenames (no package prefix — e.g. unit-test temp files) count
+    as in-scope so rules remain directly testable on snippets.
+    """
+    if "/" not in module:
+        return True
+    return any(module.startswith(prefix) for prefix in packages)
+
+
+def call_target(node: ast.Call) -> Tuple[str, str]:
+    """``(value, attr)`` for ``value.attr(...)`` calls; ("", name) for bare."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        value = func.value
+        if isinstance(value, ast.Name):
+            return value.id, func.attr
+        if isinstance(value, ast.Attribute):
+            return value.attr, func.attr
+        return "", func.attr
+    if isinstance(func, ast.Name):
+        return "", func.id
+    return "", ""

@@ -1,0 +1,64 @@
+"""R001 — all randomness flows through :class:`repro.sim.random.RandomStreams`.
+
+Ad-hoc ``random.Random(...)`` / ``random.random()`` (or any other draw
+from the module-level shared generator) creates a stream whose state
+depends on import order and call interleaving, so adding randomness to
+one subsystem silently perturbs every other.  Named streams keep each
+consumer independent and every run replayable from ``(seed, name)``.
+
+Annotations (``rng: random.Random``) are fine — only *calls* are flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.check.rules.base import Rule, Violation, call_target
+
+#: Everything callable on the ``random`` module that draws from or
+#: constructs a generator.
+_RANDOM_CALLS = frozenset(
+    {
+        "Random",
+        "SystemRandom",
+        "random",
+        "seed",
+        "randint",
+        "randrange",
+        "uniform",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "getrandbits",
+        "gauss",
+        "expovariate",
+    }
+)
+
+#: The one module allowed to construct generators.
+_EXEMPT = "repro/sim/random.py"
+
+
+class RngRule(Rule):
+    rule_id = "R001"
+
+    def applies_to(self, module: str) -> bool:
+        return module != _EXEMPT
+
+    def check(self, tree: ast.AST) -> Iterator[Violation]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            value, attr = call_target(node)
+            if value == "random" and attr in _RANDOM_CALLS:
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    f"random.{attr}() creates an unnamed RNG stream; "
+                    "use repro.sim.random.RandomStreams instead",
+                )
+
+
+RULE = RngRule()

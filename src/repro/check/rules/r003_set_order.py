@@ -1,0 +1,146 @@
+"""R003 — scheduling and packet-emitting code never iterates a bare set.
+
+``set``/``frozenset`` iteration order depends on ``PYTHONHASHSEED`` (for
+str/bytes elements) and on insertion/deletion history, so a loop over one
+can reorder scheduled events or emitted packets between runs.  Same for
+``dict.keys()`` views — iterate the dict itself (Python dicts are
+insertion-ordered) so the intent is explicit.  The fix is ``sorted(...)``
+around the iterable or an insertion-ordered ``Dict[K, None]`` in place of
+the set.
+
+Set-typed names are inferred from annotations (``x: Set[int]``,
+``self.pending: frozenset``, dataclass fields) and from assignments of
+``set()``/``frozenset()``/set literals, within the linted module.
+Membership tests and other order-insensitive uses are fine — only
+iteration positions (``for``/comprehensions) are flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set, Tuple
+
+from repro.check.rules.base import SIMULATION_PACKAGES, Rule, Violation, in_packages
+
+_SET_TYPE_NAMES = frozenset(
+    {"Set", "FrozenSet", "MutableSet", "AbstractSet", "set", "frozenset"}
+)
+_WRAPPER_NAMES = frozenset({"Optional", "Union"})
+
+
+def _annotation_is_set(node: ast.AST) -> bool:
+    """True when the *outermost* type of the annotation is a set type."""
+    if isinstance(node, ast.Name):
+        return node.id in _SET_TYPE_NAMES
+    if isinstance(node, ast.Attribute):
+        return node.attr in _SET_TYPE_NAMES
+    if isinstance(node, ast.Subscript):
+        outer = node.value
+        name = (
+            outer.id
+            if isinstance(outer, ast.Name)
+            else outer.attr if isinstance(outer, ast.Attribute) else ""
+        )
+        if name in _SET_TYPE_NAMES:
+            return True
+        if name in _WRAPPER_NAMES:
+            inner = node.slice
+            elements = inner.elts if isinstance(inner, ast.Tuple) else [inner]
+            return any(_annotation_is_set(e) for e in elements)
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            return _annotation_is_set(ast.parse(node.value, mode="eval").body)
+        except SyntaxError:
+            return False
+    return False
+
+
+def _value_is_set(node: ast.AST) -> bool:
+    """True for ``set(...)``/``frozenset(...)`` calls, set literals/comps."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+class SetOrderRule(Rule):
+    rule_id = "R003"
+
+    def applies_to(self, module: str) -> bool:
+        return in_packages(module, SIMULATION_PACKAGES)
+
+    def check(self, tree: ast.AST) -> Iterator[Violation]:
+        names, attrs = self._collect_set_typed(tree)
+        for node in ast.walk(tree):
+            for iterable in self._iteration_positions(node):
+                reason = self._unordered(iterable, names, attrs)
+                if reason is not None:
+                    yield (
+                        iterable.lineno,
+                        iterable.col_offset,
+                        f"iteration over {reason} has no deterministic order; "
+                        "wrap in sorted(...) or use an insertion-ordered "
+                        "Dict[K, None]",
+                    )
+
+    @staticmethod
+    def _iteration_positions(node: ast.AST):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield node.iter
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            for generator in node.generators:
+                yield generator.iter
+
+    @staticmethod
+    def _collect_set_typed(tree: ast.AST) -> Tuple[Set[str], Set[str]]:
+        names: Set[str] = set()
+        attrs: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.AnnAssign):
+                if not _annotation_is_set(node.annotation):
+                    continue
+                if isinstance(node.target, ast.Name):
+                    # Class-body annotations (dataclass fields) surface as
+                    # instance attributes too; recording both is the
+                    # conservative choice — the name *is* set-typed.
+                    names.add(node.target.id)
+                    attrs.add(node.target.id)
+                elif isinstance(node.target, ast.Attribute):
+                    attrs.add(node.target.attr)
+            elif isinstance(node, ast.Assign) and _value_is_set(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+                    elif isinstance(target, ast.Attribute):
+                        attrs.add(target.attr)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                arguments = node.args
+                for arg in (
+                    arguments.posonlyargs + arguments.args + arguments.kwonlyargs
+                ):
+                    if arg.annotation is not None and _annotation_is_set(arg.annotation):
+                        names.add(arg.arg)
+        return names, attrs
+
+    @staticmethod
+    def _unordered(node: ast.AST, names: Set[str], attrs: Set[str]) -> Optional[str]:
+        if isinstance(node, ast.Set):
+            return "a set literal"
+        if isinstance(node, ast.SetComp):
+            return "a set comprehension"
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+                return f"{func.id}(...)"
+            if isinstance(func, ast.Attribute) and func.attr == "keys":
+                return "dict.keys()"
+            return None
+        if isinstance(node, ast.Name) and node.id in names:
+            return f"set-typed name {node.id!r}"
+        if isinstance(node, ast.Attribute) and node.attr in attrs:
+            return f"set-typed attribute .{node.attr}"
+        return None
+
+
+RULE = SetOrderRule()

@@ -1,0 +1,71 @@
+"""R004 — no exact ``==``/``!=`` on simulation timestamps.
+
+Simulated times are floats accumulated through addition; two logically
+simultaneous events can differ in the last ulp depending on the order the
+delays were summed.  An exact comparison therefore encodes a latent
+platform/ordering dependence.  Compare with ``<=``/``>=`` windows, or
+carry an integer sequence number when identity matters (the engine's heap
+already does).
+
+Heuristic: a comparison operand is "time-like" when it is a name or
+attribute called ``now``/``timestamp``/``deadline`` or ending in ``_at``,
+``_time``, ``_ms``, or ``_deadline``.  Comparisons against ``None``,
+strings, or booleans are ignored (identity checks, tags).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.check.rules.base import SIMULATION_PACKAGES, Rule, Violation, in_packages
+
+_TIME_NAMES = frozenset({"now", "timestamp", "deadline"})
+_TIME_SUFFIXES = ("_at", "_time", "_ms", "_deadline")
+
+
+def _timelike(node: ast.AST) -> bool:
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    else:
+        return False
+    return name in _TIME_NAMES or name.endswith(_TIME_SUFFIXES)
+
+
+def _non_numeric_constant(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and (
+        node.value is None or isinstance(node.value, (str, bool))
+    )
+
+
+class FloatEqRule(Rule):
+    rule_id = "R004"
+
+    def applies_to(self, module: str) -> bool:
+        return in_packages(module, SIMULATION_PACKAGES)
+
+    def check(self, tree: ast.AST) -> Iterator[Violation]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for index, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                left, right = operands[index], operands[index + 1]
+                if _non_numeric_constant(left) or _non_numeric_constant(right):
+                    continue
+                if _timelike(left) or _timelike(right):
+                    symbol = "==" if isinstance(op, ast.Eq) else "!="
+                    yield (
+                        node.lineno,
+                        node.col_offset,
+                        f"exact float {symbol} on a simulation timestamp; "
+                        "compare with a tolerance window or an integer "
+                        "sequence number",
+                    )
+
+
+RULE = FloatEqRule()

@@ -1,0 +1,88 @@
+"""R005 — every ``Resource.acquire`` is lexically paired with its release.
+
+A lease acquired and never released deadlocks the simulated resource (the
+runtime sanitizer reports the leak at end of run; this rule catches it at
+review time).  An ``.acquire(...)`` call passes when any of these hold in
+the *same* function scope:
+
+* it is the context expression of a ``with`` statement,
+* the scope also contains a ``.release(...)`` call,
+* its lease is returned to the caller (ownership escapes by design).
+
+A bare ``resource.acquire(...)`` whose lease is discarded or stored with
+no lexically visible release is a finding.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set, Tuple
+
+from repro.check.rules.base import Rule, Violation
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+class LeaseRule(Rule):
+    rule_id = "R005"
+
+    def check(self, tree: ast.AST) -> Iterator[Violation]:
+        with_contexts: Set[int] = set()
+        returned: Set[int] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    with_contexts.add(id(item.context_expr))
+            elif isinstance(node, ast.Return) and node.value is not None:
+                returned.add(id(node.value))
+        for scope_body in self._scopes(tree):
+            acquires, has_release = self._scan(scope_body)
+            if has_release:
+                continue
+            for call in acquires:
+                if id(call) in with_contexts or id(call) in returned:
+                    continue
+                yield (
+                    call.lineno,
+                    call.col_offset,
+                    ".acquire(...) with no lexically paired .release(...) "
+                    "or context manager; use 'with resource.acquire(...):' "
+                    "or release the lease in this function",
+                )
+
+    @classmethod
+    def _scopes(cls, tree: ast.AST) -> Iterator[List[ast.stmt]]:
+        """Yield each function body (and the module body) as one scope."""
+        yield tree.body  # type: ignore[attr-defined]
+        for node in ast.walk(tree):
+            if isinstance(node, _FUNCTION_NODES):
+                yield node.body
+
+    @classmethod
+    def _scan(cls, body: List[ast.stmt]) -> Tuple[List[ast.Call], bool]:
+        """Acquire calls and release-presence within one scope.
+
+        Traversal stops at nested function boundaries — those are their
+        own scopes (a release inside a nested callback *is* still paired
+        work, but it runs later under different state, so the rule keeps
+        pairing strictly lexical and nested callbacks count as their own
+        scope; suppress with ``# repro: allow[R005]`` when a callback
+        legitimately carries the release).
+        """
+        acquires: List[ast.Call] = []
+        has_release = False
+        stack: List[ast.AST] = list(body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, _FUNCTION_NODES):
+                continue
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                if node.func.attr == "acquire":
+                    acquires.append(node)
+                elif node.func.attr == "release":
+                    has_release = True
+            stack.extend(ast.iter_child_nodes(node))
+        return acquires, has_release
+
+
+RULE = LeaseRule()

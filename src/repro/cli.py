@@ -9,6 +9,12 @@ Commands:
 * ``bench``                   — time the sweep experiments; write BENCH_sweeps.json
 * ``bench-info``              — how to run the benchmark suite
 * ``workload``                — describe the Section 3.2 benchmark database
+* ``check [paths...]``        — determinism lint (R001-R005); ``--self-test``
+                                proves each rule still fires
+
+``run``/``trace``/``metrics`` accept ``--sanitize`` to enable the runtime
+simulation sanitizer (event-order, delay, lease, cache, and ring
+invariants; violations raise ``SanitizerError``).
 
 Sweep experiments accept ``--workers N`` to fan independent sweep points
 out over N worker processes; results are byte-identical to serial.
@@ -86,6 +92,10 @@ def _experiment_kwargs(args) -> Dict[str, object]:
         kwargs["ips"] = tuple(args.ips)
     if getattr(args, "workers", None) is not None:
         kwargs["workers"] = args.workers
+    if getattr(args, "sanitize", False):
+        # The sanitize flag is ambient and process-local, so sweep points
+        # must stay in this process.
+        kwargs["workers"] = 1
     return kwargs
 
 
@@ -96,6 +106,11 @@ def _run_experiment(args):
         return None, 2
     module, _summary = _EXPERIMENTS[args.experiment]
     try:
+        if getattr(args, "sanitize", False):
+            from repro.check import sanitizing
+
+            with sanitizing():
+                return module.run(**_experiment_kwargs(args)), 0
         return module.run(**_experiment_kwargs(args)), 0
     except TypeError as exc:
         print(f"experiment {args.experiment!r} rejected options: {exc}")
@@ -185,6 +200,22 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_check(args) -> int:
+    from repro.check.lint import lint_paths, render_json, render_text, self_test
+
+    if args.self_test:
+        problems = self_test()
+        if problems:
+            for problem in problems:
+                print(problem)
+            return 2
+        print("self-test OK: every rule fires and suppresses")
+        return 0
+    findings = lint_paths(args.paths)
+    print(render_json(findings) if args.as_json else render_text(findings))
+    return 1 if findings else 0
+
+
 def _cmd_bench_info(_args) -> int:
     print(
         "benchmark suite (one per paper table/figure):\n\n"
@@ -225,6 +256,12 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             help="worker processes for sweep points (0 = one per CPU); "
             "results are byte-identical to serial",
+        )
+        parser_.add_argument(
+            "--sanitize",
+            action="store_true",
+            help="run with the simulation sanitizer enabled (invariant "
+            "violations raise SanitizerError); forces serial execution",
         )
 
     run = sub.add_parser("run", help="run one experiment")
@@ -274,6 +311,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated experiment subset (e.g. figure_3_1,sim_core)",
     )
 
+    check = sub.add_parser(
+        "check", help="run the determinism linter over the sources"
+    )
+    check.add_argument(
+        "paths", nargs="*", default=["src"], help="files/directories (default: src)"
+    )
+    check.add_argument(
+        "--json", action="store_true", dest="as_json", help="emit findings as JSON"
+    )
+    check.add_argument(
+        "--self-test",
+        action="store_true",
+        dest="self_test",
+        help="verify every rule fires on its seeded violation (CI gate)",
+    )
+
     sub.add_parser("bench-info", help="how to run the benchmark suite")
     return parser
 
@@ -289,6 +342,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "metrics": _cmd_metrics,
         "workload": _cmd_workload,
         "bench": _cmd_bench,
+        "check": _cmd_check,
         "bench-info": _cmd_bench_info,
     }
     if args.command is None:

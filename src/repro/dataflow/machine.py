@@ -118,6 +118,7 @@ class DataflowMachine:
         ]
         if unfinished:
             raise MachineError(f"data-flow machine stalled on: {unfinished}")
+        self.sim.finalize_sanitizer()
         return DataflowReport(
             granularity=self.granularity,
             processors=self._processor_count,

@@ -99,6 +99,9 @@ class DiskCache:
         self._reserved = 0
         #: Last page key read per drive, for sequential-transfer detection.
         self._disk_last: Dict[int, str] = {}
+        self._sanitizer = sim.sanitizer
+        if self._sanitizer is not None:
+            self._sanitizer.register_finish_check("disk-cache", self._sanitize_finish)
 
     # -- public API -------------------------------------------------------------
 
@@ -204,6 +207,42 @@ class DiskCache:
 
     # -- internals -------------------------------------------------------------
 
+    def _sanitize_finish(self) -> List[str]:
+        """End-of-run frame-accounting invariants for the sanitizer."""
+        violations: List[str] = []
+        for key, frame in sorted(self._frames.items()):
+            if frame.pins > 0:
+                violations.append(f"frame {key!r} leaked {frame.pins} pin(s)")
+        if self._reserved != len(self._frames):
+            violations.append(
+                f"reservation imbalance: {self._reserved} reserved slots for "
+                f"{len(self._frames)} resident frames"
+            )
+        if self._alloc_waiters:
+            violations.append(
+                f"{len(self._alloc_waiters)} frame-allocation waiter(s) stranded"
+            )
+        for key in sorted(self._inflight_reads):
+            violations.append(f"in-flight read of {key!r} was never delivered")
+        return violations
+
+    def _reserve_slot(self) -> None:
+        """Count one frame reservation; sanitize mode polices the ceiling."""
+        self._reserved += 1
+        if self._sanitizer is not None and self._reserved > self.capacity_frames:
+            self._sanitizer.fail(
+                f"disk-cache double-reserve: {self._reserved} reservations "
+                f"exceed {self.capacity_frames} frames"
+            )
+
+    def _unreserve_slot(self) -> None:
+        """Hand a reservation back; a queued allocation claims it at once."""
+        self._reserved -= 1
+        if self._alloc_waiters:
+            waiter = self._alloc_waiters.popleft()
+            self._reserve_slot()
+            waiter()
+
     def _pin(self, key: str) -> None:
         frame = self._frames[key]
         frame.pins += 1
@@ -224,16 +263,12 @@ class DiskCache:
 
     def _release(self, key: str) -> None:
         del self._frames[key]
-        self._reserved -= 1
-        if self._alloc_waiters:
-            waiter = self._alloc_waiters.popleft()
-            self._reserved += 1
-            waiter()
+        self._unreserve_slot()
 
     def _allocate(self, granted: Callable[[], None]) -> None:
         """Hand a free frame slot to ``granted``, evicting if needed."""
         if self._reserved < self.capacity_frames:
-            self._reserved += 1
+            self._reserve_slot()
             granted()
             return
         victim = self._pick_victim()
@@ -325,6 +360,16 @@ class DiskCache:
 
         def filled() -> None:
             self.meter.add(tlevels.DISK_TO_CACHE, ref.nbytes)
+            existing = self._frames.get(ref.key)
+            if existing is not None:
+                # A concurrent write_page installed this key while the
+                # disk fill was in flight.  Keep that (newer) frame and
+                # hand the fill's duplicate reservation back — keeping
+                # both would permanently shrink effective capacity.
+                self._pin(ref.key)
+                self._unreserve_slot()
+                self._port_deliver(ref)
+                return
             self._frames[ref.key] = _Frame(
                 ref=ref, dirty=False, pins=1, last_use=next(self._use_clock)
             )

@@ -197,7 +197,9 @@ class DirectMachine:
         self.ic_buffer_pages = max(2, ic_buffer_bytes // page_bytes)
         self._buffered: Dict[str, PageRef] = {}
         self._buffer_fifo: Dict[int, List[str]] = {}
-        self._overflowing: set = set()
+        # Insertion-ordered dict-as-set: any future iteration stays
+        # independent of PYTHONHASHSEED.
+        self._overflowing: Dict[str, None] = {}
         self._buffer_reads: Dict[str, List[Callable[[], None]]] = {}
 
     # ------------------------------------------------------------------ setup
@@ -314,6 +316,7 @@ class DirectMachine:
             raise MachineError(
                 f"simulation drained with unfinished queries: {unfinished}"
             )
+        self.sim.finalize_sanitizer()
         elapsed = self.sim.now
         busy = sum(p.busy_ms for p in self.processors)
         utilization = busy / (elapsed * len(self.processors)) if elapsed > 0 else 0.0
@@ -712,11 +715,11 @@ class DirectMachine:
         excess = len(live) - self.ic_buffer_pages
         for key in live[: max(0, excess)]:
             ref = self._buffered[key]
-            self._overflowing.add(key)
+            self._overflowing[key] = None
 
             def spilled(r=ref, k=key) -> None:
                 # Readable from the cache now; release the buffer slot.
-                self._overflowing.discard(k)
+                self._overflowing.pop(k, None)
                 self._buffered.pop(k, None)
 
             self.cache.write_page(ref, spilled, dirty=True)

@@ -48,5 +48,14 @@ class ConcurrencyError(ReproError):
     """A concurrency-control invariant was violated."""
 
 
+class SanitizerError(ReproError):
+    """The runtime simulation sanitizer detected an invariant violation.
+
+    Raised only when a simulator runs with ``sanitize=True`` (or inside
+    :func:`repro.check.sanitizing`); the message carries a trace-context
+    breadcrumb of the most recently fired events.
+    """
+
+
 class WorkloadError(ReproError):
     """The benchmark workload could not be generated as specified."""

@@ -15,7 +15,7 @@ rows, pages, and output bytes, plus machine-facing advice —
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.relational.catalog import Catalog
 from repro.query.cost import CostModel, NodeEstimate

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterator, List, Optional
 
 from repro.errors import PageError
-from repro.relational.page import DEFAULT_PAGE_BYTES, Page
+from repro.relational.page import DEFAULT_PAGE_BYTES
 from repro.relational.relation import Relation
 from repro.relational.schema import Row, Schema
 

@@ -22,7 +22,7 @@ from typing import Callable, Optional, Sequence
 from repro.errors import PredicateError, SchemaError
 from repro.relational.predicate import JoinCondition, Predicate
 from repro.relational.relation import Relation
-from repro.relational.schema import Row, Schema
+from repro.relational.schema import Schema
 from repro.relational.sorting import sort_relation
 
 

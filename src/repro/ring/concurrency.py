@@ -76,10 +76,10 @@ class LockManager:
 
     def can_acquire(self, request: LockRequest) -> bool:
         """Would the whole lock set be grantable right now?"""
-        for relation in request.exclusive:
+        for relation in sorted(request.exclusive):
             if relation in self._held:
                 return False
-        for relation in request.shared:
+        for relation in sorted(request.shared):
             held = self._held.get(relation)
             if held is not None and held.mode is LockMode.EXCLUSIVE:
                 return False
@@ -91,10 +91,12 @@ class LockManager:
             raise ConcurrencyError(f"query {request.query_name!r} already holds locks")
         if not self.can_acquire(request):
             return False
-        for relation in request.shared:
+        # sorted(): lock tables are built in a PYTHONHASHSEED-independent
+        # order, so two runs always agree on the _held dict's layout.
+        for relation in sorted(request.shared):
             held = self._held.setdefault(relation, _Held(LockMode.SHARED))
             held.holders.add(request.query_name)
-        for relation in request.exclusive:
+        for relation in sorted(request.exclusive):
             self._held[relation] = _Held(LockMode.EXCLUSIVE, {request.query_name})
         self._owners[request.query_name] = request
         return True
@@ -104,7 +106,7 @@ class LockManager:
         request = self._owners.pop(query_name, None)
         if request is None:
             raise ConcurrencyError(f"query {query_name!r} holds no locks")
-        for relation in request.relations:
+        for relation in sorted(request.relations):
             held = self._held.get(relation)
             if held is None:
                 continue

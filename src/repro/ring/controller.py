@@ -125,8 +125,9 @@ class InstructionController:
         self.idle_ips: List["InstructionProcessor"] = []
         self.want_outstanding = 0
 
-        # Join broadcast state.
-        self.broadcast_inflight: Set[int] = set()
+        # Join broadcast state.  Insertion-ordered dict-as-set: iteration
+        # order (should any appear later) never depends on PYTHONHASHSEED.
+        self.broadcast_inflight: Dict[int, None] = {}
         self.pending_inner_requests: Dict[int, List["InstructionProcessor"]] = {}
 
         # Fault tolerance (requirement 5): a watchdog per dispatched unit.
@@ -137,11 +138,11 @@ class InstructionController:
         self._refs_by_key: Dict[str, PageRef] = {}
         self._local: Dict[str, Page] = {}
         self._local_fifo: List[str] = []
-        self._overflowing: Set[str] = set()
+        self._overflowing: Dict[str, None] = {}
         #: Pages that arrived by IP->IP direct routing (Section 5 future
         #: work): already positioned at a processor, so their first
         #: dispatch ships a header-only packet.
-        self._prepositioned: Set[str] = set()
+        self._prepositioned: Dict[str, None] = {}
 
         # Lifecycle.
         self.done = False
@@ -262,7 +263,7 @@ class InstructionController:
         )
         operand.pages.append(ref)
         self._refs_by_key[ref.key] = ref
-        self._prepositioned.add(ref.key)
+        self._prepositioned[ref.key] = None
         self._local_store(ref)
         self._queue_work(operand_index, index)
         self._after_input_change(operand_index)
@@ -270,7 +271,7 @@ class InstructionController:
     def take_preposition(self, ref: PageRef) -> bool:
         """Consume the page's pre-positioned status (first dispatch only)."""
         if ref.key in self._prepositioned:
-            self._prepositioned.discard(ref.key)
+            self._prepositioned.pop(ref.key, None)
             return True
         return False
 
@@ -536,14 +537,14 @@ class InstructionController:
     def _broadcast_inner(self, index: int) -> None:
         inner = self.operands[1]
         ref = inner.pages[index]
-        self.broadcast_inflight.add(index)
+        self.broadcast_inflight[index] = None
         if self.machine.sim.metrics.enabled:
             self.machine.sim.metrics.counter("ic.inner_broadcasts").add()
         last_known = inner.page_count if inner.complete else None
 
         def have_page(page: Page) -> None:
             def delivered() -> None:
-                self.broadcast_inflight.discard(index)
+                self.broadcast_inflight.pop(index, None)
 
             self.machine.ic_broadcast_inner(self, index, page, last_known, delivered)
 
@@ -679,10 +680,10 @@ class InstructionController:
             if ref is None or ref.on_disk or self.machine.cache.is_resident(ref):
                 self._local.pop(key, None)
                 continue
-            self._overflowing.add(key)
+            self._overflowing[key] = None
 
             def spilled(k: str = key) -> None:
-                self._overflowing.discard(k)
+                self._overflowing.pop(k, None)
                 self._local.pop(k, None)
 
             self.machine.ic_overflow_page(self, ref, spilled)

@@ -206,6 +206,7 @@ class RingMachine:
         unfinished = [r.tree.name for r in self._runs if r.completed_at is None]
         if unfinished:
             raise MachineError(f"ring machine drained with unfinished queries: {unfinished}")
+        self.sim.finalize_sanitizer()
         elapsed = self.sim.now
         busy = sum(ip.busy_ms for ip in self.ips)
         util = busy / (elapsed * len(self.ips)) if elapsed > 0 else 0.0

@@ -16,7 +16,7 @@ registers, 1 Gbps ECL, 400 Mbps fiber).
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, List
 
 from repro import hw
 from repro.sim.engine import Simulator
@@ -39,6 +39,17 @@ class Ring:
         # check per message, and an enabled run skips the per-message
         # registry re-keying by holding its instruments directly.
         self._trace = sim.tracer if sim.tracer.enabled else None
+        # Packet conservation (Section 4's shift-register insertion
+        # protocol: every message inserted into the loop is also removed).
+        # Tracked only under sanitize mode — the removal count needs a
+        # wrapper around every delivery callback.
+        self._sanitizer = sim.sanitizer
+        self.packets_injected = 0
+        self.packets_removed = 0
+        if self._sanitizer is not None:
+            self._sanitizer.register_finish_check(
+                f"ring[{name}]", self._sanitize_finish
+            )
         if sim.metrics.enabled:
             metrics = sim.metrics
             self._bytes_counter = metrics.counter("ring.bytes", ring=name)
@@ -79,7 +90,26 @@ class Ring:
             if broadcast:
                 self._broadcasts_counter.add()
             self._message_bytes_tally.observe(nbytes)
+        if self._sanitizer is not None:
+            self.packets_injected += 1
+            deliver = self._counted_removal(deliver)
         self._medium.submit(self.model.transfer_time_ms(nbytes), deliver, nbytes=nbytes)
+
+    def _counted_removal(self, deliver: Callable[[], None]) -> Callable[[], None]:
+        def removed() -> None:
+            self.packets_removed += 1
+            deliver()
+
+        return removed
+
+    def _sanitize_finish(self) -> List[str]:
+        """Packet-conservation invariant for the sanitizer."""
+        if self.packets_injected != self.packets_removed:
+            return [
+                f"packet conservation violated: {self.packets_injected} injected, "
+                f"{self.packets_removed} removed"
+            ]
+        return []
 
     # -- measurement ---------------------------------------------------------
 

@@ -20,7 +20,7 @@ paper's, field for field:
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Set, TYPE_CHECKING
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
 
 from repro.errors import MachineError
 from repro.direct.exec_model import join_pages
@@ -53,7 +53,9 @@ class InstructionProcessor:
         # Join state: the paper's IRC vector and the held outer page.
         self._outer_page: Optional[Page] = None
         self._outer_index: Optional[int] = None
-        self._irc_seen: Set[int] = set()
+        # IRC vector: insertion-ordered dict-as-set so any iteration is
+        # independent of PYTHONHASHSEED.
+        self._irc_seen: Dict[int, None] = {}
         self._inner_last: Optional[int] = None  # count of inner pages, if known
         self._awaiting_inner: Optional[int] = None  # page number requested
         self._flush_on_outer_done = False
@@ -85,7 +87,7 @@ class InstructionProcessor:
     def _reset_join_state(self) -> None:
         self._outer_page = None
         self._outer_index = None
-        self._irc_seen = set()
+        self._irc_seen = {}
         self._inner_last = None
         self._awaiting_inner = None
         self._flush_on_outer_done = False
@@ -138,7 +140,7 @@ class InstructionProcessor:
         self.busy = True
         self._outer_page = outer_page
         self._outer_index = outer_index
-        self._irc_seen = set()
+        self._irc_seen = {}
         self._flush_on_outer_done = flush_when_done
         fill = self.machine.model.proc_read_ms(ic.page_bytes)
         if inner_page is not None:
@@ -185,7 +187,7 @@ class InstructionProcessor:
                 ic.join_inner_index,
             )
             self._result_rows.extend(rows)
-            self._irc_seen.add(inner_index)
+            self._irc_seen[inner_index] = None
             self.packets_executed += 1
             if self.machine.fault_tolerant:
                 # Hold everything until the outer page's IRC completes.
@@ -205,7 +207,7 @@ class InstructionProcessor:
                 # for another page of the outer relation."
                 outer_done_flush = self._flush_on_outer_done
                 self._outer_page = None
-                self._irc_seen = set()
+                self._irc_seen = {}
                 self._inner_last = None
                 if outer_done_flush or self.machine.fault_tolerant:
                     self._flush_results(lambda: self._send_ready())

@@ -17,9 +17,12 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Callable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.check.sanitizer import Sanitizer
 
 
 class Event:
@@ -66,12 +69,26 @@ class Simulator:
     [5.0]
     """
 
-    def __init__(self, tracer=None, metrics=None):
+    def __init__(self, tracer=None, metrics=None, sanitize: Optional[bool] = None):
         self._now = 0.0
         self._heap: List[Tuple[float, int, Event]] = []
         self._sequence = itertools.count()
         self._events_processed = 0
         self._running = False
+        # The sanitizer binds once, like observability: explicit argument
+        # wins, otherwise the ambient sanitize mode (off by default).  A
+        # non-sanitizing run holds None and pays one identity check per
+        # event.
+        if sanitize is None:
+            from repro.check.sanitizer import is_active
+
+            sanitize = is_active()
+        if sanitize:
+            from repro.check.sanitizer import Sanitizer
+
+            self._sanitizer: Optional["Sanitizer"] = Sanitizer()
+        else:
+            self._sanitizer = None
         # Observability binds once, at construction: explicit arguments
         # win, otherwise the ambient repro.obs session (disabled by
         # default).  Imported lazily — repro.obs reuses the monitor
@@ -115,10 +132,30 @@ class Simulator:
         """Events still in the heap (including cancelled ones)."""
         return sum(1 for _, _, event in self._heap if not event.cancelled)
 
+    @property
+    def sanitizer(self) -> Optional["Sanitizer"]:
+        """The run's sanitizer, or None when sanitize mode is off."""
+        return self._sanitizer
+
+    def finalize_sanitizer(self) -> None:
+        """Run the sanitizer's end-of-run invariant checks (no-op when off).
+
+        The owning machine calls this after the event loop drains; checks
+        include resource lease leaks, cache frame accounting, and ring
+        packet conservation.  Raises :class:`repro.errors.SanitizerError`
+        on any violation.
+        """
+        if self._sanitizer is not None:
+            self._sanitizer.finish()
+
     # -- scheduling -----------------------------------------------------------
 
     def schedule(self, delay: float, action: Callable[[], None], label: str = "") -> Event:
         """Schedule ``action`` to fire ``delay`` ms from now; returns the event."""
+        if self._sanitizer is not None:
+            # Checks NaN/infinite/negative delays and same-timestamp
+            # order hazards; raises SanitizerError with a breadcrumb.
+            self._sanitizer.on_schedule(self._now, delay, label)
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
         time = self._now + delay
@@ -137,6 +174,8 @@ class Simulator:
         """Advance the clock to ``time``, record, and run ``event``."""
         self._now = time
         self._events_processed += 1
+        if self._sanitizer is not None:
+            self._sanitizer.on_fire(time, event.label)
         if self._trace is not None:
             self._trace.instant(event.label or "event", "sim", time, "simulator")
         if self._event_counter is not None:
@@ -149,6 +188,8 @@ class Simulator:
         while heap:
             time, _, event = heapq.heappop(heap)
             if event.cancelled:
+                if self._sanitizer is not None:
+                    self._sanitizer.on_drop(time, event.label)
                 continue
             self._fire(time, event)
             return True
@@ -172,6 +213,8 @@ class Simulator:
                 time, _, event = heap[0]
                 if event.cancelled:
                     heappop(heap)
+                    if self._sanitizer is not None:
+                        self._sanitizer.on_drop(time, event.label)
                     continue
                 if until is not None and time > until:
                     break

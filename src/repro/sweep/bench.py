@@ -123,7 +123,7 @@ def _sim_core_entry() -> dict:
 
     start = time.perf_counter()
     for i in range(SIM_CORE_EVENTS):
-        sim.schedule(float(i % 97), noop)
+        sim.schedule(float(i % 97), noop, label="bench")
     sim.run()
     wall = time.perf_counter() - start
     return {

@@ -23,7 +23,6 @@ relations) so every pair of relations joins meaningfully; restricts run on
 from __future__ import annotations
 
 import random
-import zlib
 from dataclasses import dataclass
 from typing import Dict, List
 
@@ -32,6 +31,7 @@ from repro.errors import WorkloadError
 from repro.relational.catalog import Catalog
 from repro.relational.relation import Relation
 from repro.relational.schema import DataType, Schema
+from repro.sim.random import RandomStreams
 from repro.workload.zipf import ZipfGenerator, shuffled_range, weighted_partition
 
 #: The shared record layout of every benchmark relation (96 bytes).
@@ -144,12 +144,12 @@ def generate_benchmark_database(
         raise WorkloadError(f"b_domain must be >= 1, got {b_domain}")
     specs = benchmark_relation_specs(scale)
     catalog = Catalog()
+    # One independent RNG stream per relation so adding a relation never
+    # perturbs the others; RandomStreams' crc32 mixing keeps the stream
+    # seed stable across processes (str.__hash__ is randomized per run).
+    streams = RandomStreams(seed)
     for spec in specs:
-        # One independent RNG stream per relation so adding a relation
-        # never perturbs the others.  crc32 keeps the stream seed stable
-        # across processes (str.__hash__ is randomized per run).
-        stream = zlib.crc32(spec.name.encode("utf-8")) ^ (seed * 2654435761 & 0xFFFFFFFF)
-        rng = random.Random(stream)
+        rng = streams.stream(spec.name)
         catalog.register(_generate_relation(spec, rng, page_bytes, b_domain))
     return BenchmarkDatabase(
         catalog=catalog, specs=specs, scale=scale, seed=seed, page_bytes=page_bytes

@@ -1,0 +1,62 @@
+"""Run-to-run identity under ``PYTHONHASHSEED`` variation.
+
+Python randomizes ``str.__hash__`` per process, so any set/dict-order
+dependence in scheduling or packet emission shows up as two different
+outputs for the same command under two hash seeds.  These tests run the
+real CLI in subprocesses — the hash seed is fixed at interpreter start,
+so an in-process test could never vary it.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+FIGURE_3_1 = [
+    "run",
+    "figure_3_1",
+    "--scale",
+    "0.05",
+    "--processors",
+    "2",
+    "--selectivity",
+    "0.3",
+]
+
+
+def run_cli(args, hashseed):
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = str(hashseed)
+    env["PYTHONPATH"] = str(REPO / "src")
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        cwd=REPO,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+@pytest.mark.parametrize("other_seed", ["1", "31337"])
+def test_figure_3_1_is_hashseed_invariant(other_seed):
+    baseline = run_cli(FIGURE_3_1, hashseed="0")
+    varied = run_cli(FIGURE_3_1, hashseed=other_seed)
+    assert varied == baseline
+
+
+def test_figure_3_1_sanitized_is_hashseed_invariant_and_identical():
+    baseline = run_cli(FIGURE_3_1, hashseed="0")
+    sanitized = run_cli(FIGURE_3_1 + ["--sanitize"], hashseed="7")
+    assert sanitized == baseline
+
+
+def test_workload_database_is_hashseed_invariant():
+    args = ["workload", "--scale", "0.05"]
+    assert run_cli(args, hashseed="0") == run_cli(args, hashseed="99")

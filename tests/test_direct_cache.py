@@ -250,6 +250,45 @@ def test_rewrite_updates_frame_content():
     assert done == [1]
 
 
+def test_write_during_fill_does_not_leak_a_reservation():
+    # Bugfix: write_page of a key whose disk fill was still in flight
+    # installed a second frame under a second reservation; the fill's
+    # completion then overwrote the dict entry, leaving the reserved count
+    # one above the real frame population for the rest of the run.  Now the
+    # fill detects the newer frame, keeps it, and hands its duplicate
+    # reservation back.
+    sim, meter, cache = make_cache(frames=4)
+    ref = make_ref("base:r:0")  # on disk: the read below must fill
+    read_done = []
+    cache.read_shared(ref, lambda: read_done.append(sim.now))
+    assert cache.has_inflight(ref)
+    # While the fill is on the disk, a producer rewrites the same key.
+    rewrite = make_ref("base:r:0", on_disk=False)
+    write_done = []
+    cache.write_page(rewrite, lambda: write_done.append(sim.now))
+    sim.run()
+    assert read_done and write_done
+    assert cache.resident_frames == 1  # no leaked slot
+    assert cache.is_resident(ref)
+    # The full capacity is still usable afterwards.
+    for i in range(1, 5):
+        cache.write_page(make_ref(f"q.n1:{i}", on_disk=False), lambda: None)
+        sim.run()
+    assert cache.resident_frames == 4
+
+
+def test_write_during_fill_passes_sanitizer_accounting():
+    from repro.check import sanitizing
+
+    with sanitizing():
+        sim, meter, cache = make_cache(frames=4)
+        ref = make_ref("base:r:0")
+        cache.read_shared(ref, lambda: None)
+        cache.write_page(make_ref("base:r:0", on_disk=False), lambda: None)
+        sim.run()
+        sim.finalize_sanitizer()  # raises on any reservation imbalance
+
+
 def test_minimum_frames_enforced():
     sim = Simulator()
     with pytest.raises(MachineError):
