@@ -9,6 +9,9 @@ Commands:
 * ``bench``                   — time the sweep experiments; write BENCH_sweeps.json
 * ``bench-info``              — how to run the benchmark suite
 * ``workload``                — describe the Section 3.2 benchmark database
+* ``faults [...]``            — run the benchmark under a seeded fault plan
+                                (``repro.faults``); JSON report, exit 1 on
+                                any oracle mismatch
 * ``check [paths...]``        — determinism lint (R001-R005); ``--self-test``
                                 proves each rule still fires
 
@@ -41,6 +44,7 @@ from typing import Callable, Dict, List, Optional
 from repro import obs
 
 from repro.experiments import (
+    chaos_sweep,
     dataflow_machine,
     fault_tolerance,
     figure_3_1,
@@ -65,6 +69,7 @@ _EXPERIMENTS: Dict[str, tuple] = {
     "ring_vs_direct": (ring_vs_direct, "E10: distributed vs centralized control"),
     "project": (project_operator, "E11: parallel duplicate elimination"),
     "fault_tolerance": (fault_tolerance, "E13: survive disabled processors"),
+    "chaos": (chaos_sweep, "E14: chaos sweep — every fault class x rate x machine"),
 }
 
 
@@ -216,6 +221,68 @@ def _cmd_check(args) -> int:
     return 1 if findings else 0
 
 
+def _cmd_faults(args) -> int:
+    """Run the benchmark under a fault plan; print a JSON chaos report."""
+    from repro.experiments.chaos_sweep import run_faulted_benchmark
+    from repro.faults import FaultPlan, FaultSpec
+
+    if args.plan:
+        with open(args.plan, "r", encoding="utf-8") as handle:
+            plan = FaultPlan.from_json(handle.read())
+    else:
+        specs = []
+        if args.drop > 0:
+            specs.append(FaultSpec(kind="ring_drop", rate=args.drop))
+        if args.corrupt > 0:
+            specs.append(FaultSpec(kind="ring_corrupt", rate=args.corrupt))
+        if args.disk_error > 0:
+            specs.append(FaultSpec(kind="disk_read_error", rate=args.disk_error))
+        if args.poison > 0:
+            specs.append(FaultSpec(kind="cache_poison", rate=args.poison))
+        if args.ic_rate > 0:
+            specs.append(
+                FaultSpec(kind="ic_failure", rate=args.ic_rate, at_ms=50.0, max_failovers=5)
+            )
+        if args.kill > 0:
+            specs.append(
+                FaultSpec(
+                    kind="ip_kill",
+                    kills=tuple(
+                        (ip_id, args.kill_at + 50.0 * ip_id)
+                        for ip_id in range(1, args.kill + 1)
+                    ),
+                )
+            )
+        plan = FaultPlan(seed=args.seed, specs=tuple(specs))
+
+    def execute() -> dict:
+        return run_faulted_benchmark(
+            args.machine,
+            plan,
+            scale=args.scale,
+            selectivity=args.selectivity,
+            seed=args.seed,
+            processors=args.processors,
+        )
+
+    if args.sanitize:
+        from repro.check import sanitizing
+
+        with sanitizing():
+            summary = execute()
+    else:
+        summary = execute()
+    payload = {"machine": args.machine, "plan": plan.to_dict(), **summary}
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote fault report to {args.out}")
+    else:
+        print(text)
+    return 0 if summary["all_correct"] else 1
+
+
 def _cmd_bench_info(_args) -> int:
     print(
         "benchmark suite (one per paper table/figure):\n\n"
@@ -327,6 +394,58 @@ def build_parser() -> argparse.ArgumentParser:
         help="verify every rule fires on its seeded violation (CI gate)",
     )
 
+    faults = sub.add_parser(
+        "faults",
+        help="run the benchmark under a seeded fault plan; print a JSON report",
+    )
+    faults.add_argument(
+        "--machine", choices=["ring", "direct"], default="ring", help="target machine"
+    )
+    faults.add_argument("--scale", type=float, default=0.05, help="database scale")
+    faults.add_argument("--selectivity", type=float, default=0.3)
+    faults.add_argument("--seed", type=int, default=2027, help="plan + workload seed")
+    faults.add_argument("--processors", type=int, default=8)
+    faults.add_argument("--drop", type=float, default=0.0, help="ring packet drop rate")
+    faults.add_argument(
+        "--corrupt", type=float, default=0.0, help="ring packet corruption rate"
+    )
+    faults.add_argument(
+        "--disk-error",
+        type=float,
+        default=0.0,
+        dest="disk_error",
+        help="transient disk read-error rate",
+    )
+    faults.add_argument(
+        "--poison", type=float, default=0.0, help="cache frame poison rate"
+    )
+    faults.add_argument(
+        "--ic-rate",
+        type=float,
+        default=0.0,
+        dest="ic_rate",
+        help="per-activation IC failure rate (MC failover recovers)",
+    )
+    faults.add_argument(
+        "--kill", type=int, default=0, help="number of IPs to fail-stop mid-run"
+    )
+    faults.add_argument(
+        "--kill-at",
+        type=float,
+        default=250.0,
+        dest="kill_at",
+        help="first IP kill time in ms (staggered +50 ms each)",
+    )
+    faults.add_argument(
+        "--plan", default=None, help="JSON fault-plan file (overrides the rate flags)"
+    )
+    faults.add_argument(
+        "--sanitize", action="store_true", help="run under the simulation sanitizer"
+    )
+    faults.add_argument(
+        "--out", default=None, help="write the JSON report here instead of stdout"
+    )
+
     sub.add_parser("bench-info", help="how to run the benchmark suite")
     return parser
 
@@ -343,6 +462,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "workload": _cmd_workload,
         "bench": _cmd_bench,
         "check": _cmd_check,
+        "faults": _cmd_faults,
         "bench-info": _cmd_bench_info,
     }
     if args.command is None:

@@ -11,6 +11,15 @@ out to disk").
 Concurrent requests for the same page share one transfer (the cross-point
 switch "broadcast facility" — requirement 4 of Section 4.0), which is what
 makes the nested-loops join's inner-relation streaming cheap.
+
+**Storage faults** (paper requirement 5): an armed ``disk_read_error``
+spec makes mass-storage page transfers fail transiently — the cache
+retries after ``retry_delay_ms``, up to ``max_retries`` times, then
+raises :class:`repro.errors.RetryExhaustedError` naming the drive.  An
+armed ``cache_poison`` spec corrupts clean, unpinned frames at hit time;
+the cache discards the poisoned frame and re-fetches the page from its
+mass-storage copy.  Both draw from seeded per-site streams, so recovery
+is deterministic.
 """
 
 from __future__ import annotations
@@ -20,7 +29,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional
 
-from repro.errors import MachineError
+from repro.errors import MachineError, RetryExhaustedError
+from repro.faults.plan import FaultSpec
 from repro.direct import traffic as tlevels
 from repro.direct.exec_model import ExecModel
 from repro.direct.traffic import TrafficMeter
@@ -102,6 +112,16 @@ class DiskCache:
         self._sanitizer = sim.sanitizer
         if self._sanitizer is not None:
             self._sanitizer.register_finish_check("disk-cache", self._sanitize_finish)
+        # Fault injection: resolve the storage specs once.  ``None`` when
+        # nothing is armed, so the fault-free paths below run verbatim.
+        self._injector = sim.faults
+        self._disk_spec: Optional[FaultSpec] = None
+        self._poison_spec: Optional[FaultSpec] = None
+        if self._injector is not None:
+            self._disk_spec = self._injector.armed_spec("disk_read_error")
+            self._poison_spec = self._injector.armed_spec("cache_poison")
+            if self._disk_spec is None and self._poison_spec is None:
+                self._injector = None
 
     # -- public API -------------------------------------------------------------
 
@@ -135,6 +155,24 @@ class DiskCache:
             inflight.waiters.append(done)
             return
         self._inflight_reads[ref.key] = _SharedRead(waiters=[done])
+
+        if self._poison_spec is not None:
+            frame = self._frames.get(ref.key)
+            if (
+                frame is not None
+                and frame.pins == 0
+                and not frame.dirty
+                and frame.ref.on_disk
+                and self._injector.decide(
+                    "cache_poison", "cache", self._poison_spec.rate
+                )
+            ):
+                # The frame's content is corrupt; its clean disk copy is
+                # authoritative, so drop the frame and fall through to a
+                # normal miss (re-fetch from mass storage).
+                self._injector.count("cache.poison")
+                self._injector.count("cache.refetch")
+                self._release(ref.key)
 
         if ref.key in self._frames:
             self._pin(ref.key)
@@ -352,13 +390,34 @@ class DiskCache:
         gap = int(cur_idx) - int(prev_idx)
         return 0 < gap <= 2 * len(self.disks)
 
-    def _fill_from_disk(self, ref: PageRef) -> None:
+    def _fill_from_disk(self, ref: PageRef, attempt: int = 0) -> None:
         disk_index = ref.disk_id % len(self.disks)
         disk = self.disks[disk_index]
         sequential = self._sequential_read(disk_index, ref.key)
         self._disk_last[disk_index] = ref.key
 
         def filled() -> None:
+            if self._disk_spec is not None and self._injector.decide(
+                "disk_read_error", f"disk{disk_index}", self._disk_spec.rate
+            ):
+                # Transient read error: the transfer is discarded and
+                # retried after a fixed delay (re-charging disk time; the
+                # retry is a random read — the arm has not moved).
+                spec = self._disk_spec
+                if attempt >= spec.max_retries:
+                    raise RetryExhaustedError(
+                        f"disk{disk_index}: read of {ref.key!r} still failing "
+                        f"after {attempt + 1} attempts "
+                        f"(max_retries={spec.max_retries})"
+                    )
+                self._injector.count("disk.read_error", f"disk{disk_index}")
+                self._injector.count("disk.retry", f"disk{disk_index}")
+                self.sim.schedule(
+                    spec.retry_delay_ms,
+                    lambda: self._fill_from_disk(ref, attempt + 1),
+                    label=f"cache.disk{disk_index}.retry",
+                )
+                return
             self.meter.add(tlevels.DISK_TO_CACHE, ref.nbytes)
             existing = self._frames.get(ref.key)
             if existing is not None:

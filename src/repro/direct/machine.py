@@ -317,6 +317,7 @@ class DirectMachine:
                 f"simulation drained with unfinished queries: {unfinished}"
             )
         self.sim.finalize_sanitizer()
+        self.sim.finalize_faults()
         elapsed = self.sim.now
         busy = sum(p.busy_ms for p in self.processors)
         utilization = busy / (elapsed * len(self.processors)) if elapsed > 0 else 0.0

@@ -59,3 +59,21 @@ class SanitizerError(ReproError):
 
 class WorkloadError(ReproError):
     """The benchmark workload could not be generated as specified."""
+
+
+class FaultError(ReproError):
+    """Fault injection was misconfigured or recovery machinery gave up.
+
+    Raised with an injection-site breadcrumb (which fault class, which
+    component) so a chaos run that cannot recover points at the site
+    rather than at a generic machine invariant.
+    """
+
+
+class RetryExhaustedError(FaultError):
+    """A bounded-retry recovery path ran out of attempts.
+
+    Ring retransmission and disk read retry raise this once a single
+    packet or page transfer has failed ``max_retries + 1`` times in a
+    row; the message names the site and the attempt count.
+    """

@@ -18,6 +18,11 @@ benchmarks, and the EXPERIMENTS.md records.
   centralized (DIRECT) control, and IP->IP direct routing (extension).
 * E11 :mod:`repro.experiments.project_operator` — parallel duplicate
   elimination strategies (the paper's open problem; extension).
+* E13 :mod:`repro.experiments.fault_tolerance` — graceful degradation
+  while IPs fail-stop mid-run (requirement 5; extension).
+* E14 :mod:`repro.experiments.chaos_sweep` — chaos sweep: every
+  :mod:`repro.faults` fault class x rate x machine, oracle-checked
+  (extension).
 """
 
 from repro.experiments.common import ExperimentResult, render_table

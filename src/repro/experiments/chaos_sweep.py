@@ -1,0 +1,227 @@
+"""E14 (extension): chaos sweep — every fault class x rate x machine.
+
+Requirement 5 of Section 4.0 asks that the machine "survive an arbitrary
+number of disabled processors"; the fault-injection subsystem
+(:mod:`repro.faults`) generalizes that to lossy rings, transient disk
+errors, poisoned cache frames, and fail-stopped ICs/IPs.  This
+experiment drives the ten-query benchmark through a grid of
+``(machine, fault class, fault rate)`` cells and checks **every** cell
+against the sequential oracle: chaos may slow the run down (retransmits,
+retries, failovers), but it must never change a single result row.
+
+Each cell runs under a seeded :class:`repro.faults.FaultPlan`, so the
+whole grid is deterministic — same seed, same strikes, byte-identical
+rows — and fans out over :func:`repro.sweep.map_points` (``workers > 1``
+parallelizes with identical output).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.errors import FaultError
+from repro.faults import FAULT_KINDS, FaultPlan, FaultSpec, injecting
+from repro.query import execute
+from repro.direct.machine import DirectMachine
+from repro.experiments.common import ExperimentResult
+from repro.ring.machine import RingMachine
+from repro.sweep import map_points
+from repro.workload import benchmark_queries, generate_benchmark_database
+
+#: Fault classes that exist on each machine.  The DIRECT machine has no
+#: rings, ICs, or IPs to break — only its storage hierarchy.
+MACHINE_FAULTS: Dict[str, Tuple[str, ...]] = {
+    "ring": FAULT_KINDS,
+    "direct": ("disk_read_error", "cache_poison"),
+}
+
+#: Counter names that represent a successful recovery action.
+_RECOVERY_COUNTERS = (
+    "ring.retransmit",
+    "disk.retry",
+    "cache.refetch",
+    "ic.failover",
+    "ip.kill",
+)
+
+
+def _spec_for(fault: str, rate: float) -> FaultSpec:
+    """The spec one chaos cell arms for ``fault`` at ``rate``."""
+    if fault == "ip_kill":
+        return FaultSpec(kind="ip_kill", rate=rate, window_ms=500.0)
+    if fault == "ic_failure":
+        return FaultSpec(kind="ic_failure", rate=rate, at_ms=50.0, max_failovers=5)
+    return FaultSpec(kind=fault, rate=rate)
+
+
+def run_faulted_benchmark(
+    machine: str,
+    plan: FaultPlan,
+    scale: float = 0.05,
+    selectivity: float = 0.3,
+    seed: int = 2027,
+    page_bytes: int = 2048,
+    processors: int = 8,
+) -> dict:
+    """Run the ten-query benchmark on ``machine`` under ``plan``.
+
+    Returns a JSON-safe summary: ``elapsed_ms``, ``events``,
+    ``all_correct`` (against the sequential oracle), ``result_rows``,
+    and the injector's recovery ``counters``.  Shared by the chaos sweep
+    cells and the ``repro faults`` CLI command.
+    """
+    if machine not in MACHINE_FAULTS:
+        raise FaultError(f"unknown machine {machine!r}; choose from {sorted(MACHINE_FAULTS)}")
+    db = generate_benchmark_database(scale=scale, seed=seed, page_bytes=page_bytes)
+    oracle = {
+        t.name: execute(t, db.catalog)
+        for t in benchmark_queries(db.catalog, db.relation_names, selectivity=selectivity)
+    }
+    trees = benchmark_queries(db.catalog, db.relation_names, selectivity=selectivity)
+    if machine == "ring":
+        with injecting(plan):
+            rig = RingMachine(
+                db.catalog,
+                processors=processors,
+                controllers=16,
+                page_bytes=page_bytes,
+                fault_tolerant=True,
+                watchdog_interval_ms=100.0,
+            )
+        for tree in trees:
+            rig.submit(tree)
+        report = rig.run()
+        sim = rig.sim
+    else:
+        with injecting(plan):
+            dm = DirectMachine(db.catalog, processors=processors, page_bytes=page_bytes)
+        for tree in trees:
+            dm.submit(tree)
+        report = dm.run()
+        sim = dm.sim
+    results = report.results
+    elapsed = report.elapsed_ms
+    events = report.events_processed
+    correct = all(results[name].same_rows_as(expected) for name, expected in oracle.items())
+    counters: Dict[str, int] = {}
+    if sim.faults is not None:
+        counters = sim.faults.snapshot()
+    return {
+        "elapsed_ms": elapsed,
+        "events": events,
+        "all_correct": correct,
+        "result_rows": sum(len(list(r.rows())) for r in results.values()),
+        "counters": counters,
+    }
+
+
+def _point(
+    machine: str,
+    fault: str,
+    rate: float,
+    scale: float,
+    selectivity: float,
+    seed: int,
+    page_bytes: int,
+    processors: int,
+) -> dict:
+    """One chaos cell (module-level so ``map_points`` can pickle it)."""
+    plan = FaultPlan(seed=seed, specs=(_spec_for(fault, rate),))
+    cell = run_faulted_benchmark(
+        machine,
+        plan,
+        scale=scale,
+        selectivity=selectivity,
+        seed=seed,
+        page_bytes=page_bytes,
+        processors=processors,
+    )
+    # The injector snapshot is keyed "name[site]"; fold it into one
+    # recovery total so rows stay narrow.
+    recoveries = 0
+    for key, value in cell["counters"].items():
+        name = key.split("[", 1)[0]
+        if name in _RECOVERY_COUNTERS:
+            recoveries += value
+    cell["recoveries"] = recoveries
+    return cell
+
+
+def run(
+    machines: Sequence[str] = ("ring", "direct"),
+    rates: Sequence[float] = (0.0, 0.02, 0.05, 0.10),
+    fault_classes: Optional[Sequence[str]] = None,
+    scale: float = 0.05,
+    selectivity: float = 0.3,
+    seed: int = 2027,
+    page_bytes: int = 2048,
+    processors: int = 8,
+    workers: Optional[int] = None,
+) -> ExperimentResult:
+    """The chaos grid: each machine's fault classes x ``rates``.
+
+    Row fields: ``machine``, ``fault``, ``rate``, ``elapsed_ms``,
+    ``slowdown`` (vs the same machine+fault's lowest-rate cell),
+    ``recoveries`` (retransmits + retries + refetches + failovers +
+    kills), ``all_correct``.  Every cell — including the faulted ones —
+    must match the sequential oracle exactly.
+    """
+    result = ExperimentResult(
+        experiment_id="E14 (extension)",
+        title="Chaos sweep: correctness under injected faults (requirement 5)",
+        parameters={
+            "scale": scale,
+            "selectivity": selectivity,
+            "seed": seed,
+            "processors": processors,
+            "rates": tuple(rates),
+        },
+    )
+    grid = []
+    for machine in machines:
+        if machine not in MACHINE_FAULTS:
+            raise FaultError(
+                f"unknown machine {machine!r}; choose from {sorted(MACHINE_FAULTS)}"
+            )
+        for fault in MACHINE_FAULTS[machine]:
+            if fault_classes is not None and fault not in fault_classes:
+                continue
+            for rate in rates:
+                grid.append((machine, fault, rate))
+    points = [
+        dict(
+            machine=machine,
+            fault=fault,
+            rate=rate,
+            scale=scale,
+            selectivity=selectivity,
+            seed=seed,
+            page_bytes=page_bytes,
+            processors=processors,
+        )
+        for machine, fault, rate in grid
+    ]
+    cells = map_points(_point, points, workers=workers)
+    baselines: Dict[Tuple[str, str], float] = {}
+    for (machine, fault, rate), cell in zip(grid, cells):
+        baseline = baselines.setdefault((machine, fault), cell["elapsed_ms"])
+        result.rows.append(
+            {
+                "machine": machine,
+                "fault": fault,
+                "rate": rate,
+                "elapsed_ms": round(cell["elapsed_ms"], 1),
+                "slowdown": cell["elapsed_ms"] / baseline,
+                "recoveries": cell["recoveries"],
+                "all_correct": cell["all_correct"],
+            }
+        )
+    return result
+
+
+def main() -> None:  # pragma: no cover - manual entry point
+    print(run().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -146,6 +146,10 @@ class InstructionController:
 
         # Lifecycle.
         self.done = False
+        #: Fail-stop flag (requirement 5): set by an MC-driven failover
+        #: teardown.  A dead IC ignores every arriving ring delivery and
+        #: storage callback — packets addressed to it fall off the loop.
+        self.dead = False
         self._finishing = False
         self._flushes_outstanding = 0
         self.started_at: Optional[float] = None
@@ -225,6 +229,8 @@ class InstructionController:
 
     def seed_base_operand(self, operand_index: int, refs: List[PageRef]) -> None:
         """A base-relation operand: its full page table exists at start."""
+        if self.dead:
+            return
         operand = self.operands[operand_index]
         operand.pages.extend(refs)
         for ref in refs:
@@ -236,6 +242,8 @@ class InstructionController:
 
     def receive_result_rows(self, operand_index: int, rows: List[Row]) -> None:
         """Rows from a producer's result packet landed here."""
+        if self.dead:
+            return
         operand = self.operands[operand_index]
         for page in operand.add_rows(rows):
             self._install_intermediate_page(operand_index, page)
@@ -248,6 +256,8 @@ class InstructionController:
         is forfeited (partial pages stay partial), which is exactly the
         cost side of the paper's Section 5 tradeoff.
         """
+        if self.dead:
+            return
         operand = self.operands[operand_index]
         if operand.complete:
             raise MachineError(f"operand {operand.name!r} received a page after completion")
@@ -277,6 +287,8 @@ class InstructionController:
 
     def receive_operand_complete(self, operand_index: int) -> None:
         """The producer instruction has finished this operand."""
+        if self.dead:
+            return
         operand = self.operands[operand_index]
         final = operand.finish()
         if final is not None:
@@ -339,7 +351,7 @@ class InstructionController:
 
     def request_ips_if_needed(self) -> None:
         """Ask the MC for processors matching the outstanding work."""
-        if self.done or self._finishing or not self.enabled():
+        if self.done or self._finishing or self.dead or not self.enabled():
             return
         desired = min(self.max_ips, self._work_available())
         shortfall = desired - len(self.my_ips) - self.want_outstanding
@@ -352,7 +364,7 @@ class InstructionController:
     def grant_ip(self, ip: "InstructionProcessor") -> None:
         """The MC granted one IP (GRANT_IP)."""
         self.want_outstanding = max(0, self.want_outstanding - 1)
-        if self.done or self._finishing:
+        if self.done or self._finishing or self.dead:
             # The instruction wound down while the grant was in flight;
             # bounce the processor straight back to the pool.
             self.machine.ic_release_ip(self, ip)
@@ -377,6 +389,8 @@ class InstructionController:
 
     def dispatch_idle_ips(self) -> None:
         """Feed every idle IP with the next packet of work."""
+        if self.dead:
+            return
         sim = self.machine.sim
         while self.idle_ips and self._work_available() > 0:
             ip = self.idle_ips.pop(0)
@@ -464,6 +478,8 @@ class InstructionController:
 
         Also invoked by the MC when other ICs are starving for IPs.
         """
+        if self.dead:
+            return
         if self._work_available() > 0:
             return
         can_ever_grow = not self._inputs_exhausted()
@@ -484,6 +500,8 @@ class InstructionController:
 
     def ip_done(self, ip: "InstructionProcessor") -> None:
         """DONE control packet: the IP finished its current packet."""
+        if self.dead:
+            return
         self._disarm_watchdog(ip)
         self.inflight_packets = max(0, self.inflight_packets - 1)
         self.idle_ips.append(ip)
@@ -491,6 +509,8 @@ class InstructionController:
 
     def ip_flush_done(self, ip: "InstructionProcessor") -> None:
         """DONE answering a FLUSH: the IP's buffer is empty; release it."""
+        if self.dead:
+            return
         self._disarm_watchdog(ip)
         self._flushes_outstanding -= 1
         self._release_ip(ip)
@@ -498,6 +518,8 @@ class InstructionController:
 
     def ip_ready_for_outer(self, ip: "InstructionProcessor") -> None:
         """READY_FOR_OUTER: the IP's IRC vector is complete."""
+        if self.dead:
+            return
         self._disarm_watchdog(ip)
         self.inflight_packets = max(0, self.inflight_packets - 1)
         self.idle_ips.append(ip)
@@ -505,6 +527,8 @@ class InstructionController:
 
     def ip_request_inner(self, ip: "InstructionProcessor", index: int) -> None:
         """REQUEST_INNER(i): broadcast page i, or queue, or signal the end."""
+        if self.dead:
+            return
         inner = self.operands[1]
         if index < inner.page_count:
             decision = "ignored" if index in self.broadcast_inflight else "broadcast"
@@ -611,11 +635,38 @@ class InstructionController:
         if entry is not None:
             entry[0].cancel()
 
+    def abort(self) -> List["InstructionProcessor"]:
+        """MC-driven failover teardown: fail-stop this IC.
+
+        Cancels every watchdog, clears the work queues, aborts each held
+        IP's assignment (their buffered results die with the query
+        attempt), and marks the IC dead so in-flight ring deliveries and
+        storage callbacks addressed to it are dropped on arrival.
+        Returns the orphaned, still-healthy IPs for the MC to reclaim.
+        """
+        self.dead = True
+        for entry in self._watchdogs.values():
+            entry[0].cancel()
+        self._watchdogs.clear()
+        orphans = list(self.my_ips)
+        for ip in orphans:
+            ip.abort_assignment()
+        self.my_ips = []
+        self.idle_ips = []
+        self.unary_pending.clear()
+        self.outer_pending.clear()
+        self.inflight_packets = 0
+        self.want_outstanding = 0
+        self.broadcast_inflight = {}
+        self.pending_inner_requests = {}
+        self._flushes_outstanding = 0
+        return orphans
+
     # ------------------------------------------------------------------ completion
 
     def maybe_complete(self) -> None:
         """Drive the finishing protocol once all work has drained."""
-        if self.done:
+        if self.done or self.dead:
             return
         if not all(op.complete for op in self.operands):
             return
@@ -702,6 +753,8 @@ class InstructionController:
             raise MachineError(f"page {ref.key!r} has no payload anywhere")
 
         def fetched() -> None:
+            if self.dead:
+                return  # failover tore this IC down while the read ran
             # Bring it (back) into local memory.
             self._local_store(ref)
             use(ref.payload)

@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro import hw
-from repro.errors import MachineError
+from repro.errors import FaultError, MachineError
 from repro.direct.cache import DiskCache, PageRef
 from repro.direct.exec_model import ExecModel
 from repro.direct.traffic import TrafficMeter
@@ -148,6 +148,9 @@ class RingMachine:
         self._runs: List[RingQueryRun] = []
         self._query_rows: Dict[str, List[Row]] = {}
         self._base_pages: Dict[str, List[PageRef]] = {}
+        #: IC failovers taken so far, per query name (bounded by the
+        #: plan's ``max_failovers``).
+        self._failovers: Dict[str, int] = {}
 
     # ------------------------------------------------------------------ host API
 
@@ -181,6 +184,9 @@ class RingMachine:
                 return
             target.fail()
             self.failed_ips.append(target.ip_id)
+            inj = self.sim.faults
+            if inj is not None:
+                inj.count("ip.kill", f"ip{target.ip_id}")
             # A pool-resident or idle-held casualty is culled immediately;
             # a busy one is discovered by its IC's watchdog.
             if target in self.mc.free_ips:
@@ -198,15 +204,119 @@ class RingMachine:
 
         self.inner_ring.send(CONTROL_PACKET_BYTES, mc_notified)
 
+    # ------------------------------------------------------------------ fault arming
+
+    def _arm_faults(self) -> None:
+        """Resolve the bound fault plan into scheduled machine faults.
+
+        Called once at the top of :meth:`run`.  IP kills come from the
+        plan's explicit ``kills`` schedule plus per-IP seeded draws at
+        ``rate`` (always leaving at least one survivor so the run can
+        finish).  Both kill classes require ``fault_tolerant=True``:
+        without watchdog recovery (IPs) or MC failover (ICs) an armed
+        kill could only hang the simulation, which is a plan
+        misconfiguration, not a survivable fault.
+        """
+        inj = self.sim.faults
+        if inj is None:
+            return
+        needs_ft = [
+            spec.kind
+            for spec in inj.plan.specs
+            if spec.armed and spec.kind in ("ip_kill", "ic_failure")
+        ]
+        if needs_ft and not self.fault_tolerant:
+            raise FaultError(
+                f"fault plan arms {sorted(set(needs_ft))} but the ring machine "
+                "was built with fault_tolerant=False"
+            )
+        kill_spec = inj.armed_spec("ip_kill")
+        if kill_spec is None:
+            return
+        planned: Dict[int, None] = {}
+        for ip_id, at_ms in kill_spec.kills:
+            self.schedule_ip_failure(ip_id, at_ms)
+            planned[ip_id] = None
+        if kill_spec.rate > 0:
+            for ip in self.ips:
+                if len(self.ips) - len(planned) <= 1:
+                    break  # someone has to survive to finish the queries
+                if ip.ip_id in planned:
+                    continue
+                site = f"ip{ip.ip_id}"
+                if inj.decide("ip_kill", site, kill_spec.rate):
+                    at_ms = inj.uniform("ip_kill", site, 0.0, kill_spec.window_ms)
+                    self.schedule_ip_failure(ip.ip_id, at_ms)
+                    planned[ip.ip_id] = None
+
+    def _maybe_arm_ic_failure(self, tree: QueryTree, first_ic: InstructionController) -> None:
+        """Draw (per activation) whether this query attempt loses an IC."""
+        inj = self.sim.faults
+        if inj is None:
+            return
+        spec = inj.armed_spec("ic_failure", tree.name)
+        if spec is None or spec.rate <= 0:
+            return
+        if self._failovers.get(tree.name, 0) >= spec.max_failovers:
+            return
+        if not inj.decide("ic_failure", tree.name, spec.rate):
+            return
+        self.sim.schedule(
+            spec.at_ms,
+            lambda: self._fail_ic(first_ic.ic_id, first_ic, tree),
+            label=f"fault.ic{first_ic.ic_id}",
+        )
+
+    def _fail_ic(self, ic_id: int, victim: InstructionController, tree: QueryTree) -> None:
+        """An IC fail-stops: MC-driven failover (requirement 5).
+
+        The MC still holds the query's locks and its tree, so recovery is
+        a teardown of the whole instruction queue — every sibling IC is
+        aborted, their IPs reclaimed, partial results discarded — followed
+        by a fresh :meth:`activate_query`.  Identity is checked first: if
+        the victim already finished (or a previous failover replaced it),
+        the scheduled strike misses.
+        """
+        inj = self.sim.faults
+        if self._ics.get(ic_id) is not victim or victim.done or victim.dead:
+            if inj is not None:
+                inj.count("ic.kill_missed", tree.name)
+            return
+        if inj is not None:
+            inj.count("ic.failure", f"ic{ic_id}")
+        self._failovers[tree.name] = self._failovers.get(tree.name, 0) + 1
+        if self.sim.tracer.enabled:
+            self.sim.tracer.instant(
+                f"ic{ic_id}.failover", "fault", self.sim.now, "faults",
+                args={"query": tree.name},
+            )
+        orphans: List[InstructionProcessor] = []
+        for other in [x for x in self._ics.values() if x.tree is tree]:
+            orphans.extend(other.abort())
+            self.mc.cancel_wants(other)
+            del self._ics[other.ic_id]
+            self._free_ic_ids.append(other.ic_id)
+        self._query_rows.pop(tree.name, None)
+        if inj is not None:
+            inj.count("ic.failover", tree.name)
+        # Locks are still held and the admission slot is still consumed:
+        # rebuild the tree's ICs and reseed its base operands.
+        self.activate_query(tree)
+        for ip in orphans:
+            if not ip.failed:
+                self.mc.add_free_ip(ip)
+
     def run(self) -> RingReport:
         """Execute all submitted queries to completion."""
         if not self._runs:
             raise MachineError("no queries submitted")
+        self._arm_faults()
         self.sim.run(max_events=self.max_events)
         unfinished = [r.tree.name for r in self._runs if r.completed_at is None]
         if unfinished:
             raise MachineError(f"ring machine drained with unfinished queries: {unfinished}")
         self.sim.finalize_sanitizer()
+        self.sim.finalize_faults()
         elapsed = self.sim.now
         busy = sum(ip.busy_ms for ip in self.ips)
         util = busy / (elapsed * len(self.ips)) if elapsed > 0 else 0.0
@@ -332,6 +442,8 @@ class RingMachine:
                     ),
                     label=f"seed.{ic.ic_id}",
                 )
+        if by_node:
+            self._maybe_arm_ic_failure(tree, next(iter(by_node.values())))
 
     def _make_ic(self, node: QueryNode, tree: QueryTree) -> InstructionController:
         if not self._free_ic_ids:
@@ -389,9 +501,12 @@ class RingMachine:
 
     def ic_request_ips(self, ic: InstructionController, count: int) -> None:
         """IC -> MC: REQUEST_IPS(count)."""
-        self.inner_ring.send(
-            CONTROL_PACKET_BYTES, lambda: self.mc.request_ips(ic, count)
-        )
+
+        def deliver() -> None:
+            if not ic.dead:
+                self.mc.request_ips(ic, count)
+
+        self.inner_ring.send(CONTROL_PACKET_BYTES, deliver)
 
     def mc_grant_ip(self, ic: InstructionController, ip: InstructionProcessor) -> None:
         """MC -> IC: GRANT_IP."""
@@ -418,6 +533,10 @@ class RingMachine:
             )
 
         def mc_notified() -> None:
+            if ic.dead:
+                # A failover tore this IC down while the notice was on the
+                # ring; the teardown already freed its id.
+                return
             self.mc.cancel_wants(ic)
             self._free_ic(ic)
             self.mc.try_admit()
@@ -425,11 +544,33 @@ class RingMachine:
         self.inner_ring.send(CONTROL_PACKET_BYTES, mc_notified)
 
     def _free_ic(self, ic: InstructionController) -> None:
-        if ic.ic_id in self._ics:
+        # Identity check: after a failover the freed id may already belong
+        # to a replacement IC, which must not be evicted by a stale notice.
+        if self._ics.get(ic.ic_id) is ic:
             del self._ics[ic.ic_id]
             self._free_ic_ids.append(ic.ic_id)
 
     # ------------------------------------------------------------------ outer-ring traffic (IC <-> IP)
+
+    def _to_ip(
+        self,
+        ic: InstructionController,
+        ip: InstructionProcessor,
+        fn: Callable[[], None],
+    ) -> Callable[[], None]:
+        """Guard an IC->IP delivery against a failover mid-flight.
+
+        If the sending IC was torn down (or the IP reassigned) while the
+        packet circled the ring, the tap ignores it — exactly the fate of
+        a packet addressed to a fail-stopped component.
+        """
+
+        def deliver() -> None:
+            if ic.dead or ip.owner is not ic:
+                return
+            fn()
+
+        return deliver
 
     def ic_send_unary_packet(
         self,
@@ -446,7 +587,9 @@ class RingMachine:
         """
         page_len = 0 if header_only else page.used_bytes
         nbytes = instruction_packet_bytes(ic.result_schema, [(page.schema, page_len)])
-        self.outer_ring.send(nbytes, lambda: ip.receive_unary_packet(page, flush))
+        self.outer_ring.send(
+            nbytes, self._to_ip(ic, ip, lambda: ip.receive_unary_packet(page, flush))
+        )
 
     def ic_send_join_packet(
         self,
@@ -467,8 +610,12 @@ class RingMachine:
         nbytes = instruction_packet_bytes(ic.result_schema, operands)
         self.outer_ring.send(
             nbytes,
-            lambda: ip.receive_join_packet(
-                outer_page, outer_index, inner_page, inner_index, flush
+            self._to_ip(
+                ic,
+                ip,
+                lambda: ip.receive_join_packet(
+                    outer_page, outer_index, inner_page, inner_index, flush
+                ),
             ),
         )
 
@@ -484,6 +631,8 @@ class RingMachine:
         nbytes = instruction_packet_bytes(ic.result_schema, [(page.schema, page.used_bytes)])
 
         def deliver() -> None:
+            if ic.dead:
+                return
             for ip in list(ic.my_ips):
                 ip.receive_inner_broadcast(index, page, last_known)
             delivered()
@@ -494,11 +643,14 @@ class RingMachine:
         self, ic: InstructionController, ip: InstructionProcessor, count: int
     ) -> None:
         """IC -> IP: INNER_LAST(count)."""
-        self.outer_ring.send(CONTROL_PACKET_BYTES, lambda: ip.receive_inner_last(count))
+        self.outer_ring.send(
+            CONTROL_PACKET_BYTES,
+            self._to_ip(ic, ip, lambda: ip.receive_inner_last(count)),
+        )
 
     def ic_flush_ip(self, ic: InstructionController, ip: InstructionProcessor) -> None:
         """IC -> IP: flush your result buffer, then report done."""
-        self.outer_ring.send(CONTROL_PACKET_BYTES, ip.flush_and_done)
+        self.outer_ring.send(CONTROL_PACKET_BYTES, self._to_ip(ic, ip, ip.flush_and_done))
 
     def ip_to_ic_done(self, ip: InstructionProcessor, ic: InstructionController) -> None:
         """IP -> IC: DONE control packet."""
@@ -529,10 +681,13 @@ class RingMachine:
         rows = list(page.rows())
         ic.rows_emitted_to_consumer += len(rows)
         if dest_ic == MC_ID:
-            self.outer_ring.send(
-                nbytes,
-                lambda: self._query_rows.setdefault(ic.tree.name, []).extend(rows),
-            )
+
+            def to_host() -> None:
+                if ic.dead:
+                    return  # the query attempt was failed over; rows discarded
+                self._query_rows.setdefault(ic.tree.name, []).extend(rows)
+
+            self.outer_ring.send(nbytes, to_host)
             return
         consumer = self._ics.get(dest_ic)
         if consumer is None:
@@ -567,6 +722,8 @@ class RingMachine:
     # ------------------------------------------------------------------ completion
 
     def _finalize_query(self, root_ic: InstructionController) -> None:
+        if root_ic.dead:
+            return  # a failover superseded this completion notice
         tree = root_ic.tree
         rows = self._query_rows.get(tree.name, [])
         node = tree.root

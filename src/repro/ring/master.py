@@ -92,7 +92,7 @@ class MasterController:
         if not self.free_ips:
             # Pool exhausted: ask hoarding ICs to return surplus idle IPs.
             for other in self.machine.active_ics():
-                if other is not ic and not other.done:
+                if other is not ic and not other.done and not other.dead:
                     other.release_surplus_ips()
 
     def grant_loop(self) -> None:
@@ -107,7 +107,9 @@ class MasterController:
                 for ic_id, want in self.wants.items()
                 if want > 0
             ]
-            candidates = [ic for ic in candidates if ic is not None and not ic.done]
+            candidates = [
+                ic for ic in candidates if ic is not None and not ic.done and not ic.dead
+            ]
             if not candidates:
                 return
             if len(self.free_ips) == 1:

@@ -12,13 +12,36 @@ all of the participating processors simultaneously").
 The ring keeps byte counters so experiments can compare offered load
 against the technology options the paper prices (40 Mbps TTL shift
 registers, 1 Gbps ECL, 400 Mbps fiber).
+
+**Lossy-ring recovery** (paper requirement 5): when a fault plan arms
+``ring_drop`` or ``ring_corrupt`` at this ring's site, each transfer
+attempt may be lost in the insertion network or arrive with a bad
+checksum (the trailing CRC-32 word of the Figure 4.3-4.5 codecs).  A
+corrupted arrival is NAKed by the receiver, so the sender retransmits
+after ``nak_delay_ms``; a silent drop is recovered by the sender's
+retransmission timer, ``timeout_ms * backoff**attempt``.  Both paths are
+deterministic (seeded per-ring streams, fixed delays) and bounded by
+``max_retries`` — exhaustion raises
+:class:`repro.errors.RetryExhaustedError` naming the ring.  Dropped and
+corrupt-discarded packets still leave the loop at their tap, so the
+sanitizer's conservation invariant counts them as removed.
+
+The recovery layer keeps the ring's FIFO delivery order, which the
+Section 4 protocol depends on (an operand-completion notice must never
+overtake the result packets it covers).  Every lossy send carries a
+sequence number; a successfully received message is held until all of
+its predecessors have been delivered, so a retransmitted packet
+head-of-line blocks later traffic instead of being overtaken — the
+standard cost of a link-level go-back/NAK protocol.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List
+from typing import Callable, Dict, List, Optional
 
 from repro import hw
+from repro.errors import RetryExhaustedError
+from repro.faults.plan import FaultSpec
 from repro.sim.engine import Simulator
 from repro.sim.resources import Resource
 
@@ -50,6 +73,21 @@ class Ring:
             self._sanitizer.register_finish_check(
                 f"ring[{name}]", self._sanitize_finish
             )
+        # Fault injection: resolve this ring's specs once.  ``None`` when
+        # nothing is armed here, so the fault-free path below is taken
+        # verbatim (bit-identical to a run with no plan at all).
+        self._injector = sim.faults
+        self._drop_spec: Optional[FaultSpec] = None
+        self._corrupt_spec: Optional[FaultSpec] = None
+        if self._injector is not None:
+            self._drop_spec = self._injector.armed_spec("ring_drop", name)
+            self._corrupt_spec = self._injector.armed_spec("ring_corrupt", name)
+            if self._drop_spec is None and self._corrupt_spec is None:
+                self._injector = None
+        # In-order delivery state for the lossy path (see module docstring).
+        self._lossy_seq = 0
+        self._lossy_cursor = 0
+        self._lossy_ready: Dict[int, Callable[[], None]] = {}
         if sim.metrics.enabled:
             metrics = sim.metrics
             self._bytes_counter = metrics.counter("ring.bytes", ring=name)
@@ -90,6 +128,13 @@ class Ring:
             if broadcast:
                 self._broadcasts_counter.add()
             self._message_bytes_tally.observe(nbytes)
+        if self._injector is not None:
+            if self._sanitizer is not None:
+                self.packets_injected += 1
+            seq = self._lossy_seq
+            self._lossy_seq += 1
+            self._transmit(nbytes, deliver, attempt=0, seq=seq)
+            return
         if self._sanitizer is not None:
             self.packets_injected += 1
             deliver = self._counted_removal(deliver)
@@ -101,6 +146,96 @@ class Ring:
             deliver()
 
         return removed
+
+    # -- lossy-ring recovery (fault injection) -------------------------------
+
+    def _transmit(
+        self, nbytes: int, deliver: Callable[[], None], attempt: int, seq: int
+    ) -> None:
+        """One transfer attempt under an armed drop/corrupt spec.
+
+        The attempt's fate is drawn from this ring's seeded streams at
+        submit time, so strike order depends only on send order.  A
+        corrupted arrival is NAKed immediately (the checksum fails at the
+        receiving tap); a drop is recovered by the retransmission timer
+        with exponential backoff.  Successful arrivals are released in
+        sequence order to preserve the loop's FIFO semantics.
+        """
+        inj = self._injector
+        assert inj is not None
+        fate: Optional[FaultSpec] = None
+        kind = ""
+        if self._drop_spec is not None and inj.decide(
+            "ring_drop", self.name, self._drop_spec.rate
+        ):
+            fate, kind = self._drop_spec, "drop"
+        elif self._corrupt_spec is not None and inj.decide(
+            "ring_corrupt", self.name, self._corrupt_spec.rate
+        ):
+            fate, kind = self._corrupt_spec, "corrupt"
+
+        def arrived() -> None:
+            # Conservation fix: an intentionally dropped or corrupt-
+            # discarded packet still leaves the loop at its tap, so it
+            # counts as removed — otherwise the sanitizer's conservation
+            # invariant would false-positive under injection.
+            if self._sanitizer is not None:
+                self.packets_removed += 1
+            if fate is None:
+                self._lossy_ready[seq] = deliver
+                self._drain_ready()
+                return
+            if attempt >= fate.max_retries:
+                raise RetryExhaustedError(
+                    f"ring[{self.name}]: {nbytes}-byte transfer still "
+                    f"{'dropped' if kind == 'drop' else 'corrupted'} after "
+                    f"{attempt + 1} attempts (max_retries={fate.max_retries})"
+                )
+            inj.count("ring." + kind, self.name)
+            if kind == "corrupt":
+                # Receiver NAK: the bad checksum is detected on arrival,
+                # so retransmission starts after one control turnaround.
+                inj.count("ring.nak", self.name)
+                delay = fate.nak_delay_ms
+            else:
+                delay = fate.timeout_ms * fate.backoff**attempt
+            inj.count("ring.retransmit", self.name)
+            self.sim.schedule(
+                delay,
+                lambda: self._retransmit(nbytes, deliver, attempt + 1, seq),
+                label=f"ring.{self.name}.retransmit",
+            )
+
+        self._medium.submit(self.model.transfer_time_ms(nbytes), arrived, nbytes=nbytes)
+
+    def _drain_ready(self) -> None:
+        """Release consecutively received messages in send order."""
+        while self._lossy_cursor in self._lossy_ready:
+            deliver = self._lossy_ready.pop(self._lossy_cursor)
+            self._lossy_cursor += 1
+            deliver()
+
+    def _retransmit(
+        self, nbytes: int, deliver: Callable[[], None], attempt: int, seq: int
+    ) -> None:
+        """Re-offer a lost transfer to the loop (charges bytes again)."""
+        self.bytes_carried += nbytes
+        self.messages_carried += 1
+        if self._bytes_counter is not None:
+            self._bytes_counter.add(nbytes)
+            self._messages_counter.add()
+            self._message_bytes_tally.observe(nbytes)
+        if self._trace is not None:
+            self._trace.instant(
+                "ring.retransmit",
+                "ring",
+                self.sim.now,
+                self.name,
+                args={"bytes": nbytes, "attempt": attempt},
+            )
+        if self._sanitizer is not None:
+            self.packets_injected += 1
+        self._transmit(nbytes, deliver, attempt, seq)
 
     def _sanitize_finish(self) -> List[str]:
         """Packet-conservation invariant for the sanitizer."""

@@ -8,26 +8,33 @@ Figure 4.3 — instruction packet::
     | # of Source Operands
     | per source operand: Relation Name, Tuple Length & Format,
       Page Length, Data Page
+    | Checksum
 
 Figure 4.4 — result packet::
 
-    ICid | Packet Length | Relation Name | Page Length | Data Page
+    ICid | Packet Length | Relation Name | Page Length | Data Page | Checksum
 
 Figure 4.5 — control packet::
 
-    ICid | Packet Length | IPid of sender | Message
+    ICid | Packet Length | IPid of sender | Message | Checksum
 
 All integers are little-endian uint32; relation names are 16-byte
 NUL-padded ASCII; the "Tuple Length & Format" field serializes the
 operand's schema (so any IP can decode the rows, as the paper requires);
-data pages are the page's literal bytes.  ``encode``/``decode`` round-trip
-exactly, and the simulated rings charge transfer time on ``len(encode())``.
+data pages are the page's literal bytes.  Every packet ends with a CRC-32
+checksum of everything before it — the error-detection word Section 4's
+lossy-ring protocol needs: a receiver that sees a checksum mismatch NAKs
+the transfer and the sender retransmits (see :mod:`repro.ring.network`).
+The Packet Length field covers the complete packet including the
+checksum.  ``encode``/``decode`` round-trip exactly, and the simulated
+rings charge transfer time on ``len(encode())``.
 """
 
 from __future__ import annotations
 
 import enum
 import struct
+import zlib
 from dataclasses import dataclass, field
 from typing import List, Tuple
 
@@ -36,10 +43,36 @@ from repro.relational.schema import Attribute, DataType, Schema
 
 _U32 = struct.Struct("<I")
 _NAME_BYTES = 16
+#: Trailing CRC-32 word appended to every packet.
+CHECKSUM_BYTES = 4
 
 #: Fixed header sizes (bytes) used for analytic packet-size formulas.
 INSTRUCTION_HEADER_BYTES = 7 * 4  # IPid..opcode fields
-CONTROL_PACKET_BYTES = 4 * 4 + 4  # fixed-size control packet + argument
+CONTROL_PACKET_BYTES = 4 * 4 + 4 + CHECKSUM_BYTES  # fixed control packet + argument + crc
+
+
+def _seal(packet: bytes) -> bytes:
+    """Append the CRC-32 checksum word to a fully built packet."""
+    return packet + _U32.pack(zlib.crc32(packet) & 0xFFFFFFFF)
+
+
+def _verify_checksum(data: bytes, what: str) -> None:
+    """Check the trailing CRC-32 word; raise :class:`PacketError` on mismatch."""
+    if len(data) < 8 + CHECKSUM_BYTES:
+        raise PacketError(f"{what} shorter than its header")
+    carried = _U32.unpack_from(data, len(data) - CHECKSUM_BYTES)[0]
+    computed = zlib.crc32(data[:-CHECKSUM_BYTES]) & 0xFFFFFFFF
+    if carried != computed:
+        raise PacketError(
+            f"{what} checksum mismatch: carried {carried:#010x}, "
+            f"computed {computed:#010x}"
+        )
+
+
+def flip_byte(data: bytes, offset: int) -> bytes:
+    """``data`` with the byte at ``offset`` inverted (corruption helper)."""
+    offset %= len(data)  # support negative offsets
+    return data[:offset] + bytes([data[offset] ^ 0xFF]) + data[offset + 1 :]
 
 
 def _pack_u32(value: int) -> bytes:
@@ -161,13 +194,14 @@ class InstructionPacket:
             + _pack_u32(len(self.operands))
             + b"".join(op.encode() for op in self.operands)
         )
-        return _pack_u32(self.ip_id) + _pack_u32(len(body) + 8) + body
+        return _seal(
+            _pack_u32(self.ip_id) + _pack_u32(len(body) + 8 + CHECKSUM_BYTES) + body
+        )
 
     @classmethod
     def decode(cls, data: bytes) -> "InstructionPacket":
         """Inverse of :meth:`encode`."""
-        if len(data) < 8:
-            raise PacketError("instruction packet shorter than its header")
+        _verify_checksum(data, "instruction packet")
         ip_id = _U32.unpack_from(data, 0)[0]
         length = _U32.unpack_from(data, 4)[0]
         if length != len(data):
@@ -218,19 +252,20 @@ class ResultPacket:
     page_bytes: bytes
 
     def encode(self) -> bytes:
-        """ICid | Packet Length | Relation Name | Page Length | Data Page."""
+        """ICid | Packet Length | Relation Name | Page Length | Data Page | Checksum."""
         body = (
             _pack_name(self.relation_name)
             + _pack_u32(len(self.page_bytes))
             + self.page_bytes
         )
-        return _pack_u32(self.ic_id) + _pack_u32(len(body) + 8) + body
+        return _seal(
+            _pack_u32(self.ic_id) + _pack_u32(len(body) + 8 + CHECKSUM_BYTES) + body
+        )
 
     @classmethod
     def decode(cls, data: bytes) -> "ResultPacket":
         """Inverse of :meth:`encode`."""
-        if len(data) < 8:
-            raise PacketError("result packet shorter than its header")
+        _verify_checksum(data, "result packet")
         ic_id = _U32.unpack_from(data, 0)[0]
         length = _U32.unpack_from(data, 4)[0]
         if length != len(data):
@@ -261,7 +296,7 @@ def instruction_packet_bytes(result_schema: Schema, operands: List[Tuple[Schema,
     value equals ``len(packet.encode())`` exactly (verified by tests), so
     the simulator can charge ring time without packing page bytes.
     """
-    size = 8 + 24 + _NAME_BYTES + schema_field_bytes(result_schema) + 4
+    size = 8 + 24 + _NAME_BYTES + schema_field_bytes(result_schema) + 4 + CHECKSUM_BYTES
     for schema, page_len in operands:
         size += _NAME_BYTES + schema_field_bytes(schema) + 4 + page_len
     return size
@@ -269,7 +304,7 @@ def instruction_packet_bytes(result_schema: Schema, operands: List[Tuple[Schema,
 
 def result_packet_bytes(page_len: int) -> int:
     """Wire size of a result packet carrying ``page_len`` page bytes."""
-    return 8 + _NAME_BYTES + 4 + page_len
+    return 8 + _NAME_BYTES + 4 + page_len + CHECKSUM_BYTES
 
 
 class ControlMessage(enum.Enum):
@@ -309,13 +344,18 @@ class ControlPacket:
     def encode(self) -> bytes:
         """Serialize; the message field carries the enum and one argument."""
         body = _pack_u32(self.sender_ip) + _pack_u32(self.message.value) + _pack_u32(self.argument)
-        return _pack_u32(self.ic_id) + _pack_u32(len(body) + 8) + body
+        return _seal(
+            _pack_u32(self.ic_id) + _pack_u32(len(body) + 8 + CHECKSUM_BYTES) + body
+        )
 
     @classmethod
     def decode(cls, data: bytes) -> "ControlPacket":
         """Inverse of :meth:`encode`."""
-        if len(data) != 20:
-            raise PacketError(f"control packet must be 20 bytes, got {len(data)}")
+        if len(data) != CONTROL_PACKET_BYTES:
+            raise PacketError(
+                f"control packet must be {CONTROL_PACKET_BYTES} bytes, got {len(data)}"
+            )
+        _verify_checksum(data, "control packet")
         ic_id = _U32.unpack_from(data, 0)[0]
         length = _U32.unpack_from(data, 4)[0]
         if length != len(data):
@@ -328,4 +368,4 @@ class ControlPacket:
     @property
     def wire_bytes(self) -> int:
         """Size on the ring (fixed)."""
-        return 20
+        return CONTROL_PACKET_BYTES

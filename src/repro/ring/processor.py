@@ -45,6 +45,10 @@ class InstructionProcessor:
         #: Fail-stop flag (requirement 5, Section 4.0): a failed IP stops
         #: responding — it sends nothing and ignores everything.
         self.failed = False
+        #: Assignment epoch: bumped whenever this IP leaves an IC (normal
+        #: release or failover abort), so in-flight work charges from an
+        #: earlier assignment can never act on a later one.
+        self._epoch = 0
 
         # Result buffer (persists across packets of one assignment).
         self._result_rows: List[Row] = []
@@ -80,8 +84,24 @@ class InstructionProcessor:
         """Return to the MC pool (the IC has sent RELEASE_IP)."""
         if self._result_rows:
             raise MachineError(f"IP{self.ip_id} released with unflushed result rows")
+        self._epoch += 1
         self.owner = None
         self._result_schema = None
+        self._reset_join_state()
+
+    def abort_assignment(self) -> None:
+        """The owning IC was torn down by an MC failover (requirement 5).
+
+        Unlike :meth:`fail`, the processor itself is healthy: it drops
+        all buffered results and join state, fences any in-flight work
+        charge behind the epoch bump, and returns to pool eligibility so
+        the MC can grant it to the restarted query's new ICs.
+        """
+        self._epoch += 1
+        self.busy = False
+        self.owner = None
+        self._result_schema = None
+        self._result_rows = []
         self._reset_join_state()
 
     def _reset_join_state(self) -> None:
@@ -302,9 +322,11 @@ class InstructionProcessor:
         if sim.metrics.enabled:
             sim.metrics.tally("ip.charge_ms", kind=what).observe(delay)
 
+        epoch = self._epoch
+
         def guarded() -> None:
-            if self.failed:
-                return  # fail-stop: in-progress work evaporates
+            if self.failed or self._epoch != epoch:
+                return  # fail-stop or aborted assignment: work evaporates
             then()
 
         self.machine.sim.schedule(delay, guarded, label=f"ip{self.ip_id}")

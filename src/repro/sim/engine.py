@@ -23,6 +23,8 @@ from repro.errors import SimulationError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from repro.check.sanitizer import Sanitizer
+    from repro.faults.injector import FaultInjector
+    from repro.faults.plan import FaultPlan
 
 
 class Event:
@@ -69,7 +71,13 @@ class Simulator:
     [5.0]
     """
 
-    def __init__(self, tracer=None, metrics=None, sanitize: Optional[bool] = None):
+    def __init__(
+        self,
+        tracer=None,
+        metrics=None,
+        sanitize: Optional[bool] = None,
+        faults: Optional["FaultPlan"] = None,
+    ):
         self._now = 0.0
         self._heap: List[Tuple[float, int, Event]] = []
         self._sequence = itertools.count()
@@ -114,6 +122,22 @@ class Simulator:
             self.run_id = next_run_id()
         else:
             self.run_id = 0
+        # Fault injection binds the same way the sanitizer does: explicit
+        # plan wins, else the ambient repro.faults plan.  A plan with
+        # nothing armed binds no injector, so components keep their
+        # fault-free fast paths and the run is bit-identical to an
+        # unarmed one.  (Bound after observability — the injector
+        # pre-binds this simulator's tracer/metrics.)
+        if faults is None:
+            from repro.faults.plan import active_plan
+
+            faults = active_plan()
+        if faults is not None and faults.armed:
+            from repro.faults.injector import FaultInjector
+
+            self._faults: Optional["FaultInjector"] = FaultInjector(faults, self)
+        else:
+            self._faults = None
 
     # -- clock ----------------------------------------------------------------
 
@@ -147,6 +171,20 @@ class Simulator:
         """
         if self._sanitizer is not None:
             self._sanitizer.finish()
+
+    @property
+    def faults(self) -> Optional["FaultInjector"]:
+        """The run's fault injector, or None when no fault plan is armed."""
+        return self._faults
+
+    def finalize_faults(self) -> None:
+        """Publish the injector's recovery counters as gauges (no-op when off).
+
+        The owning machine calls this next to :meth:`finalize_sanitizer`
+        once the event loop drains.
+        """
+        if self._faults is not None:
+            self._faults.finish()
 
     # -- scheduling -----------------------------------------------------------
 

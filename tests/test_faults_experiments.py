@@ -1,0 +1,128 @@
+"""E13/E14 and the ``repro faults`` CLI: deterministic chaos harnesses.
+
+The experiment grids fan out over the sweep runner, so the parallel runs
+must be byte-identical to serial; the CLI must emit identical JSON for
+identical seeded plans (the CI chaos-smoke determinism check).
+"""
+
+import json
+
+from repro.cli import main
+from repro.experiments import chaos_sweep, fault_tolerance
+from repro.faults import FaultPlan, FaultSpec
+
+
+class TestFaultToleranceExperiment:
+    def test_degradation_curve(self):
+        result = fault_tolerance.run(
+            processors=4, kill_counts=(0, 2), kill_at_ms=100.0, scale=0.02, workers=1
+        )
+        assert [row["killed"] for row in result.rows] == [0, 2]
+        assert all(row["all_correct"] for row in result.rows)
+        assert result.rows[0]["slowdown"] == 1.0
+        assert result.rows[1]["slowdown"] >= 1.0
+        assert result.rows[1]["survivors"] == 2
+
+    def test_parallel_byte_identical_to_serial(self):
+        kwargs = dict(processors=4, kill_counts=(0, 2), kill_at_ms=100.0, scale=0.02)
+        serial = fault_tolerance.run(workers=1, **kwargs)
+        parallel = fault_tolerance.run(workers=2, **kwargs)
+        assert serial.rows == parallel.rows
+
+
+class TestChaosSweep:
+    def test_every_cell_matches_oracle(self):
+        result = chaos_sweep.run(
+            machines=("ring", "direct"),
+            rates=(0.0, 0.05),
+            fault_classes=("ring_drop", "disk_read_error"),
+            scale=0.02,
+            workers=1,
+        )
+        # The ring machine owns a storage hierarchy too, so it gets both
+        # fault classes; DIRECT only the storage one: (2 + 1) x 2 rates.
+        assert len(result.rows) == 6
+        assert all(row["all_correct"] for row in result.rows)
+        faulted = [row for row in result.rows if row["rate"] > 0]
+        assert all(row["recoveries"] > 0 for row in faulted)
+        clean = [row for row in result.rows if row["rate"] == 0]
+        assert all(row["recoveries"] == 0 for row in clean)
+
+    def test_parallel_byte_identical_to_serial(self):
+        kwargs = dict(
+            machines=("ring",),
+            rates=(0.0, 0.05),
+            fault_classes=("ring_corrupt",),
+            scale=0.02,
+        )
+        serial = chaos_sweep.run(workers=1, **kwargs)
+        parallel = chaos_sweep.run(workers=2, **kwargs)
+        assert serial.rows == parallel.rows
+
+    def test_run_faulted_benchmark_counters(self):
+        plan = FaultPlan(seed=2027, specs=(FaultSpec(kind="ring_drop", rate=0.05),))
+        cell = chaos_sweep.run_faulted_benchmark("ring", plan, scale=0.02)
+        assert cell["all_correct"]
+        assert any(key.startswith("ring.retransmit") for key in cell["counters"])
+
+    def test_unknown_machine_rejected(self):
+        import pytest
+
+        from repro.errors import FaultError
+
+        plan = FaultPlan(seed=1, specs=(FaultSpec(kind="ring_drop", rate=0.05),))
+        with pytest.raises(FaultError):
+            chaos_sweep.run_faulted_benchmark("vax", plan)
+
+
+class TestFaultsCli:
+    def test_faults_command_writes_json(self, tmp_path):
+        out = tmp_path / "faults.json"
+        code = main(
+            [
+                "faults",
+                "--machine",
+                "ring",
+                "--scale",
+                "0.02",
+                "--drop",
+                "0.05",
+                "--corrupt",
+                "0.03",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["all_correct"] is True
+        assert payload["machine"] == "ring"
+        assert any(key.startswith("ring.retransmit") for key in payload["counters"])
+
+    def test_faults_command_deterministic_bytes(self, tmp_path):
+        args = ["faults", "--machine", "direct", "--scale", "0.02", "--disk-error", "0.1"]
+        out_a = tmp_path / "a.json"
+        out_b = tmp_path / "b.json"
+        assert main(args + ["--sanitize", "--out", str(out_a)]) == 0
+        assert main(args + ["--sanitize", "--out", str(out_b)]) == 0
+        assert out_a.read_bytes() == out_b.read_bytes()
+
+    def test_faults_command_accepts_plan_file(self, tmp_path):
+        plan = FaultPlan(
+            seed=9,
+            specs=(
+                FaultSpec(kind="ring_drop", rate=0.05),
+                FaultSpec(kind="ip_kill", kills=((1, 50.0),)),
+            ),
+        )
+        plan_file = tmp_path / "plan.json"
+        plan_file.write_text(plan.to_json())
+        out = tmp_path / "out.json"
+        code = main(
+            ["faults", "--machine", "ring", "--scale", "0.02", "--plan", str(plan_file),
+             "--out", str(out)]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["all_correct"] is True
+        assert payload["plan"]["seed"] == 9
