@@ -12,6 +12,9 @@ Commands:
 * ``faults [...]``            — run the benchmark under a seeded fault plan
                                 (``repro.faults``); JSON report, exit 1 on
                                 any oracle mismatch
+* ``serve [...]``             — continuous multi-user serving mode: open-loop
+                                arrivals into a running machine; prints a
+                                byte-stable JSON SLO report (p50/p99/p999)
 * ``check [paths...]``        — determinism lint (R001-R005); ``--self-test``
                                 proves each rule still fires
 
@@ -32,6 +35,8 @@ Examples::
     python -m repro metrics ring_vs_direct --scale 0.1
     python -m repro bench --quick
     python -m repro workload --scale 0.1
+    python -m repro serve --machine ring --arrivals poisson --rate 50 --seed 7
+    python -m repro run serving --workers 4
 """
 
 from __future__ import annotations
@@ -55,6 +60,7 @@ from repro.experiments import (
     ring_sizing_exp,
     ring_vs_direct,
     section_3_3,
+    serving,
 )
 from repro.experiments.ascii_chart import figure_3_1_chart, figure_4_2_chart
 
@@ -70,6 +76,7 @@ _EXPERIMENTS: Dict[str, tuple] = {
     "project": (project_operator, "E11: parallel duplicate elimination"),
     "fault_tolerance": (fault_tolerance, "E13: survive disabled processors"),
     "chaos": (chaos_sweep, "E14: chaos sweep — every fault class x rate x machine"),
+    "serving": (serving, "E15: serving saturation — offered rate x throughput x latency"),
 }
 
 
@@ -283,6 +290,46 @@ def _cmd_faults(args) -> int:
     return 0 if summary["all_correct"] else 1
 
 
+def _cmd_serve(args) -> int:
+    """Run one serving session; print (or write) the JSON SLO report."""
+    from repro.serve import ServeConfig, serve
+
+    config = ServeConfig(
+        machine=args.machine,
+        arrivals=args.arrivals,
+        rate_qps=args.rate,
+        duration_ms=args.duration_ms,
+        seed=args.seed,
+        scale=args.scale,
+        b_domain=args.b_domain,
+        selectivity=args.selectivity,
+        page_bytes=args.page_bytes,
+        processors=args.processors,
+        zipf_s=args.zipf_s,
+        loop=args.loop,
+        users=args.users,
+        think_ms=args.think_ms,
+        max_inflight=args.max_inflight,
+        queue_limit=args.queue_limit,
+        policy=args.policy,
+    )
+    if args.sanitize:
+        from repro.check import sanitizing
+
+        with sanitizing():
+            slo = serve(config)
+    else:
+        slo = serve(config)
+    text = json.dumps(slo, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote SLO report to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
 def _cmd_bench_info(_args) -> int:
     print(
         "benchmark suite (one per paper table/figure):\n\n"
@@ -446,6 +493,74 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None, help="write the JSON report here instead of stdout"
     )
 
+    serve_cmd = sub.add_parser(
+        "serve",
+        help="continuous serving mode: open-loop arrivals into a running "
+        "machine; prints a byte-stable JSON SLO report",
+    )
+    serve_cmd.add_argument(
+        "--machine", choices=["ring", "direct", "dataflow"], default="ring"
+    )
+    serve_cmd.add_argument(
+        "--arrivals", choices=["poisson", "bursty", "diurnal"], default="poisson"
+    )
+    serve_cmd.add_argument(
+        "--rate", type=float, default=50.0, help="mean offered rate, queries/second"
+    )
+    serve_cmd.add_argument(
+        "--duration-ms",
+        type=float,
+        default=10_000.0,
+        dest="duration_ms",
+        help="arrival window in simulated ms (the run then drains)",
+    )
+    serve_cmd.add_argument("--seed", type=int, default=1979)
+    serve_cmd.add_argument("--scale", type=float, default=0.05, help="database scale")
+    serve_cmd.add_argument(
+        "--b-domain", type=int, default=100, dest="b_domain",
+        help="join-attribute domain (small keeps joins non-empty at low scale)",
+    )
+    serve_cmd.add_argument("--selectivity", type=float, default=0.1)
+    serve_cmd.add_argument(
+        "--page-bytes", type=int, default=2048, dest="page_bytes"
+    )
+    serve_cmd.add_argument("--processors", type=int, default=8)
+    serve_cmd.add_argument(
+        "--zipf-s", type=float, default=0.8, dest="zipf_s",
+        help="zipf skew of relation popularity and session activity",
+    )
+    serve_cmd.add_argument(
+        "--loop", choices=["open", "closed"], default="open",
+        help="open = fixed arrival schedule; closed = N users with think time",
+    )
+    serve_cmd.add_argument(
+        "--users", type=int, default=1000,
+        help="distinct sessions (open loop) or concurrent users (closed loop)",
+    )
+    serve_cmd.add_argument(
+        "--think-ms", type=float, default=1000.0, dest="think_ms",
+        help="mean think time between a closed-loop user's queries",
+    )
+    serve_cmd.add_argument(
+        "--max-inflight", type=int, default=8, dest="max_inflight",
+        help="admission bound on concurrently running queries",
+    )
+    serve_cmd.add_argument(
+        "--queue-limit", type=int, default=64, dest="queue_limit",
+        help="admission queue depth; arrivals beyond it are shed",
+    )
+    serve_cmd.add_argument(
+        "--policy", choices=["fifo", "sjf"], default="fifo",
+        help="admission queue order (sjf = shortest estimated job first)",
+    )
+    serve_cmd.add_argument(
+        "--sanitize", action="store_true",
+        help="run under the simulation sanitizer",
+    )
+    serve_cmd.add_argument(
+        "--out", default=None, help="write the JSON report here instead of stdout"
+    )
+
     sub.add_parser("bench-info", help="how to run the benchmark suite")
     return parser
 
@@ -463,6 +578,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bench": _cmd_bench,
         "check": _cmd_check,
         "faults": _cmd_faults,
+        "serve": _cmd_serve,
         "bench-info": _cmd_bench_info,
     }
     if args.command is None:

@@ -21,7 +21,7 @@ the produced relations against the reference interpreter.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro import hw
 from repro.errors import MachineError
@@ -96,6 +96,13 @@ class DataflowMachine:
         self.firings = 0
         self.arbitration_bytes = 0
         self.distribution_bytes = 0
+        #: Serving hook: ``(query_name, completed_at_ms, result_rows)``
+        #: on root-cell completion.
+        self.on_query_complete: Optional[Callable[[str, float, int], None]] = None
+        #: True while :meth:`run_service` drives the loop — mid-run
+        #: submissions then pump immediately.  Batch runs leave this off
+        #: so their event sequence (and byte-identity) is unchanged.
+        self._serving = False
 
     # ------------------------------------------------------------------ host API
 
@@ -105,12 +112,23 @@ class DataflowMachine:
         self._programs.append(program)
         for cell in program.cells:
             self._assemblies[cell.cell_id] = []
+        if self._serving:
+            self._pump_soon()
         return program
 
     def run(self) -> DataflowReport:
         """Fire enabled cells until every query's root completes."""
         if not self._programs:
             raise MachineError("no queries submitted")
+        return self.run_service()
+
+    def run_service(self) -> DataflowReport:
+        """Drive the machine until the event heap drains, then report.
+
+        Queries may arrive mid-run via :meth:`submit` (each one pumps the
+        firing loop); all of them must finish before the heap drains.
+        """
+        self._serving = True
         self.sim.schedule(0.0, self._pump, label="pump")
         self.sim.run(max_events=self.max_events)
         unfinished = [
@@ -252,7 +270,12 @@ class DataflowMachine:
             destination.operands[slot].finish()
         if not cell.destinations:
             tree_name = self._tree_name_of(cell)
-            self._query_done_at.setdefault(tree_name, self.sim.now)
+            if tree_name not in self._query_done_at:
+                self._query_done_at[tree_name] = self.sim.now
+                if self.on_query_complete is not None:
+                    self.on_query_complete(
+                        tree_name, self.sim.now, len(self._results.get(tree_name, []))
+                    )
         self._pump_soon()
 
     def _pump_soon(self) -> None:

@@ -57,7 +57,7 @@ from repro.query.tree import (
     UnionNode,
 )
 from repro.sim.engine import Simulator
-from repro.sim.resources import Resource
+from repro.sim.resources import Resource, checked_utilization
 
 
 class _Processor:
@@ -202,6 +202,13 @@ class DirectMachine:
         self._overflowing: Dict[str, None] = {}
         self._buffer_reads: Dict[str, List[Callable[[], None]]] = {}
 
+        #: Serving hook: called as ``(query_name, completed_at_ms,
+        #: result_rows)`` when a query's root instruction completes.
+        self.on_query_complete: Optional[Callable[[str, float, int], None]] = None
+        #: Serve mode disables per-query gauges (thousands of queries
+        #: would bloat the metrics registry).
+        self.publish_per_query_metrics = True
+
     # ------------------------------------------------------------------ setup
 
     def _base_page_refs(self, relation_name: str) -> List[PageRef]:
@@ -310,6 +317,15 @@ class DirectMachine:
         """Execute every submitted query to completion and report."""
         if not self._runs:
             raise MachineError("no queries submitted")
+        return self.run_service()
+
+    def run_service(self) -> DirectReport:
+        """Drive the machine until the event heap drains, then report.
+
+        The serving layer schedules arrival events that call
+        :meth:`submit` mid-run, so no queries need to exist up front;
+        every query submitted must still finish before the heap drains.
+        """
         self.sim.run(max_events=self.max_events)
         unfinished = [r.tree.name for r in self._runs if r.completed_at is None]
         if unfinished:
@@ -320,8 +336,10 @@ class DirectMachine:
         self.sim.finalize_faults()
         elapsed = self.sim.now
         busy = sum(p.busy_ms for p in self.processors)
-        utilization = busy / (elapsed * len(self.processors)) if elapsed > 0 else 0.0
-        self._publish_metrics(elapsed, min(1.0, utilization))
+        utilization = checked_utilization(
+            self.sim, busy, elapsed, len(self.processors), "direct.processors"
+        )
+        self._publish_metrics(elapsed, utilization)
         return DirectReport(
             granularity=self.granularity.key,
             processors=len(self.processors),
@@ -331,7 +349,7 @@ class DirectMachine:
             disk_bytes=self.meter.disk_bytes,
             query_times={r.tree.name: r.elapsed_ms for r in self._runs},
             results={r.tree.name: self._result_relation(r) for r in self._runs},
-            processor_utilization=min(1.0, utilization),
+            processor_utilization=utilization,
             events_processed=self.sim.events_processed,
         )
 
@@ -360,6 +378,8 @@ class DirectMachine:
             )
         for level, nbytes in self.meter.snapshot().items():
             metrics.set_gauge("traffic.bytes", nbytes, machine="direct", level=level, run=rid)
+        if not self.publish_per_query_metrics:
+            return
         for run in self._runs:
             if run.elapsed_ms is not None:
                 metrics.set_gauge(
@@ -485,12 +505,19 @@ class DirectMachine:
             self._unary_execute(proc, task)
 
     def _charge(self, proc: _Processor, delay: float, then: Callable[[], None]) -> None:
-        proc.busy_ms += delay
         if self.sim.tracer.enabled:
             self.sim.tracer.span("cpu", "proc", self.sim.now, delay, f"P{proc.pid}")
         if self.sim.metrics.enabled:
             self.sim.metrics.tally("proc.charge_ms", kind="cpu").observe(delay)
-        self.sim.schedule(delay, then, label=f"p{proc.pid}.cpu")
+
+        def done() -> None:
+            # Credit busy time when the service interval has actually
+            # elapsed, mirroring Resource.stats.busy_time — crediting at
+            # schedule time counts work that has not happened yet.
+            proc.busy_ms += delay
+            then()
+
+        self.sim.schedule(delay, done, label=f"p{proc.pid}.cpu")
 
     def _unary_execute(self, proc: _Processor, task: Task) -> None:
         instr = task.instruction
@@ -550,14 +577,18 @@ class DirectMachine:
 
                 self._charge(proc, cpu, joined)
 
-            proc.busy_ms += fill
             if self.sim.tracer.enabled:
                 self.sim.tracer.span(
                     "inner-fill", "proc", self.sim.now, fill, f"P{proc.pid}"
                 )
             if self.sim.metrics.enabled:
                 self.sim.metrics.tally("proc.charge_ms", kind="inner-fill").observe(fill)
-            self.sim.schedule(fill, filled, label=f"p{proc.pid}.inner-fill")
+
+            def fill_done() -> None:
+                proc.busy_ms += fill
+                filled()
+
+            self.sim.schedule(fill, fill_done, label=f"p{proc.pid}.inner-fill")
 
         self._fetch_operand(inner_ref, inner_delivered)
 
@@ -791,6 +822,10 @@ class DirectMachine:
                 # The host drains the result; its pages leave the machine.
                 for ref in instr.produced_pages:
                     self._drop_intermediate(ref)
+                if self.on_query_complete is not None:
+                    self.on_query_complete(
+                        run.tree.name, run.completed_at, run.result_rows
+                    )
                 return
 
     def _drop_intermediate(self, ref: PageRef) -> None:

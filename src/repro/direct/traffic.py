@@ -9,7 +9,7 @@ total.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence
 
 
 #: Transfer levels of the three-level storage hierarchy plus control.
@@ -59,9 +59,14 @@ class TrafficMeter:
         """Total bytes recorded at ``level``."""
         return self._bytes[level]
 
-    def total(self, levels: List[str] = None) -> int:
-        """Total bytes across ``levels`` (default: every level)."""
-        chosen = levels if levels is not None else ALL_LEVELS
+    def total(self, levels: Optional[Sequence[str]] = None) -> int:
+        """Total bytes across ``levels``.
+
+        ``None`` (the default) means every level; an explicit empty
+        sequence means *no* levels and totals 0 — the distinction matters
+        to callers that compute level subsets dynamically.
+        """
+        chosen = ALL_LEVELS if levels is None else levels
         return sum(self._bytes[level] for level in chosen)
 
     @property
@@ -77,7 +82,9 @@ class TrafficMeter:
     def bandwidth_mbps(self, level_or_levels, elapsed_ms: float) -> float:
         """Average bandwidth in megabits/second over ``elapsed_ms``.
 
-        This is exactly the paper's metric: average, not peak.
+        This is exactly the paper's metric: average, not peak.  A
+        non-positive ``elapsed_ms`` (serving mode measures short windows,
+        some of them empty) reports 0.0 rather than dividing by zero.
         """
         if elapsed_ms <= 0:
             return 0.0

@@ -23,6 +23,9 @@ benchmarks, and the EXPERIMENTS.md records.
 * E14 :mod:`repro.experiments.chaos_sweep` — chaos sweep: every
   :mod:`repro.faults` fault class x rate x machine, oracle-checked
   (extension).
+* E15 :mod:`repro.experiments.serving` — steady-state serving saturation:
+  open-loop offered rate x achieved throughput x tail latency
+  (extension; ROADMAP item 1).
 """
 
 from repro.experiments.common import ExperimentResult, render_table

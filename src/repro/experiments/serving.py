@@ -1,0 +1,143 @@
+"""E15 (extension): steady-state serving — the saturation curve.
+
+The paper's Section 4 bandwidth analysis asks whether the machine can
+stand up to "heavy traffic from millions of users"; the batch benchmark
+cannot answer that, because a closed batch of ten queries never exposes
+queueing.  This experiment sweeps an open-loop Poisson arrival rate
+across machines and reports the classic saturation curve: achieved
+throughput tracks offered load up to the knee, then plateaus while p99
+latency diverges (the queue, not the machine, absorbs the excess).
+
+Each cell is one :func:`repro.serve.serve` run — seeded, byte-stable —
+and the grid fans out over :func:`repro.sweep.map_points`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.common import ExperimentResult
+from repro.serve import ServeConfig, serve
+from repro.sweep import map_points
+
+#: Default offered rates (queries/second).  Chosen to straddle the knee
+#: of both default machines at the quick scale below: the low rates are
+#: comfortably under capacity, the high ones are deep in overload.
+DEFAULT_RATES = (10.0, 20.0, 40.0, 80.0, 160.0)
+
+
+def _point(
+    machine: str,
+    rate: float,
+    arrivals: str,
+    duration_ms: float,
+    seed: int,
+    scale: float,
+    b_domain: int,
+    selectivity: float,
+    page_bytes: int,
+    processors: int,
+    max_inflight: int,
+    queue_limit: int,
+    policy: str,
+) -> dict:
+    """One saturation cell (module-level so ``map_points`` can pickle it)."""
+    config = ServeConfig(
+        machine=machine,
+        arrivals=arrivals,
+        rate_qps=rate,
+        duration_ms=duration_ms,
+        seed=seed,
+        scale=scale,
+        b_domain=b_domain,
+        selectivity=selectivity,
+        page_bytes=page_bytes,
+        processors=processors,
+        max_inflight=max_inflight,
+        queue_limit=queue_limit,
+        policy=policy,
+    )
+    return serve(config)
+
+
+def run(
+    machines: Sequence[str] = ("ring", "direct"),
+    rates: Sequence[float] = DEFAULT_RATES,
+    arrivals: str = "poisson",
+    duration_ms: float = 4000.0,
+    seed: int = 1979,
+    scale: float = 0.05,
+    b_domain: int = 100,
+    selectivity: float = 0.1,
+    page_bytes: int = 2048,
+    processors: int = 8,
+    max_inflight: int = 8,
+    queue_limit: int = 64,
+    policy: str = "fifo",
+    workers: Optional[int] = None,
+) -> ExperimentResult:
+    """Sweep offered rate x machine; report the saturation curve.
+
+    Row fields: ``machine``, ``rate_qps`` (nominal), ``offered_qps``
+    (realized arrivals over the window), ``achieved_qps``, ``p50_ms``,
+    ``p99_ms``, ``p999_ms``, ``shed``, ``util``.
+    """
+    result = ExperimentResult(
+        experiment_id="E15 (extension)",
+        title="Serving saturation: offered rate x achieved throughput x latency",
+        parameters={
+            "arrivals": arrivals,
+            "duration_ms": duration_ms,
+            "scale": scale,
+            "selectivity": selectivity,
+            "seed": seed,
+            "processors": processors,
+            "max_inflight": max_inflight,
+            "queue_limit": queue_limit,
+            "policy": policy,
+        },
+    )
+    grid = [(machine, rate) for machine in machines for rate in rates]
+    points = [
+        dict(
+            machine=machine,
+            rate=rate,
+            arrivals=arrivals,
+            duration_ms=duration_ms,
+            seed=seed,
+            scale=scale,
+            b_domain=b_domain,
+            selectivity=selectivity,
+            page_bytes=page_bytes,
+            processors=processors,
+            max_inflight=max_inflight,
+            queue_limit=queue_limit,
+            policy=policy,
+        )
+        for machine, rate in grid
+    ]
+    cells = map_points(_point, points, workers=workers)
+    for (machine, rate), slo in zip(grid, cells):
+        latency = slo["latency"]
+        result.rows.append(
+            {
+                "machine": machine,
+                "rate_qps": rate,
+                "offered_qps": slo["offered_qps"],
+                "achieved_qps": slo["achieved_qps"],
+                "p50_ms": latency["p50_ms"],
+                "p99_ms": latency["p99_ms"],
+                "p999_ms": latency["p999_ms"],
+                "shed": slo["admission"]["shed"],
+                "util": slo["utilization"],
+            }
+        )
+    return result
+
+
+def main() -> None:  # pragma: no cover - manual entry point
+    print(run().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -102,14 +102,26 @@ class LockManager:
         return True
 
     def release(self, query_name: str) -> None:
-        """Drop every lock the query holds."""
+        """Drop every lock the query holds.
+
+        Releasing a query that holds nothing raises — double-release is
+        how an admission/retry bug would corrupt the lock table silently
+        (the serving mode's retry path makes this a live hazard).  An
+        owner whose per-relation entries have gone missing means the
+        table itself is corrupt, which also raises.
+        """
         request = self._owners.pop(query_name, None)
         if request is None:
-            raise ConcurrencyError(f"query {query_name!r} holds no locks")
+            raise ConcurrencyError(
+                f"query {query_name!r} holds no locks (double release?)"
+            )
         for relation in sorted(request.relations):
             held = self._held.get(relation)
-            if held is None:
-                continue
+            if held is None or query_name not in held.holders:
+                raise ConcurrencyError(
+                    f"lock table corrupt: {query_name!r} owns {relation!r} "
+                    f"but the relation's holder entry is missing"
+                )
             held.holders.discard(query_name)
             if not held.holders:
                 del self._held[relation]

@@ -43,7 +43,7 @@ from repro.ring.packets import (
 )
 from repro.ring.processor import InstructionProcessor
 from repro.sim.engine import Simulator
-from repro.sim.resources import Resource
+from repro.sim.resources import Resource, checked_utilization
 
 #: Destination id of the master controller / host.
 MC_ID = 0
@@ -151,6 +151,13 @@ class RingMachine:
         #: IC failovers taken so far, per query name (bounded by the
         #: plan's ``max_failovers``).
         self._failovers: Dict[str, int] = {}
+        #: Serving hook: called as ``(query_name, completed_at_ms,
+        #: result_rows)`` the moment a query's root finalizes —
+        #: :mod:`repro.serve` uses it to drive admission and latency capture.
+        self.on_query_complete: Optional[Callable[[str, float, int], None]] = None
+        #: Serving runs complete thousands of queries; per-query gauges
+        #: would bloat the metrics registry, so serve mode turns them off.
+        self.publish_per_query_metrics = True
 
     # ------------------------------------------------------------------ host API
 
@@ -310,6 +317,17 @@ class RingMachine:
         """Execute all submitted queries to completion."""
         if not self._runs:
             raise MachineError("no queries submitted")
+        return self.run_service()
+
+    def run_service(self) -> RingReport:
+        """Drive the machine until the event heap drains, then report.
+
+        Unlike :meth:`run` this does not require queries up front: a
+        serving layer schedules arrival events that call :meth:`submit`
+        mid-run.  Every submitted query must still finish before the heap
+        drains (the serve layer guarantees quiescence by draining its
+        admission queue before the horizon closes).
+        """
         self._arm_faults()
         self.sim.run(max_events=self.max_events)
         unfinished = [r.tree.name for r in self._runs if r.completed_at is None]
@@ -319,8 +337,8 @@ class RingMachine:
         self.sim.finalize_faults()
         elapsed = self.sim.now
         busy = sum(ip.busy_ms for ip in self.ips)
-        util = busy / (elapsed * len(self.ips)) if elapsed > 0 else 0.0
-        self._publish_metrics(elapsed, min(1.0, util))
+        util = checked_utilization(self.sim, busy, elapsed, len(self.ips), "ring.ips")
+        self._publish_metrics(elapsed, util)
         return RingReport(
             processors=len(self.ips),
             controllers=self.total_ics,
@@ -334,7 +352,7 @@ class RingMachine:
             outer_ring_utilization=self.outer_ring.utilization(elapsed),
             broadcasts=self.outer_ring.broadcasts,
             traffic=self.meter.snapshot(),
-            ip_utilization=min(1.0, util),
+            ip_utilization=util,
             events_processed=self.sim.events_processed,
             queries_admitted=self.mc.queries_admitted,
         )
@@ -373,6 +391,8 @@ class RingMachine:
             )
         for level, nbytes in self.meter.snapshot().items():
             metrics.set_gauge("traffic.bytes", nbytes, machine="ring", level=level, run=rid)
+        if not self.publish_per_query_metrics:
+            return
         for run in self._runs:
             if run.elapsed_ms is not None:
                 metrics.set_gauge(
@@ -758,6 +778,8 @@ class RingMachine:
                     )
                 break
         self.mc.query_finished(tree)
+        if self.on_query_complete is not None:
+            self.on_query_complete(tree.name, self.sim.now, len(rows))
 
 
 def run_ring_benchmark(

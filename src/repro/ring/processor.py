@@ -20,7 +20,8 @@ paper's, field for field:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+import itertools
+from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.errors import MachineError
 from repro.direct.exec_model import join_pages
@@ -49,6 +50,13 @@ class InstructionProcessor:
         #: release or failover abort), so in-flight work charges from an
         #: earlier assignment can never act on a later one.
         self._epoch = 0
+        #: In-flight work: charge id -> (start time, service time).  busy_ms
+        #: is credited when a charge completes (or is settled pro-rata on
+        #: abort/fail), never at schedule time — crediting up front would
+        #: double-count the interval when a failover evaporates the work and
+        #: the re-granted IP charges again over the same simulated span.
+        self._inflight_charges: Dict[int, Tuple[float, float]] = {}
+        self._charge_ids = itertools.count()
 
         # Result buffer (persists across packets of one assignment).
         self._result_rows: List[Row] = []
@@ -84,6 +92,7 @@ class InstructionProcessor:
         """Return to the MC pool (the IC has sent RELEASE_IP)."""
         if self._result_rows:
             raise MachineError(f"IP{self.ip_id} released with unflushed result rows")
+        self._settle_inflight_charges()
         self._epoch += 1
         self.owner = None
         self._result_schema = None
@@ -97,6 +106,7 @@ class InstructionProcessor:
         charge behind the epoch bump, and returns to pool eligibility so
         the MC can grant it to the restarted query's new ICs.
         """
+        self._settle_inflight_charges()
         self._epoch += 1
         self.busy = False
         self.owner = None
@@ -312,8 +322,9 @@ class InstructionProcessor:
         return self.owner
 
     def _charge(self, delay: float, then: Callable[[], None], what: str = "work") -> None:
-        self.busy_ms += delay
         sim = self.machine.sim
+        charge_id = next(self._charge_ids)
+        self._inflight_charges[charge_id] = (sim.now, delay)
         if sim.tracer.enabled:
             owner = f"IC{self.owner.ic_id}" if self.owner else "pool"
             sim.tracer.span(
@@ -325,15 +336,35 @@ class InstructionProcessor:
         epoch = self._epoch
 
         def guarded() -> None:
+            # Pop before the epoch check: a settled charge (abort/fail)
+            # already credited its elapsed portion and must not re-credit.
+            charge = self._inflight_charges.pop(charge_id, None)
             if self.failed or self._epoch != epoch:
                 return  # fail-stop or aborted assignment: work evaporates
+            if charge is not None:
+                self.busy_ms += charge[1]
             then()
 
         self.machine.sim.schedule(delay, guarded, label=f"ip{self.ip_id}")
 
+    def _settle_inflight_charges(self) -> None:
+        """Credit the elapsed portion of every in-flight charge and drop it.
+
+        Called when the assignment ends abnormally (fail-stop or failover
+        abort): the IP really was busy from each charge's start until now,
+        but the remainder of the service time never happens — crediting the
+        full delay would make ``sum(busy_ms) > elapsed * n_ips`` once the
+        IP is re-granted and charged again over the same interval.
+        """
+        now = self.machine.sim.now
+        for start, delay in self._inflight_charges.values():
+            self.busy_ms += min(max(0.0, now - start), delay)
+        self._inflight_charges = {}
+
     def fail(self) -> None:
         """Disable this IP (fail-stop).  Anything buffered is lost; the
         owning IC's watchdog will detect the silence and re-dispatch."""
+        self._settle_inflight_charges()
         self.failed = True
         self.busy = False
         self._result_rows = []

@@ -1,0 +1,44 @@
+"""Continuous multi-user serving mode (ROADMAP item 1).
+
+Everything the paper's experiments measure is a closed batch of ten
+queries; this package measures the steady state instead — an open-loop
+arrival process (Poisson, bursty, or diurnal) feeds a running machine
+with zipf-skewed queries from thousands of simulated user sessions,
+under admission control, and the run reports p50/p99/p999 latency and a
+saturation point (offered rate x achieved throughput).
+
+Open-loop means arrival times are fixed in advance and do not slow down
+when the machine falls behind — the standard way to avoid
+coordinated-omission bias when measuring tail latency.
+
+Same seed, same config → byte-identical SLO report.
+"""
+
+from repro.serve.admission import ADMIT, QUEUE, SHED, AdmissionQueue
+from repro.serve.arrivals import (
+    ArrivalProcess,
+    BurstyArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+    make_arrivals,
+)
+from repro.serve.service import ServeConfig, serve
+from repro.serve.sessions import SessionWorkload
+from repro.serve.slo import LatencyRecorder, percentile
+
+__all__ = [
+    "ADMIT",
+    "QUEUE",
+    "SHED",
+    "AdmissionQueue",
+    "ArrivalProcess",
+    "BurstyArrivals",
+    "DiurnalArrivals",
+    "PoissonArrivals",
+    "make_arrivals",
+    "ServeConfig",
+    "serve",
+    "SessionWorkload",
+    "LatencyRecorder",
+    "percentile",
+]

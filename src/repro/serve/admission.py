@@ -1,0 +1,109 @@
+"""Admission control for the serving loop.
+
+Bounded in-flight queries with a bounded wait queue and shed-on-overflow:
+
+* up to ``max_inflight`` queries run concurrently;
+* the next ``queue_limit`` arrivals wait (FIFO, or shortest-job-first on
+  the caller-supplied priority);
+* everything beyond that is shed immediately — in an open-loop system an
+  unbounded queue under overload grows without limit and every latency
+  number becomes a measurement of the queue, not the machine.
+
+The queue is a binary heap on ``(priority, seq)``; FIFO mode uses the
+arrival sequence number as the priority, so both policies share one
+deterministic code path (ties broken by arrival order, never by hash).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, List, Optional, Tuple
+
+from repro.errors import WorkloadError
+
+ADMIT = "admit"
+QUEUE = "queue"
+SHED = "shed"
+
+_POLICIES = ("fifo", "sjf")
+
+
+class AdmissionQueue:
+    """Bounded-concurrency admission with FIFO/SJF queueing and shedding."""
+
+    def __init__(self, max_inflight: int, queue_limit: int, policy: str = "fifo"):
+        if max_inflight < 1:
+            raise WorkloadError(f"max_inflight must be >= 1, got {max_inflight}")
+        if queue_limit < 0:
+            raise WorkloadError(f"queue_limit must be >= 0, got {queue_limit}")
+        if policy not in _POLICIES:
+            raise WorkloadError(f"unknown admission policy {policy!r}; use {_POLICIES}")
+        self.max_inflight = max_inflight
+        self.queue_limit = queue_limit
+        self.policy = policy
+        self.inflight = 0
+        self._heap: List[Tuple[float, int, Any]] = []
+        self._seq = itertools.count()
+        # Counters for the SLO report.
+        self.arrived = 0
+        self.admitted = 0  # straight to execution
+        self.queued = 0  # waited first (admitted later via complete())
+        self.shed = 0
+        self.peak_queue = 0
+        self.peak_inflight = 0
+
+    def offer(self, item: Any, priority: float = 0.0) -> str:
+        """Present one arrival; returns ``ADMIT``, ``QUEUE``, or ``SHED``.
+
+        On ``ADMIT`` the caller must start the item now (the in-flight
+        slot is taken).  On ``QUEUE`` the item is held until a
+        :meth:`complete` call hands it back.  On ``SHED`` it is dropped.
+        """
+        self.arrived += 1
+        if self.inflight < self.max_inflight:
+            self.inflight += 1
+            self.peak_inflight = max(self.peak_inflight, self.inflight)
+            self.admitted += 1
+            return ADMIT
+        if len(self._heap) < self.queue_limit:
+            seq = next(self._seq)
+            key = priority if self.policy == "sjf" else float(seq)
+            heapq.heappush(self._heap, (key, seq, item))
+            self.peak_queue = max(self.peak_queue, len(self._heap))
+            self.queued += 1
+            return QUEUE
+        self.shed += 1
+        return SHED
+
+    def complete(self) -> Optional[Any]:
+        """One in-flight query finished.
+
+        Returns the next queued item — which the caller must start
+        immediately, as its slot transfers without ever being freed — or
+        ``None``, in which case the slot is released.
+        """
+        if self.inflight <= 0:
+            raise WorkloadError("complete() without a matching admitted query")
+        if self._heap:
+            _, _, item = heapq.heappop(self._heap)
+            return item
+        self.inflight -= 1
+        return None
+
+    @property
+    def depth(self) -> int:
+        """Arrivals currently waiting."""
+        return len(self._heap)
+
+    def snapshot(self) -> dict:
+        """Counter snapshot for the SLO report (stable key order)."""
+        return {
+            "admitted_immediately": self.admitted,
+            "arrived": self.arrived,
+            "peak_inflight": self.peak_inflight,
+            "peak_queue": self.peak_queue,
+            "policy": self.policy,
+            "queued": self.queued,
+            "shed": self.shed,
+        }

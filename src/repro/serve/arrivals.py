@@ -1,0 +1,162 @@
+"""Seeded open-loop arrival processes.
+
+Each process turns ``(horizon_ms, rng)`` into a strictly ordered list of
+arrival times in ``[0, horizon_ms)``.  Times are fixed before the run
+starts (open loop): a machine that falls behind does not slow the
+arrivals down, so queueing delay shows up in the measured latency
+instead of being silently absorbed (coordinated omission).
+
+All draws come from the caller-supplied :class:`random.Random`, so a
+given ``(process, rate, horizon, seed)`` always yields the same schedule.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List
+
+from repro.errors import WorkloadError
+
+
+class ArrivalProcess:
+    """Base class: a named, seed-deterministic arrival-time generator."""
+
+    name = "abstract"
+
+    def times(self, horizon_ms: float, rng: random.Random) -> List[float]:
+        """Arrival times in ``[0, horizon_ms)``, strictly increasing."""
+        raise NotImplementedError
+
+
+def _check_rate(rate_qps: float) -> float:
+    if rate_qps <= 0:
+        raise WorkloadError(f"arrival rate must be positive, got {rate_qps}")
+    return rate_qps / 1000.0  # per-ms rate
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Homogeneous Poisson arrivals at ``rate_qps`` queries/second."""
+
+    name = "poisson"
+
+    def __init__(self, rate_qps: float):
+        self.rate_per_ms = _check_rate(rate_qps)
+        self.rate_qps = rate_qps
+
+    def times(self, horizon_ms: float, rng: random.Random) -> List[float]:
+        out: List[float] = []
+        t = rng.expovariate(self.rate_per_ms)
+        while t < horizon_ms:
+            out.append(t)
+            t += rng.expovariate(self.rate_per_ms)
+        return out
+
+
+class BurstyArrivals(ArrivalProcess):
+    """MMPP-style on/off arrivals: bursts at a high rate, lulls at a low one.
+
+    The process alternates exponentially distributed ON phases (mean
+    ``on_ms``) and OFF phases (mean ``off_ms``).  The OFF rate is
+    ``off_level * rate_qps``; the ON rate is solved so the long-run mean
+    rate is exactly ``rate_qps``, which keeps bursty and Poisson runs
+    comparable at the same nominal offered load.
+    """
+
+    name = "bursty"
+
+    def __init__(
+        self,
+        rate_qps: float,
+        on_ms: float = 200.0,
+        off_ms: float = 800.0,
+        off_level: float = 0.2,
+    ):
+        if on_ms <= 0 or off_ms <= 0:
+            raise WorkloadError("burst phase means must be positive")
+        if not 0.0 <= off_level < 1.0:
+            raise WorkloadError(f"off_level must be in [0, 1), got {off_level}")
+        mean_per_ms = _check_rate(rate_qps)
+        self.rate_qps = rate_qps
+        self.on_ms = on_ms
+        self.off_ms = off_ms
+        self.off_rate = mean_per_ms * off_level
+        # duty-cycle solve: mean = (on*r_on + off*r_off) / (on + off)
+        self.on_rate = (mean_per_ms * (on_ms + off_ms) - self.off_rate * off_ms) / on_ms
+        if self.on_rate <= 0:
+            raise WorkloadError("bursty parameters yield a non-positive burst rate")
+
+    def times(self, horizon_ms: float, rng: random.Random) -> List[float]:
+        out: List[float] = []
+        t = 0.0
+        on = True  # start inside a burst so short horizons still see load
+        while t < horizon_ms:
+            phase = rng.expovariate(1.0 / (self.on_ms if on else self.off_ms))
+            end = min(t + phase, horizon_ms)
+            rate = self.on_rate if on else self.off_rate
+            if rate > 0:
+                at = t + rng.expovariate(rate)
+                while at < end:
+                    out.append(at)
+                    at += rng.expovariate(rate)
+            t = end
+            on = not on
+        return out
+
+
+class DiurnalArrivals(ArrivalProcess):
+    """Sinusoidal rate profile (a compressed day) via Poisson thinning.
+
+    Instantaneous rate is ``rate_qps * (1 + depth * sin(2*pi*t/period))``
+    — mean ``rate_qps``, peak ``rate_qps * (1 + depth)``.  Candidates are
+    drawn at the peak rate and accepted with probability rate(t)/peak
+    (Lewis-Shedler thinning), which stays exact for any profile.
+    """
+
+    name = "diurnal"
+
+    def __init__(self, rate_qps: float, period_ms: float = 10_000.0, depth: float = 0.8):
+        if period_ms <= 0:
+            raise WorkloadError(f"period_ms must be positive, got {period_ms}")
+        if not 0.0 <= depth < 1.0:
+            raise WorkloadError(f"depth must be in [0, 1), got {depth}")
+        self.mean_per_ms = _check_rate(rate_qps)
+        self.rate_qps = rate_qps
+        self.period_ms = period_ms
+        self.depth = depth
+
+    def _rate_at(self, t: float) -> float:
+        return self.mean_per_ms * (
+            1.0 + self.depth * math.sin(2.0 * math.pi * t / self.period_ms)
+        )
+
+    def times(self, horizon_ms: float, rng: random.Random) -> List[float]:
+        peak = self.mean_per_ms * (1.0 + self.depth)
+        out: List[float] = []
+        t = rng.expovariate(peak)
+        while t < horizon_ms:
+            if rng.random() <= self._rate_at(t) / peak:
+                out.append(t)
+            t += rng.expovariate(peak)
+        return out
+
+
+def make_arrivals(
+    kind: str,
+    rate_qps: float,
+    on_ms: float = 200.0,
+    off_ms: float = 800.0,
+    off_level: float = 0.2,
+    period_ms: float = 10_000.0,
+    depth: float = 0.8,
+) -> ArrivalProcess:
+    """Build an arrival process by name (``poisson``/``bursty``/``diurnal``)."""
+    if kind == "poisson":
+        return PoissonArrivals(rate_qps)
+    if kind == "bursty":
+        return BurstyArrivals(rate_qps, on_ms=on_ms, off_ms=off_ms, off_level=off_level)
+    if kind == "diurnal":
+        return DiurnalArrivals(rate_qps, period_ms=period_ms, depth=depth)
+    raise WorkloadError(
+        f"unknown arrival process {kind!r}; use poisson, bursty, or diurnal"
+    )

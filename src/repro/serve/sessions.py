@@ -1,0 +1,120 @@
+"""Per-session query generation with zipf-skewed relation popularity.
+
+A serving run simulates many user sessions issuing short ad-hoc queries
+against the 15-relation benchmark database.  Relation choice is
+Zipf-skewed by size rank (the biggest relations are also the hottest,
+which is the stressful case for the shared cache), and the shape mix
+leans read-heavy and simple — mostly selections, some joins — unlike the
+batch benchmark's deep join chains.
+
+Every query tree gets a unique name (``s00042q7``: session 42, its 8th
+query) so lock tables, latency maps, and metrics never collide.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import WorkloadError
+from repro.query.builder import NodeBuilder, scan
+from repro.query.cost import CostModel
+from repro.query.tree import QueryTree
+from repro.relational.predicate import attr
+from repro.workload.generator import BenchmarkDatabase
+from repro.workload.zipf import ZipfGenerator
+
+#: Default shape mix: (restrict-only, one join, two-join chain).
+DEFAULT_MIX: Tuple[float, float, float] = (0.6, 0.3, 0.1)
+
+
+class SessionWorkload:
+    """Draws session-attributed query trees from a benchmark database."""
+
+    def __init__(
+        self,
+        db: BenchmarkDatabase,
+        selectivity: float = 0.1,
+        zipf_s: float = 0.8,
+        mix: Sequence[float] = DEFAULT_MIX,
+        users: int = 1000,
+    ):
+        if not 0.0 < selectivity <= 1.0:
+            raise WorkloadError(f"selectivity must be in (0, 1], got {selectivity}")
+        if len(mix) != 3 or any(w < 0 for w in mix) or sum(mix) <= 0:
+            raise WorkloadError(f"mix must be 3 nonnegative weights, got {mix!r}")
+        if users < 1:
+            raise WorkloadError(f"need at least one user session, got {users}")
+        self.db = db
+        self.selectivity = selectivity
+        self.users = users
+        self._relations = list(db.relation_names)  # size order: rank 1 = biggest
+        self._rel_zipf = ZipfGenerator(len(self._relations), zipf_s)
+        self._user_zipf = ZipfGenerator(users, zipf_s)
+        total = float(sum(mix))
+        self._mix_cdf = []
+        acc = 0.0
+        for w in mix:
+            acc += w / total
+            self._mix_cdf.append(acc)
+        self._cost = CostModel(db.catalog, page_bytes=db.page_bytes)
+        self._per_session_seq = [0] * (users + 1)
+        self._queries_built = 0
+
+    # ------------------------------------------------------------------ draws
+
+    def _draw_relation(self, rng: random.Random, exclude: List[str]) -> str:
+        """One zipf-ranked relation name, avoiding ``exclude`` (self-joins
+        of the same base relation would double-lock it)."""
+        for _ in range(32):
+            name = self._relations[self._rel_zipf.draw(rng) - 1]
+            if name not in exclude:
+                return name
+        # Pathological skew: fall back to the first non-excluded relation.
+        for name in self._relations:
+            if name not in exclude:
+                return name
+        raise WorkloadError("no relation available outside the exclusion set")
+
+    def _restricted(self, relation: str, rng: random.Random) -> NodeBuilder:
+        rows = self.db.catalog.get(relation).cardinality
+        # Jitter the cutoff ±50% around the configured selectivity so
+        # repeated queries are not byte-identical work items.
+        sel = self.selectivity * (0.5 + rng.random())
+        cutoff = max(1, int(round(min(1.0, sel) * rows)))
+        return scan(relation).restrict(attr("key") < cutoff)
+
+    def next_query(self, rng: random.Random) -> Tuple[QueryTree, int, float]:
+        """Draw ``(tree, session_id, cost_hint_pages)`` for one arrival.
+
+        The cost hint is the estimated root output size in pages — the
+        shortest-job-first admission policy orders on it.
+        """
+        session = self._user_zipf.draw(rng)
+        self._per_session_seq[session] += 1
+        self._queries_built += 1
+        name = f"s{session:05d}q{self._per_session_seq[session]}"
+
+        u = rng.random()
+        if u <= self._mix_cdf[0]:
+            joins = 0
+        elif u <= self._mix_cdf[1]:
+            joins = 1
+        else:
+            joins = 2
+        chosen: List[str] = []
+        for _ in range(joins + 1):
+            chosen.append(self._draw_relation(rng, chosen))
+
+        current = self._restricted(chosen[0], rng)
+        for rel in chosen[1:]:
+            current = current.equijoin(self._restricted(rel, rng), "b", "b")
+        tree = current.tree(name)
+        tree.validate(self.db.catalog)
+        estimate = self._cost.estimate_root(tree)
+        return tree, session, float(estimate.pages)
+
+    @property
+    def queries_built(self) -> int:
+        """Total trees drawn so far."""
+        return self._queries_built

@@ -1,0 +1,102 @@
+"""Latency capture and the byte-stable SLO report.
+
+Percentiles use the nearest-rank definition (ceil(p/100 * n), 1-indexed)
+— no interpolation, so a percentile is always a latency that actually
+happened, and the report is reproducible to the byte across platforms.
+
+Nothing here reads a wall clock (determinism linter rule R002): every
+timestamp comes from the simulated clock, and the report is a pure
+function of the run.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+
+def percentile(sorted_values: Sequence[float], p: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted sequence.
+
+    ``p`` is in (0, 100].  Empty input returns 0.0 (a serving window with
+    no completions has no tail to report).
+    """
+    if not sorted_values:
+        return 0.0
+    if not 0.0 < p <= 100.0:
+        raise ValueError(f"percentile must be in (0, 100], got {p}")
+    rank = max(1, math.ceil(p / 100.0 * len(sorted_values)))
+    return sorted_values[rank - 1]
+
+
+class LatencyRecorder:
+    """Accumulates per-query latencies and summarizes them."""
+
+    def __init__(self):
+        self._values: List[float] = []
+
+    def record(self, latency_ms: float) -> None:
+        """One completed query's offered-to-completion latency."""
+        if latency_ms < 0:
+            raise ValueError(f"negative latency {latency_ms}")
+        self._values.append(latency_ms)
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    def summary(self) -> Dict[str, float]:
+        """p50/p90/p99/p999, mean, and max — all rounded for byte stability."""
+        values = sorted(self._values)
+        mean = sum(values) / len(values) if values else 0.0
+        return {
+            "count": len(values),
+            "max_ms": _stable(values[-1] if values else 0.0),
+            "mean_ms": _stable(mean),
+            "p50_ms": _stable(percentile(values, 50.0)),
+            "p90_ms": _stable(percentile(values, 90.0)),
+            "p99_ms": _stable(percentile(values, 99.0)),
+            "p999_ms": _stable(percentile(values, 99.9)),
+        }
+
+
+def _stable(value: float) -> float:
+    """Round to 6 decimals: enough resolution for ms-scale latencies,
+    and the JSON rendering stops depending on float-repr edge cases."""
+    return round(value, 6)
+
+
+def build_report(
+    config: Dict[str, object],
+    duration_ms: float,
+    elapsed_ms: float,
+    latency: LatencyRecorder,
+    admission: Dict[str, object],
+    completed: int,
+    utilization: Optional[float],
+    events_processed: int,
+) -> Dict[str, object]:
+    """Assemble the serve run's SLO report (schema ``repro-serve/v1``).
+
+    Offered rate is measured over the arrival window ``duration_ms``;
+    achieved rate over the full ``elapsed_ms`` (which includes the drain
+    after the window closes).  Key order is irrelevant — serialize with
+    ``sort_keys=True`` — but all floats are pre-rounded so two runs of
+    the same seed produce byte-identical JSON.
+    """
+    duration_s = duration_ms / 1000.0 if duration_ms > 0 else 0.0
+    elapsed_s = elapsed_ms / 1000.0 if elapsed_ms > 0 else 0.0
+    return {
+        "schema": "repro-serve/v1",
+        "config": config,
+        "elapsed_ms": _stable(elapsed_ms),
+        "offered_qps": _stable(
+            admission["arrived"] / duration_s if duration_s else 0.0
+        ),
+        "achieved_qps": _stable(completed / elapsed_s if elapsed_s else 0.0),
+        "completed": completed,
+        "latency": latency.summary(),
+        "admission": admission,
+        "utilization": _stable(utilization) if utilization is not None else None,
+        "events_processed": events_processed,
+    }

@@ -90,6 +90,37 @@ class ResourceStats:
         return self.wait_time / self.jobs_completed
 
 
+#: Tolerance for float-summation dust when checking busy time against
+#: wall-clock capacity.  Anything beyond this is real over-accounting.
+_UTILIZATION_SLOP = 1e-9
+
+
+def checked_utilization(
+    sim: Simulator, busy_ms: float, elapsed_ms: float, capacity: int, what: str
+) -> float:
+    """Busy-time utilization with an over-accounting oracle, not a clamp.
+
+    ``busy_ms > elapsed_ms * capacity`` means some interval of service was
+    credited twice (the failover double-count this guards against), so it
+    is reported as a sanitizer failure — or raised directly when sanitize
+    mode is off — instead of being silently truncated to 1.0.  Only
+    float-summation dust inside ``_UTILIZATION_SLOP`` is shaved.
+    """
+    if elapsed_ms <= 0 or capacity <= 0:
+        return 0.0
+    util = busy_ms / (elapsed_ms * capacity)
+    if util > 1.0 + _UTILIZATION_SLOP:
+        message = (
+            f"{what}: busy time {busy_ms:.6f} ms exceeds wall-clock capacity "
+            f"{elapsed_ms:.6f} ms x {capacity} servers (utilization {util:.9f}); "
+            f"some service interval was credited more than once"
+        )
+        if sim.sanitizer is not None:
+            sim.sanitizer.fail(message)
+        raise SimulationError(message)
+    return min(util, 1.0)
+
+
 class Resource:
     """A ``capacity``-server FIFO queueing resource.
 

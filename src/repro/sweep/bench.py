@@ -71,6 +71,7 @@ def bench_cases() -> List[BenchCase]:
         figure_4_2,
         granularity_tuple,
         ring_vs_direct,
+        serving,
     )
 
     return [
@@ -108,6 +109,20 @@ def bench_cases() -> List[BenchCase]:
             quick_kwargs=dict(processors=(2, 8), scale=0.05),
             full_kwargs=dict(processors=(2, 8, 32), scale=0.1),
             points=_grid("processors", 3),  # x granularities
+        ),
+        BenchCase(
+            "serving",
+            serving.run,
+            quick_kwargs=dict(
+                machines=("ring",), rates=(20.0, 60.0), duration_ms=1500.0, scale=0.05
+            ),
+            full_kwargs=dict(
+                machines=("ring", "direct"),
+                rates=(10.0, 20.0, 40.0, 80.0),
+                duration_ms=4000.0,
+                scale=0.05,
+            ),
+            points=lambda kwargs: len(kwargs["machines"]) * len(kwargs["rates"]),
         ),
     ]
 
