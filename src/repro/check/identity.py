@@ -1,0 +1,139 @@
+"""Byte-identity gates for runtime configuration axes.
+
+The repo's oracle is the rendered experiment report: every experiment is
+deterministic, so any *performance-only* configuration axis must produce
+byte-identical renders.  This module runs each experiment once under the
+default configuration and once under a variant axis, and reports any
+experiment whose output changed:
+
+* ``scheduler`` — the calendar-queue future-event list
+  (``Simulator(scheduler="calendar")``) against the default tie-batched
+  heap.  Must hold for **every** experiment: the event list only reorders
+  heap traffic, never events.
+* ``fusion`` — operator-loop fusion (:mod:`repro.sim.fusion`) against
+  unfused chains.  Must also hold for every experiment: fused chains land
+  on bit-identical timestamps and event counts, and the flag disables
+  itself in the modes where the equivalence cannot hold (armed fault
+  plans, serving horizons) — so E13/E14/E15 pass by construction.
+
+Exposed through ``repro check --scheduler-identity`` /
+``--fusion-identity`` and exercised (on a subset) by the test suite.
+
+Configurations are the experiments' quick grids — small enough for CI,
+large enough to cross every protocol path (joins, broadcasts, failover,
+admission).
+"""
+
+from __future__ import annotations
+
+import importlib
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import CheckError
+
+#: experiment name -> (module, quick kwargs).  Names match ``repro run``.
+QUICK_CONFIGS: Dict[str, Tuple[str, Dict]] = {
+    "figure_3_1": (
+        "repro.experiments.figure_3_1",
+        dict(processors=(2, 4), scale=0.05, selectivity=0.3),
+    ),
+    "section_3_3": ("repro.experiments.section_3_3", {}),
+    "figure_4_2": (
+        "repro.experiments.figure_4_2",
+        dict(ips=(2, 4), scale=0.05, selectivity=0.3, controllers=12),
+    ),
+    "packets": ("repro.experiments.packets_demo", {}),
+    "dataflow": ("repro.experiments.dataflow_machine", dict(processors=(2, 8), scale=0.05)),
+    "ring_sizing": (
+        "repro.experiments.ring_sizing_exp",
+        dict(ips=(2, 4), scale=0.05, selectivity=0.3),
+    ),
+    "tuple_granularity": (
+        "repro.experiments.granularity_tuple",
+        dict(processors=(3,), scale=0.05, selectivity=0.3),
+    ),
+    "ring_vs_direct": (
+        "repro.experiments.ring_vs_direct",
+        dict(ips=(3,), scale=0.05, selectivity=0.3, controllers=12),
+    ),
+    "project": ("repro.experiments.project_operator", dict(processors=(1, 4), rows=4000)),
+    "fault_tolerance": (
+        "repro.experiments.fault_tolerance",
+        dict(processors=6, kill_counts=(0, 2), scale=0.05),
+    ),
+    "chaos": (
+        "repro.experiments.chaos_sweep",
+        dict(machines=("ring", "direct"), rates=(0.0, 0.05), scale=0.02, processors=6),
+    ),
+    "serving": (
+        "repro.experiments.serving",
+        dict(machines=("ring",), rates=(20.0, 60.0), duration_ms=1500.0, scale=0.05),
+    ),
+}
+
+AXES = ("scheduler", "fusion")
+
+
+def render_experiment(name: str) -> str:
+    """One experiment's rendered report under its quick configuration."""
+    try:
+        module_name, kwargs = QUICK_CONFIGS[name]
+    except KeyError:
+        raise CheckError(
+            f"no identity configuration for experiment {name!r} "
+            f"(known: {', '.join(sorted(QUICK_CONFIGS))})"
+        ) from None
+    module = importlib.import_module(module_name)
+    result = module.run(**dict(kwargs))
+    return str(result.render())
+
+
+@contextmanager
+def _axis_context(axis: str) -> Iterator[None]:
+    """The ambient context that switches one axis on."""
+    if axis == "scheduler":
+        from repro.sim.engine import scheduling
+
+        with scheduling("calendar"):
+            yield
+    elif axis == "fusion":
+        from repro.sim.fusion import fusing
+
+        with fusing(True):
+            yield
+    else:
+        raise CheckError(f"unknown identity axis {axis!r} (choose from {AXES})")
+
+
+def identity_mismatches(
+    axis: str, experiments: Optional[Sequence[str]] = None
+) -> List[str]:
+    """Run the identity gate for one axis; returns mismatch descriptions.
+
+    Each experiment runs twice — default configuration, then under the
+    axis — and the rendered reports are compared byte for byte.  An empty
+    list means the axis is output-invisible, which is the contract.
+    """
+    names = list(experiments) if experiments else list(QUICK_CONFIGS)
+    mismatches: List[str] = []
+    for name in names:
+        baseline = render_experiment(name)
+        with _axis_context(axis):
+            variant = render_experiment(name)
+        if baseline != variant:
+            first_diff = next(
+                (
+                    i
+                    for i, (a, b) in enumerate(
+                        zip(baseline.splitlines(), variant.splitlines())
+                    )
+                    if a != b
+                ),
+                min(len(baseline.splitlines()), len(variant.splitlines())),
+            )
+            mismatches.append(
+                f"{name}: {axis} output diverges from baseline "
+                f"(first differing line {first_diff + 1})"
+            )
+    return mismatches

@@ -6,7 +6,9 @@ Commands:
 * ``run <experiment> [...]``  — regenerate one paper artifact (table + chart)
 * ``trace <experiment>``      — run instrumented; write a Chrome/Perfetto trace
 * ``metrics <experiment>``    — run instrumented; emit a JSON metrics report
-* ``bench``                   — time the sweep experiments; write BENCH_sweeps.json
+* ``bench``                   — time the sweep experiments; append an entry
+                                to the BENCH_sweeps.json perf trajectory;
+                                ``--gate`` fails on >20% events/sec drops
 * ``bench-info``              — how to run the benchmark suite
 * ``workload``                — describe the Section 3.2 benchmark database
 * ``faults [...]``            — run the benchmark under a seeded fault plan
@@ -16,11 +18,15 @@ Commands:
                                 arrivals into a running machine; prints a
                                 byte-stable JSON SLO report (p50/p99/p999)
 * ``check [paths...]``        — determinism lint (R001-R005); ``--self-test``
-                                proves each rule still fires
+                                proves each rule still fires;
+                                ``--scheduler-identity``/``--fusion-identity``
+                                prove the perf axes change no output bytes
 
 ``run``/``trace``/``metrics`` accept ``--sanitize`` to enable the runtime
 simulation sanitizer (event-order, delay, lease, cache, and ring
-invariants; violations raise ``SanitizerError``).
+invariants; violations raise ``SanitizerError``), ``--scheduler calendar``
+to switch the future-event list, and ``--fuse`` to fuse operator charge
+chains — the latter two are perf-only and byte-identical by contract.
 
 Sweep experiments accept ``--workers N`` to fan independent sweep points
 out over N worker processes; results are byte-identical to serial.
@@ -42,6 +48,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import sys
 from typing import Callable, Dict, List, Optional
@@ -118,12 +125,23 @@ def _run_experiment(args):
         return None, 2
     module, _summary = _EXPERIMENTS[args.experiment]
     try:
-        if getattr(args, "sanitize", False):
-            from repro.check import sanitizing
+        # Scheduler and fusion selections export through the environment,
+        # so sweep worker processes inherit them; the sanitizer is
+        # process-local and forces workers=1 in _experiment_kwargs.
+        with contextlib.ExitStack() as stack:
+            if getattr(args, "sanitize", False):
+                from repro.check import sanitizing
 
-            with sanitizing():
-                return module.run(**_experiment_kwargs(args)), 0
-        return module.run(**_experiment_kwargs(args)), 0
+                stack.enter_context(sanitizing())
+            if getattr(args, "scheduler", None):
+                from repro.sim.engine import scheduling
+
+                stack.enter_context(scheduling(args.scheduler))
+            if getattr(args, "fuse", False):
+                from repro.sim.fusion import fusing
+
+                stack.enter_context(fusing(True))
+            return module.run(**_experiment_kwargs(args)), 0
     except TypeError as exc:
         print(f"experiment {args.experiment!r} rejected options: {exc}")
         return None, 2
@@ -198,16 +216,29 @@ def _cmd_bench(args) -> int:
     report = bench.run_bench(
         quick=args.quick, scale=args.scale, workers=args.workers, only=only
     )
-    bench.write_bench(report, args.out)
     totals = report["totals"]
     for entry in report["experiments"]:
         print(
             f"  {entry['experiment']:<20} {entry['wall_s']:>8.2f}s  "
             f"{entry['sim_events']:>10} events  {entry['events_per_sec']:>9} ev/s"
         )
+    if args.gate:
+        previous = bench.load_history(args.out)["entries"]
+        if previous:
+            failures = bench.compare_entries(previous[-1], report)
+            if failures:
+                print(f"\nperf gate FAILED vs last entry in {args.out}:")
+                for failure in failures:
+                    print(f"  {failure}")
+                return 1
+            print(f"\nperf gate OK vs last entry in {args.out}")
+        else:
+            print(f"\nperf gate: no history at {args.out}; nothing to compare")
+    history = bench.append_bench(report, args.out)
     print(
-        f"\nwrote {args.out}: {totals['wall_s']:.2f}s total, "
-        f"{totals['sim_events']} events, {totals['events_per_sec']} ev/s"
+        f"\nappended entry {len(history['entries'])} to {args.out}: "
+        f"{totals['wall_s']:.2f}s total, {totals['sim_events']} events, "
+        f"{totals['events_per_sec']} ev/s"
     )
     return 0
 
@@ -223,6 +254,27 @@ def _cmd_check(args) -> int:
             return 2
         print("self-test OK: every rule fires and suppresses")
         return 0
+    if args.scheduler_identity or args.fusion_identity:
+        from repro.check.identity import identity_mismatches
+
+        experiments = [
+            part for part in (args.experiments or "").split(",") if part
+        ] or None
+        failed = False
+        for axis, wanted in (
+            ("scheduler", args.scheduler_identity),
+            ("fusion", args.fusion_identity),
+        ):
+            if not wanted:
+                continue
+            mismatches = identity_mismatches(axis, experiments)
+            if mismatches:
+                failed = True
+                for mismatch in mismatches:
+                    print(mismatch)
+            else:
+                print(f"{axis} identity OK: byte-identical renders")
+        return 1 if failed else 0
     findings = lint_paths(args.paths)
     print(render_json(findings) if args.as_json else render_text(findings))
     return 1 if findings else 0
@@ -377,6 +429,20 @@ def build_parser() -> argparse.ArgumentParser:
             help="run with the simulation sanitizer enabled (invariant "
             "violations raise SanitizerError); forces serial execution",
         )
+        parser_.add_argument(
+            "--scheduler",
+            choices=["heap", "calendar"],
+            default=None,
+            help="future-event-list implementation (byte-identical output; "
+            "see 'repro check --scheduler-identity')",
+        )
+        parser_.add_argument(
+            "--fuse",
+            action="store_true",
+            help="fuse deterministic operator charge chains into single "
+            "events (byte-identical output; see "
+            "'repro check --fusion-identity')",
+        )
 
     run = sub.add_parser("run", help="run one experiment")
     add_experiment_options(run)
@@ -424,6 +490,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="comma-separated experiment subset (e.g. figure_3_1,sim_core)",
     )
+    bench.add_argument(
+        "--gate",
+        action="store_true",
+        help="fail (exit 1, without appending) when any experiment's "
+        "events/sec drops >20%% below the last trajectory entry",
+    )
 
     check = sub.add_parser(
         "check", help="run the determinism linter over the sources"
@@ -439,6 +511,25 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         dest="self_test",
         help="verify every rule fires on its seeded violation (CI gate)",
+    )
+    check.add_argument(
+        "--scheduler-identity",
+        action="store_true",
+        dest="scheduler_identity",
+        help="verify the calendar-queue scheduler renders every "
+        "experiment byte-identically to the heap (CI gate)",
+    )
+    check.add_argument(
+        "--fusion-identity",
+        action="store_true",
+        dest="fusion_identity",
+        help="verify operator-loop fusion renders every experiment "
+        "byte-identically to unfused chains (CI gate)",
+    )
+    check.add_argument(
+        "--experiments",
+        default=None,
+        help="comma-separated experiment subset for the identity gates",
     )
 
     faults = sub.add_parser(

@@ -27,7 +27,7 @@ from repro import hw
 from repro.errors import MachineError
 from repro.direct.exec_model import ExecModel
 from repro.relational.catalog import Catalog
-from repro.relational.page import Page
+from repro.relational.page import Page, page_capacity
 from repro.relational.relation import Relation
 from repro.relational.schema import Row
 from repro.query.tree import JoinNode, QueryTree
@@ -152,13 +152,13 @@ class DataflowMachine:
         )
 
     def _result_relation(self, program: DataflowProgram) -> Relation:
-        out = Relation(
+        return Relation.from_rows(
             f"{program.tree.name}.result",
             program.root.output_schema,
+            self._results.get(program.tree.name, []),
             page_bytes=self.page_bytes,
+            validated=True,  # result rows came off distributed pages
         )
-        out.insert_many(self._results.get(program.tree.name, []))
-        return out
 
     # ------------------------------------------------------------------ firing loop
 
@@ -166,6 +166,8 @@ class DataflowMachine:
         """Scan the memory section; enqueue every newly enabled firing."""
         for program in self._programs:
             for cell in program.cells:
+                if cell.done:
+                    continue  # can neither fire nor complete again
                 for unit in cell.ready_firings(self.granularity):
                     self._launch(unit)
                 self._check_cell_completion(cell)
@@ -223,11 +225,10 @@ class DataflowMachine:
         """Assemble result rows into pages; distribute completed pages."""
         buffer = self._assemblies[cell.cell_id]
         buffer.extend(rows)
-        capacity = Page(cell.output_schema, self.page_bytes).capacity
+        capacity = page_capacity(cell.output_schema, self.page_bytes)
         while len(buffer) >= capacity:
             page = Page(cell.output_schema, self.page_bytes)
-            for row in buffer[:capacity]:
-                page.append(row)
+            page.extend_unchecked(buffer[:capacity])  # kernel outputs are valid tuples
             del buffer[:capacity]
             self._distribute(cell, page)
 
@@ -235,8 +236,7 @@ class DataflowMachine:
         buffer = self._assemblies[cell.cell_id]
         if buffer:
             page = Page(cell.output_schema, self.page_bytes)
-            for row in buffer:
-                page.append(row)
+            page.extend_unchecked(buffer)  # never overflows: _emit drains full pages
             buffer.clear()
             self._distribute(cell, page, final=True)
 

@@ -15,7 +15,6 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.errors import MachineError
 from repro.relational.catalog import Catalog
-from repro.relational.page import pack_rows_into_pages
 from repro.relational.schema import Schema
 from repro.query.tree import QueryNode, QueryTree, ScanNode
 from repro.dataflow.cell import Cell
@@ -68,9 +67,8 @@ def compile_query(
         for slot_index, child in enumerate(cell.node.children):
             if isinstance(child, ScanNode):
                 relation = catalog.get(child.relation_name)
-                pages = pack_rows_into_pages(
-                    relation.schema, list(relation.rows()), page_bytes
-                )
+                # Shared read-only images, memoized on the relation.
+                pages = relation.packed_pages(page_bytes)
                 for page in pages:
                     cell.operands[slot_index].deliver(page)
                 cell.operands[slot_index].finish()

@@ -15,7 +15,7 @@ The simulated processors do two separable things:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List
+from typing import Callable, List, Sequence
 
 from repro import hw
 from repro.relational.page import Page
@@ -67,6 +67,20 @@ def join_pages(
 def project_rows(rows: List[Row], indices: List[int]) -> List[Row]:
     """Attribute cut (no dedup) of ``rows`` to the given positions."""
     return [tuple(row[i] for i in indices) for row in rows]
+
+
+def fused_chain_end(now: float, parts: Sequence[float]) -> float:
+    """Absolute end time of a charge chain begun at ``now``.
+
+    Accumulates left to right, matching an unfused cascade where each
+    link schedules relative to its own fire time — float addition is not
+    associative, so pre-summing the parts could land an ulp away from
+    the timestamp the cascade would have produced.
+    """
+    end = now
+    for part in parts:
+        end = end + part
+    return end
 
 
 # ---------------------------------------------------------------------------

@@ -116,8 +116,7 @@ class OutputAssembler:
 
     def _make_page(self, rows: List[Row]) -> PageRef:
         page = Page(self.schema, self.page_bytes)
-        for row in rows:
-            page.append(row)
+        page.extend_unchecked(rows)  # kernel outputs are pre-validated tuples
         seq = next(self._page_seq)
         return PageRef(
             key=f"{self.key_prefix}:{seq}",

@@ -33,7 +33,7 @@ from repro import hw
 from repro.errors import MachineError
 from repro.direct import traffic as tlevels
 from repro.direct.cache import DiskCache, PageRef
-from repro.direct.exec_model import ExecModel
+from repro.direct.exec_model import ExecModel, fused_chain_end
 from repro.direct.instructions import (
     Instruction,
     JoinInstruction,
@@ -45,7 +45,7 @@ from repro.direct.instructions import (
 from repro.direct.scheduler import Granularity, PAGE, pick_instruction
 from repro.direct.traffic import TrafficMeter
 from repro.relational.catalog import Catalog
-from repro.relational.page import pack_rows_into_pages
+from repro.relational.page import Page
 from repro.relational.relation import Relation
 from repro.query.tree import (
     JoinNode,
@@ -57,6 +57,7 @@ from repro.query.tree import (
     UnionNode,
 )
 from repro.sim.engine import Simulator
+from repro.sim.fusion import resolve_fusion
 from repro.sim.resources import Resource, checked_utilization
 
 
@@ -149,6 +150,7 @@ class DirectMachine:
         join_wait_timeout_ms: float = 100.0,
         ic_buffer_bytes: int = 128 * 1024,
         max_events: int = 5_000_000,
+        fuse_ops: Optional[bool] = None,
     ):
         if processors < 1:
             raise MachineError("need at least one processor")
@@ -163,6 +165,9 @@ class DirectMachine:
         self.max_events = max_events
 
         self.sim = Simulator()
+        # Operator-loop fusion (repro.sim.fusion); resolve_fusion keeps the
+        # flag off when a fault plan is armed on this simulator.
+        self.fuse_ops = resolve_fusion(fuse_ops, self.sim)
         self.meter = TrafficMeter()
         self.processors = [_Processor(i) for i in range(processors)]
         self.ports = Resource(self.sim, "cache-ports", capacity=cache_ports)
@@ -215,9 +220,9 @@ class DirectMachine:
         """Machine-page-size images of a base relation (built once)."""
         if relation_name not in self._base_pages:
             relation = self.catalog.get(relation_name)
-            pages = pack_rows_into_pages(
-                relation.schema, list(relation.rows()), self.page_bytes
-            )
+            # Shared read-only images, memoized on the relation: machines
+            # built over the same catalog repack nothing.
+            pages = relation.packed_pages(self.page_bytes)
             salt = zlib.crc32(relation_name.encode("utf-8"))
             refs = [
                 PageRef(
@@ -555,6 +560,9 @@ class DirectMachine:
             # set; keep them resident (IC cache-segment behaviour).
             self.cache.protect(inner_ref)
             fill = self.model.proc_read_ms(inner_ref.nbytes)
+            if self.fuse_ops:
+                self._fused_join_fill(proc, task, instr, inner_ref, fill)
+                return
 
             def filled() -> None:
                 cpu = self.model.join_cpu_ms(task.page.row_count, inner_ref.row_count)
@@ -563,19 +571,9 @@ class DirectMachine:
                     cpu += pairs * self.granularity.tuple_dispatch_ms
                     self._charge_pair_traffic(instr, task.page, inner_ref)
 
-                def joined() -> None:
-                    rows = instr.compute_pair(task, inner_ref)
-                    task.seen_inner.add(inner_ref.key)
-                    if instr.inner_page_consumed(inner_ref):
-                        if _is_base(inner_ref):
-                            self.cache.unprotect(inner_ref)
-                        else:
-                            self._drop_intermediate(inner_ref)
-                    self._emit_rows(
-                        proc, instr, rows, lambda: self._join_step(proc, task)
-                    )
-
-                self._charge(proc, cpu, joined)
+                self._charge(
+                    proc, cpu, lambda: self._join_pair_done(proc, task, instr, inner_ref)
+                )
 
             if self.sim.tracer.enabled:
                 self.sim.tracer.span(
@@ -591,6 +589,56 @@ class DirectMachine:
             self.sim.schedule(fill, fill_done, label=f"p{proc.pid}.inner-fill")
 
         self._fetch_operand(inner_ref, inner_delivered)
+
+    def _join_pair_done(
+        self, proc: _Processor, task: Task, instr: JoinInstruction, inner_ref: PageRef
+    ) -> None:
+        """One outer-page x inner-page step has finished its service time."""
+        rows = instr.compute_pair(task, inner_ref)
+        task.seen_inner.add(inner_ref.key)
+        if instr.inner_page_consumed(inner_ref):
+            if _is_base(inner_ref):
+                self.cache.unprotect(inner_ref)
+            else:
+                self._drop_intermediate(inner_ref)
+        self._emit_rows(proc, instr, rows, lambda: self._join_step(proc, task))
+
+    def _fused_join_fill(
+        self,
+        proc: _Processor,
+        task: Task,
+        instr: JoinInstruction,
+        inner_ref: PageRef,
+        fill: float,
+    ) -> None:
+        """Fill + join CPU as one event (see :mod:`repro.sim.fusion`).
+
+        The chain is deterministic once the inner page is resident, so the
+        end time is known up front; busy time is credited per link in the
+        cascade's order and ``count_fused`` keeps the event tally equal.
+        """
+        cpu = self.model.join_cpu_ms(task.page.row_count, inner_ref.row_count)
+        if self.granularity.tuple_dispatch:
+            pairs = task.page.row_count * inner_ref.row_count
+            cpu += pairs * self.granularity.tuple_dispatch_ms
+            self._charge_pair_traffic(instr, task.page, inner_ref)
+        sim = self.sim
+        if sim.tracer.enabled:
+            sim.tracer.span("inner-fill", "proc", sim.now, fill, f"P{proc.pid}")
+            sim.tracer.span("cpu", "proc", sim.now + fill, cpu, f"P{proc.pid}")
+        if sim.metrics.enabled:
+            sim.metrics.tally("proc.charge_ms", kind="inner-fill").observe(fill)
+            sim.metrics.tally("proc.charge_ms", kind="cpu").observe(cpu)
+
+        def fused_done() -> None:
+            proc.busy_ms += fill
+            proc.busy_ms += cpu
+            sim.count_fused(1)
+            self._join_pair_done(proc, task, instr, inner_ref)
+
+        sim.schedule_abs(
+            fused_chain_end(sim.now, (fill, cpu)), fused_done, label=f"p{proc.pid}.cpu"
+        )
 
     def _park_task(self, proc: _Processor, task: Task) -> None:
         instr = task.instruction

@@ -57,6 +57,14 @@ class SanitizerError(ReproError):
     """
 
 
+class CheckError(ReproError):
+    """A correctness-tooling gate was misconfigured or cannot run.
+
+    Raised by :mod:`repro.check.identity` for unknown experiments or
+    axes — distinct from the gate *failing*, which is reported as data.
+    """
+
+
 class WorkloadError(ReproError):
     """The benchmark workload could not be generated as specified."""
 

@@ -289,26 +289,39 @@ class QueryTree:
         self.root = root
         self.query_id = next(self._query_ids)
         self.name = name or f"Q{self.query_id}"
+        # Node structure is fixed once a tree is wrapped (nothing mutates
+        # ``children`` afterwards), so the traversal products are computed
+        # once — the machines call nodes()/parent_of() on every dispatch.
+        self._nodes: Optional[List[QueryNode]] = None
+        self._by_id: Optional[dict] = None
+        self._parents: Optional[dict] = None
 
     # -- traversal -----------------------------------------------------------
 
     def nodes(self) -> List[QueryNode]:
-        """All nodes, children before parents."""
-        return list(self.root.postorder())
+        """All nodes, children before parents (cached; treat as read-only)."""
+        if self._nodes is None:
+            self._nodes = list(self.root.postorder())
+        return self._nodes
 
     def node_by_id(self, node_id: int) -> QueryNode:
         """The node with ``node_id``; raises if absent from this tree."""
-        for node in self.nodes():
-            if node.node_id == node_id:
-                return node
-        raise QueryTreeError(f"no node {node_id} in query {self.name}")
+        if self._by_id is None:
+            self._by_id = {n.node_id: n for n in self.nodes()}
+        try:
+            return self._by_id[node_id]
+        except KeyError:
+            raise QueryTreeError(f"no node {node_id} in query {self.name}") from None
 
     def parent_of(self, node: QueryNode) -> Optional[QueryNode]:
         """The node consuming ``node``'s output, or None for the root."""
-        for candidate in self.nodes():
-            if node in candidate.children:
-                return candidate
-        return None
+        if self._parents is None:
+            self._parents = {
+                child.node_id: candidate
+                for candidate in self.nodes()
+                for child in candidate.children
+            }
+        return self._parents.get(node.node_id)
 
     def operators(self) -> List[QueryNode]:
         """Non-scan nodes (the "instructions" the machines execute)."""

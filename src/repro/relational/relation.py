@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, List, Optional, Sequence
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 
 from repro.errors import PageError
 from repro.relational.page import DEFAULT_PAGE_BYTES, Page, pack_rows_into_pages
@@ -40,6 +40,8 @@ class Relation:
         self.page_bytes = page_bytes
         self.relation_id = next(_relation_ids)
         self._pages: List[Page] = list(pages) if pages is not None else []
+        #: page_bytes -> densely packed page images (see :meth:`packed_pages`).
+        self._packed_cache: Dict[int, List[Page]] = {}
         for page in self._pages:
             if page.schema.record_width != schema.record_width:
                 raise PageError(
@@ -56,9 +58,20 @@ class Relation:
         schema: Schema,
         rows: Iterable[Row],
         page_bytes: int = DEFAULT_PAGE_BYTES,
+        validated: bool = False,
     ) -> "Relation":
-        """Build a relation by packing ``rows`` densely into pages."""
-        return cls(name, schema, pack_rows_into_pages(schema, rows, page_bytes), page_bytes)
+        """Build a relation by packing ``rows`` densely into pages.
+
+        ``validated=True`` asserts the rows are already valid tuples of
+        ``schema`` and skips the per-row type checks (see
+        :func:`pack_rows_into_pages`); page boundaries are identical.
+        """
+        return cls(
+            name,
+            schema,
+            pack_rows_into_pages(schema, rows, page_bytes, validated=validated),
+            page_bytes,
+        )
 
     def empty_like(self, name: str) -> "Relation":
         """A new empty relation with this relation's schema and page size."""
@@ -100,6 +113,22 @@ class Relation:
             f"{self.page_count} pages x {self.page_bytes}B)"
         )
 
+    def packed_pages(self, page_bytes: int) -> List[Page]:
+        """Densely packed page images of this relation at ``page_bytes``.
+
+        Cached per page size and shared between callers — the machines
+        use these as read-only base-relation images, so every simulator
+        built over the same catalog repacks nothing.  **Treat the result
+        as immutable**; any mutator on the relation drops the cache.
+        """
+        cached = self._packed_cache.get(page_bytes)
+        if cached is None:
+            cached = pack_rows_into_pages(
+                self.schema, list(self.rows()), page_bytes, validated=True
+            )
+            self._packed_cache[page_bytes] = cached
+        return cached
+
     # -- mutation -----------------------------------------------------------
 
     def append_page(self, page: Page) -> int:
@@ -109,11 +138,14 @@ class Relation:
                 f"page record width {page.schema.record_width} does not match "
                 f"relation {self.name!r}"
             )
+        self._packed_cache = {}
         self._pages.append(page)
         return len(self._pages) - 1
 
     def insert(self, row: Row) -> None:
         """Append one row, opening a new page when the last one is full."""
+        if self._packed_cache:
+            self._packed_cache = {}
         if not self._pages or self._pages[-1].is_full:
             self._pages.append(Page(self.schema, self.page_bytes))
         self._pages[-1].append(row)
@@ -128,7 +160,10 @@ class Relation:
 
     def compact(self) -> None:
         """Repack all rows densely (drops partially-filled interior pages)."""
-        self._pages = pack_rows_into_pages(self.schema, list(self.rows()), self.page_bytes)
+        self._packed_cache = {}
+        self._pages = pack_rows_into_pages(
+            self.schema, list(self.rows()), self.page_bytes, validated=True
+        )
 
     # -- access -------------------------------------------------------------
 

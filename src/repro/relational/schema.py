@@ -10,6 +10,7 @@ into a fixed-width byte record with :mod:`struct`.
 from __future__ import annotations
 
 import enum
+import functools
 import struct
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
@@ -183,17 +184,7 @@ class Schema:
         retain the outer relation's attribute names — the join attribute of
         a chain stays addressable at every level.
         """
-        taken = set(self.names)
-        attrs = list(self.attributes)
-        for a in other.attributes:
-            name = a.name
-            suffix = 1
-            while name in taken:
-                name = f"{a.name}_{suffix}"
-                suffix += 1
-            taken.add(name)
-            attrs.append(Attribute(name, a.dtype, a.width))
-        return Schema(tuple(attrs))
+        return _concat_unique(self, other)
 
     # -- row packing --------------------------------------------------------
 
@@ -255,3 +246,25 @@ class Schema:
         if len(data) % width:
             raise SchemaError(f"{len(data)} bytes is not a multiple of record width {width}")
         return [self.unpack(data[i : i + width]) for i in range(0, len(data), width)]
+
+
+@functools.lru_cache(maxsize=1024)
+def _concat_unique(a: Schema, b: Schema) -> Schema:
+    """Cached body of :meth:`Schema.concat_unique`.
+
+    Schemas are frozen and hash by value, and join nodes resolve their
+    output schema on every dispatch — memoizing skips re-running the
+    suffixing loop and, more importantly, recompiling the result's
+    :mod:`struct` format each time.
+    """
+    taken = set(a.names)
+    attrs = list(a.attributes)
+    for attr_ in b.attributes:
+        name = attr_.name
+        suffix = 1
+        while name in taken:
+            name = f"{attr_.name}_{suffix}"
+            suffix += 1
+        taken.add(name)
+        attrs.append(Attribute(name, attr_.dtype, attr_.width))
+    return Schema(tuple(attrs))

@@ -80,8 +80,7 @@ class OperandState:
 
     def _make_page(self, rows: List[Row]) -> Page:
         page = Page(self.schema, self.page_bytes)
-        for row in rows:
-            page.append(row)
+        page.extend_unchecked(rows)  # arriving rows came off shipped pages
         return page
 
     @property

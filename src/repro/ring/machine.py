@@ -29,7 +29,7 @@ from repro.direct.cache import DiskCache, PageRef
 from repro.direct.exec_model import ExecModel
 from repro.direct.traffic import TrafficMeter
 from repro.relational.catalog import Catalog
-from repro.relational.page import Page, pack_rows_into_pages
+from repro.relational.page import Page
 from repro.relational.relation import Relation
 from repro.relational.schema import Row, Schema
 from repro.query.tree import AppendNode, DeleteNode, QueryNode, QueryTree, ScanNode
@@ -43,6 +43,7 @@ from repro.ring.packets import (
 )
 from repro.ring.processor import InstructionProcessor
 from repro.sim.engine import Simulator
+from repro.sim.fusion import resolve_fusion
 from repro.sim.resources import Resource, checked_utilization
 
 #: Destination id of the master controller / host.
@@ -106,6 +107,7 @@ class RingMachine:
         fault_tolerant: bool = False,
         watchdog_interval_ms: float = 500.0,
         max_events: int = 5_000_000,
+        fuse_ops: Optional[bool] = None,
     ):
         if processors < 1 or controllers < 1:
             raise MachineError("need at least one IP and one IC")
@@ -122,6 +124,11 @@ class RingMachine:
         self.failed_ips: List[int] = []
 
         self.sim = Simulator()
+        # Operator-loop fusion (repro.sim.fusion): besides the armed-plan
+        # gate inside resolve_fusion, fail-stop mode keeps chains unfused —
+        # watchdog abort settles in-flight charges pro rata, and a fused
+        # chain's settlement would differ from the cascade's.
+        self.fuse_ops = resolve_fusion(fuse_ops, self.sim) and not fault_tolerant
         self.meter = TrafficMeter()
         self.outer_ring = Ring(self.sim, outer_ring, "outer-ring")
         self.inner_ring = Ring(self.sim, inner_ring, "inner-ring")
@@ -500,9 +507,9 @@ class RingMachine:
     def _base_page_refs(self, relation_name: str) -> List[PageRef]:
         if relation_name not in self._base_pages:
             relation = self.catalog.get(relation_name)
-            pages = pack_rows_into_pages(
-                relation.schema, list(relation.rows()), self.page_bytes
-            )
+            # Shared read-only images, memoized on the relation: machines
+            # built over the same catalog repack nothing.
+            pages = relation.packed_pages(self.page_bytes)
             salt = zlib.crc32(relation_name.encode("utf-8"))
             self._base_pages[relation_name] = [
                 PageRef(

@@ -24,8 +24,8 @@ import itertools
 from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.errors import MachineError
-from repro.direct.exec_model import join_pages
-from repro.relational.page import Page
+from repro.direct.exec_model import fused_chain_end, join_pages
+from repro.relational.page import Page, page_capacity
 from repro.relational.schema import Row, Schema
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
@@ -175,7 +175,17 @@ class InstructionProcessor:
         fill = self.machine.model.proc_read_ms(ic.page_bytes)
         if inner_page is not None:
             fill += self.machine.model.proc_read_ms(ic.page_bytes)
-            self._charge(fill, lambda: self._join_inner(inner_page, inner_index), "fill")
+            if self.machine.fuse_ops:
+                cpu = self.machine.model.join_cpu_ms(
+                    outer_page.row_count, inner_page.row_count
+                )
+                self._charge_fused(
+                    (fill, cpu),
+                    lambda: self._join_done(inner_page, inner_index),
+                    ("fill", "join"),
+                )
+            else:
+                self._charge(fill, lambda: self._join_inner(inner_page, inner_index), "fill")
         else:
             self._charge(fill, self._advance_join, "fill")
 
@@ -194,7 +204,17 @@ class InstructionProcessor:
         self.busy = True
         self._awaiting_inner = None
         fill = self.machine.model.proc_read_ms(self._require_owner().page_bytes)
-        self._charge(fill, lambda: self._join_inner(page, inner_index), "fill")
+        if self.machine.fuse_ops:
+            cpu = self.machine.model.join_cpu_ms(
+                self._outer_page.row_count, page.row_count
+            )
+            self._charge_fused(
+                (fill, cpu),
+                lambda: self._join_done(page, inner_index),
+                ("fill", "join"),
+            )
+        else:
+            self._charge(fill, lambda: self._join_inner(page, inner_index), "fill")
 
     def receive_inner_last(self, inner_count: int) -> None:
         """IC reply: no inner page numbered >= ``inner_count`` exists."""
@@ -205,27 +225,26 @@ class InstructionProcessor:
             self._advance_join()
 
     def _join_inner(self, inner_page: Page, inner_index: int) -> None:
-        ic = self._require_owner()
         cpu = self.machine.model.join_cpu_ms(self._outer_page.row_count, inner_page.row_count)
+        self._charge(cpu, lambda: self._join_done(inner_page, inner_index), "join")
 
-        def joined() -> None:
-            rows = join_pages(
-                self._outer_page,
-                inner_page,
-                ic.join_condition,
-                ic.join_outer_index,
-                ic.join_inner_index,
-            )
-            self._result_rows.extend(rows)
-            self._irc_seen[inner_index] = None
-            self.packets_executed += 1
-            if self.machine.fault_tolerant:
-                # Hold everything until the outer page's IRC completes.
-                self._advance_join()
-            else:
-                self._ship_full_pages(self._advance_join)
-
-        self._charge(cpu, joined, "join")
+    def _join_done(self, inner_page: Page, inner_index: int) -> None:
+        ic = self._require_owner()
+        rows = join_pages(
+            self._outer_page,
+            inner_page,
+            ic.join_condition,
+            ic.join_outer_index,
+            ic.join_inner_index,
+        )
+        self._result_rows.extend(rows)
+        self._irc_seen[inner_index] = None
+        self.packets_executed += 1
+        if self.machine.fault_tolerant:
+            # Hold everything until the outer page's IRC completes.
+            self._advance_join()
+        else:
+            self._ship_full_pages(self._advance_join)
 
     def _advance_join(self) -> None:
         """Examine the IRC vector; request the next hole or finish the outer."""
@@ -276,12 +295,11 @@ class InstructionProcessor:
     def _ship_full_pages(self, then: Callable[[], None]) -> None:
         """Send any full result pages toward the destination IC."""
         ic = self._require_owner()
-        capacity = Page(self._result_schema, ic.page_bytes).capacity
+        capacity = page_capacity(self._result_schema, ic.page_bytes)
         pages: List[Page] = []
         while len(self._result_rows) >= capacity:
             page = Page(self._result_schema, ic.page_bytes)
-            for row in self._result_rows[:capacity]:
-                page.append(row)
+            page.extend_unchecked(self._result_rows[:capacity])
             del self._result_rows[:capacity]
             pages.append(page)
         self._send_pages(pages, then)
@@ -290,12 +308,11 @@ class InstructionProcessor:
         """Ship everything, including a final partial page."""
         ic = self._require_owner()
         pages: List[Page] = []
-        capacity = Page(self._result_schema, ic.page_bytes).capacity
+        capacity = page_capacity(self._result_schema, ic.page_bytes)
         while self._result_rows:
-            page = Page(self._result_schema, ic.page_bytes)
             take = min(capacity, len(self._result_rows))
-            for row in self._result_rows[:take]:
-                page.append(row)
+            page = Page(self._result_schema, ic.page_bytes)
+            page.extend_unchecked(self._result_rows[:take])
             del self._result_rows[:take]
             pages.append(page)
         self._send_pages(pages, then)
@@ -346,6 +363,50 @@ class InstructionProcessor:
             then()
 
         self.machine.sim.schedule(delay, guarded, label=f"ip{self.ip_id}")
+
+    def _charge_fused(
+        self,
+        parts: Tuple[float, ...],
+        then: Callable[[], None],
+        whats: Tuple[str, ...],
+    ) -> None:
+        """Charge a whole deterministic chain as one scheduled event.
+
+        The event lands on the bit-identical end time the per-link cascade
+        would reach (left-to-right accumulation), busy time is credited
+        per link in the original order, and ``count_fused`` keeps the
+        engine's event tally equal to the unfused run — see
+        :mod:`repro.sim.fusion` for the full exactness contract.
+        """
+        sim = self.machine.sim
+        charge_id = next(self._charge_ids)
+        if sim.tracer.enabled or sim.metrics.enabled:
+            owner = f"IC{self.owner.ic_id}" if self.owner else "pool"
+            start = sim.now
+            for delay, what in zip(parts, whats):
+                if sim.tracer.enabled:
+                    sim.tracer.span(
+                        what, "ip", start, delay, f"IP{self.ip_id}", args={"owner": owner}
+                    )
+                if sim.metrics.enabled:
+                    sim.metrics.tally("ip.charge_ms", kind=what).observe(delay)
+                start = start + delay
+        end = fused_chain_end(sim.now, parts)
+        self._inflight_charges[charge_id] = (sim.now, end - sim.now)
+
+        epoch = self._epoch
+
+        def guarded() -> None:
+            charge = self._inflight_charges.pop(charge_id, None)
+            if self.failed or self._epoch != epoch:
+                return  # fail-stop or aborted assignment: work evaporates
+            if charge is not None:
+                for delay in parts:
+                    self.busy_ms += delay
+            sim.count_fused(len(parts) - 1)
+            then()
+
+        sim.schedule_abs(end, guarded, label=f"ip{self.ip_id}")
 
     def _settle_inflight_charges(self) -> None:
         """Credit the elapsed portion of every in-flight charge and drop it.

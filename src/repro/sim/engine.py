@@ -1,41 +1,87 @@
-"""The event loop: a binary-heap future-event list with a millisecond clock.
+"""The event loop: a batched future-event list with a millisecond clock.
 
 Events are plain callbacks.  Ties in time are broken by a monotone sequence
 number so simulation runs are exactly reproducible regardless of callback
 contents.
 
-Hot-path note: the heap holds ``(time, sequence, Event)`` tuples rather
-than ordered dataclasses — tuple comparison is a single C-level operation,
-where dataclass ordering re-enters Python per field.  The sequence number
-is unique, so the :class:`Event` object itself never participates in a
-comparison.  Observability hooks are likewise pre-bound at construction
-(a session binds once, at ``__init__``) so a disabled run pays one ``is
-not None`` check per event instead of chained attribute loads.
+Hot-path notes:
+
+* The future-event list (:mod:`repro.sim.schedulers`) keys on *distinct*
+  timestamps and hands back whole same-time batches, so the dispatch loop
+  pays one priority-queue operation per distinct timestamp instead of one
+  per event.  Within a batch, events sit in scheduling order (buckets only
+  grow by append and sequence numbers are monotone), which preserves the
+  pre-batching ``(time, sequence)`` total order bit-for-bit.
+* Observability hooks are pre-bound at construction (a session binds once,
+  at ``__init__``) so a disabled run pays one ``is not None`` check per
+  event instead of chained attribute loads.
+
+The structure behind the batches is selectable: the default tie-batched
+binary heap, or an opt-in calendar queue (``Simulator(scheduler="calendar")``,
+ambient :func:`scheduling`, or the ``REPRO_SIM_SCHEDULER`` environment
+variable).  Both produce byte-identical runs; see
+:mod:`repro.sim.schedulers`.
 """
 
 from __future__ import annotations
 
-import heapq
 import itertools
-from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
+import os
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Callable, Iterator, List, Optional
 
 from repro.errors import SimulationError
+from repro.sim.schedulers import make_scheduler
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from repro.check.sanitizer import Sanitizer
     from repro.faults.injector import FaultInjector
     from repro.faults.plan import FaultPlan
 
+#: Ambient scheduler name; read once by each Simulator at construction.
+#: Seeded from the environment so sweep worker processes (fork or spawn)
+#: inherit the parent's selection.
+_ambient_scheduler: str = os.environ.get("REPRO_SIM_SCHEDULER", "heap")
+
+
+def ambient_scheduler() -> str:
+    """The scheduler simulators built right now will use by default."""
+    return _ambient_scheduler
+
+
+@contextmanager
+def scheduling(name: str) -> Iterator[None]:
+    """Select the future-event list for simulators constructed inside.
+
+    Mirrors :func:`repro.check.sanitizing`: the selection is ambient, and
+    it is exported through ``REPRO_SIM_SCHEDULER`` so sweep worker
+    processes build their simulators the same way.
+    """
+    global _ambient_scheduler
+    previous = _ambient_scheduler
+    previous_env = os.environ.get("REPRO_SIM_SCHEDULER")
+    _ambient_scheduler = name
+    os.environ["REPRO_SIM_SCHEDULER"] = name
+    try:
+        yield
+    finally:
+        _ambient_scheduler = previous
+        if previous_env is None:
+            os.environ.pop("REPRO_SIM_SCHEDULER", None)
+        else:
+            os.environ["REPRO_SIM_SCHEDULER"] = previous_env
+
 
 class Event:
     """One scheduled callback.
 
-    Heap ordering is carried by the enclosing ``(time, sequence)`` tuple;
-    the event itself is never compared.  Cancelled events stay in the heap
-    but are skipped.
+    Ordering is carried by ``(time, sequence)``; the event object itself is
+    never compared.  Cancelled events stay in their bucket but are skipped
+    (lazy deletion); the simulator's live-event counter is maintained
+    eagerly by :meth:`cancel` so ``Simulator.pending`` is O(1).
     """
 
-    __slots__ = ("time", "sequence", "action", "label", "cancelled")
+    __slots__ = ("time", "sequence", "action", "label", "cancelled", "fired", "_sim")
 
     def __init__(
         self,
@@ -50,10 +96,17 @@ class Event:
         self.action = action
         self.label = label
         self.cancelled = cancelled
+        self.fired = False
+        self._sim: Optional["Simulator"] = None
 
     def cancel(self) -> None:
         """Prevent this event from firing (lazy deletion)."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if not self.fired:
+                sim = self._sim
+                if sim is not None:
+                    sim._live -= 1
 
     def __repr__(self) -> str:
         state = ", cancelled" if self.cancelled else ""
@@ -67,6 +120,7 @@ class Simulator:
     >>> fired = []
     >>> _ = sim.schedule(5.0, lambda: fired.append(sim.now))
     >>> sim.run()
+    5.0
     >>> fired
     [5.0]
     """
@@ -77,12 +131,24 @@ class Simulator:
         metrics=None,
         sanitize: Optional[bool] = None,
         faults: Optional["FaultPlan"] = None,
+        scheduler: Optional[str] = None,
     ):
         self._now = 0.0
-        self._heap: List[Tuple[float, int, Event]] = []
+        if scheduler is None:
+            scheduler = _ambient_scheduler
+        self.scheduler = scheduler
+        self._fel = make_scheduler(scheduler)
         self._sequence = itertools.count()
         self._events_processed = 0
         self._running = False
+        #: Pending (scheduled, not yet fired, not cancelled) events.
+        self._live = 0
+        # The batch currently being drained: ``run``/``step`` share it so a
+        # horizon stop, a max_events stop, or single-stepping can resume
+        # mid-batch without disturbing order.
+        self._batch: List[Event] = []
+        self._batch_pos = 0
+        self._batch_time = 0.0
         # The sanitizer binds once, like observability: explicit argument
         # wins, otherwise the ambient sanitize mode (off by default).  A
         # non-sanitizing run holds None and pays one identity check per
@@ -148,13 +214,18 @@ class Simulator:
 
     @property
     def events_processed(self) -> int:
-        """Number of events that have fired."""
+        """Number of events that have fired (plus fused-away credits)."""
         return self._events_processed
 
     @property
     def pending(self) -> int:
-        """Events still in the heap (including cancelled ones)."""
-        return sum(1 for _, _, event in self._heap if not event.cancelled)
+        """Scheduled events that are neither fired nor cancelled.
+
+        O(1): a live counter maintained by ``schedule``/``cancel`` and the
+        dispatch loop — callers polling it in a loop used to trigger a
+        full heap scan per call.
+        """
+        return self._live
 
     @property
     def sanitizer(self) -> Optional["Sanitizer"]:
@@ -190,27 +261,67 @@ class Simulator:
 
     def schedule(self, delay: float, action: Callable[[], None], label: str = "") -> Event:
         """Schedule ``action`` to fire ``delay`` ms from now; returns the event."""
-        if self._sanitizer is not None:
-            # Checks NaN/infinite/negative delays and same-timestamp
-            # order hazards; raises SanitizerError with a breadcrumb.
-            self._sanitizer.on_schedule(self._now, delay, label)
+        # Delay validation comes first so callers see SimulationError for
+        # a negative delay in *both* modes; the sanitizer's own negative
+        # check is downstream of this one and only adds NaN/inf coverage.
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        time = self._now + delay
-        sequence = next(self._sequence)
-        event = Event(time, sequence, action, label)
-        heapq.heappush(self._heap, (time, sequence, event))
-        return event
+        if self._sanitizer is not None:
+            # Checks NaN/infinite delays and same-timestamp order
+            # hazards; raises SanitizerError with a breadcrumb.
+            self._sanitizer.on_schedule(self._now, delay, label)
+        return self._push(self._now + delay, action, label)
 
     def schedule_at(self, time: float, action: Callable[[], None], label: str = "") -> Event:
         """Schedule ``action`` at absolute simulated ``time``."""
         return self.schedule(time - self._now, action, label)
+
+    def schedule_abs(self, when: float, action: Callable[[], None], label: str = "") -> Event:
+        """Schedule at the *exact* absolute timestamp ``when``.
+
+        ``schedule_at`` re-derives ``now + (when - now)``, which can land an
+        ulp off ``when``.  Fused operator chains need the bit-identical
+        timestamp the unfused chain's cascading ``schedule`` calls would
+        have produced, so this entry point stores ``when`` untouched.
+        """
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past (at={when}, now={self._now})"
+            )
+        if self._sanitizer is not None:
+            self._sanitizer.on_schedule(self._now, when - self._now, label, at=when)
+        return self._push(when, action, label)
+
+    def _push(self, when: float, action: Callable[[], None], label: str) -> Event:
+        event = Event(when, next(self._sequence), action, label)
+        event._sim = self
+        self._fel.push(when, event)
+        self._live += 1
+        return event
+
+    def count_fused(self, events: int) -> None:
+        """Credit ``events`` collapsed-away logical events to the totals.
+
+        Operator fusion (:mod:`repro.sim.fusion`) replaces a deterministic
+        chain of ``k`` engine events with one; the fused site credits
+        ``k - 1`` here when the fused event fires, keeping
+        ``events_processed`` and the ``sim.events`` counter identical to
+        the unfused run — reports and the bench trajectory stay comparable
+        across the flag.
+        """
+        if events <= 0:
+            return
+        self._events_processed += events
+        if self._event_counter is not None:
+            self._event_counter.add(events)
 
     # -- execution --------------------------------------------------------------
 
     def _fire(self, time: float, event: Event) -> None:
         """Advance the clock to ``time``, record, and run ``event``."""
         self._now = time
+        event.fired = True
+        self._live -= 1
         self._events_processed += 1
         if self._sanitizer is not None:
             self._sanitizer.on_fire(time, event.label)
@@ -220,52 +331,123 @@ class Simulator:
             self._event_counter.add()
         event.action()
 
+    def _next_batch(self) -> bool:
+        """Load the next batch from the future-event list; False when empty."""
+        when = self._fel.peek_time()
+        if when is None:
+            return False
+        self._batch_time, self._batch = self._fel.pop_batch()
+        self._batch_pos = 0
+        return True
+
     def step(self) -> bool:
-        """Fire the next event; returns False when the heap is empty."""
-        heap = self._heap
-        while heap:
-            time, _, event = heapq.heappop(heap)
-            if event.cancelled:
-                if self._sanitizer is not None:
-                    self._sanitizer.on_drop(time, event.label)
-                continue
-            self._fire(time, event)
-            return True
-        return False
+        """Fire the next event; returns False when nothing is pending.
+
+        Shares the reentrancy guard with :meth:`run`: stepping from inside
+        a callback would interleave two dispatch loops and corrupt
+        ``events_processed``.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        try:
+            while True:
+                batch = self._batch
+                pos = self._batch_pos
+                if pos >= len(batch):
+                    if not self._next_batch():
+                        return False
+                    batch = self._batch
+                    pos = 0
+                event = batch[pos]
+                self._batch_pos = pos + 1
+                if event.cancelled:
+                    if self._sanitizer is not None:
+                        self._sanitizer.on_drop(self._batch_time, event.label)
+                    continue
+                self._fire(self._batch_time, event)
+                return True
+        finally:
+            self._running = False
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
-        """Run until the heap drains, ``until`` is reached, or ``max_events`` fire.
+        """Run until the list drains, ``until`` is reached, or ``max_events`` fire.
 
         Returns the final simulated time.  ``max_events`` is a safety net
         against protocol livelock in the machine simulators; exceeding it
         raises :class:`SimulationError` rather than spinning forever.
+
+        Batches whose timestamp lies beyond ``until`` are left untouched —
+        cancelled events past the horizon are *not* drained (draining them
+        used to emit sanitizer drop breadcrumbs stamped after the clock and
+        left the event list in a different state than an equivalent
+        ``step()`` sequence).
         """
         if self._running:
             raise SimulationError("simulator is not reentrant")
         self._running = True
         fired = 0
-        heap = self._heap
-        heappop = heapq.heappop
+        sanitizer = self._sanitizer
+        trace = self._trace
+        counter = self._event_counter
         try:
-            while heap:
-                time, _, event = heap[0]
-                if event.cancelled:
-                    heappop(heap)
-                    if self._sanitizer is not None:
-                        self._sanitizer.on_drop(time, event.label)
-                    continue
-                if until is not None and time > until:
-                    break
-                if max_events is not None and fired >= max_events:
-                    raise SimulationError(
-                        f"exceeded max_events={max_events} at t={self._now:.3f} "
-                        f"(likely a protocol livelock; next: {event.label!r})"
-                    )
-                heappop(heap)
-                self._fire(time, event)
-                fired += 1
-            # The clock always advances to ``until`` — even when the heap
-            # drains first — so elapsed-time denominators (utilization,
+            while True:
+                batch = self._batch
+                pos = self._batch_pos
+                if pos >= len(batch):
+                    when = self._fel.peek_time()
+                    if when is None:
+                        break
+                    if until is not None and when > until:
+                        break
+                    self._batch_time, batch = self._fel.pop_batch()
+                    self._batch = batch
+                    pos = 0
+                else:
+                    # Resuming a batch left over from step()/max_events.
+                    when = self._batch_time
+                    if until is not None and when > until:
+                        break
+                when = self._batch_time
+                size = len(batch)
+                # Same-time events scheduled by these callbacks open a
+                # fresh bucket in the event list (this one was popped), so
+                # ``batch`` never grows mid-drain; the outer loop picks the
+                # new bucket up as the next batch at the same timestamp.
+                while pos < size:
+                    event = batch[pos]
+                    if event.cancelled:
+                        pos += 1
+                        self._batch_pos = pos
+                        if sanitizer is not None:
+                            sanitizer.on_drop(when, event.label)
+                        continue
+                    if max_events is not None and fired >= max_events:
+                        self._batch_pos = pos
+                        raise SimulationError(
+                            f"exceeded max_events={max_events} at t={self._now:.3f} "
+                            f"(likely a protocol livelock; next: {event.label!r})"
+                        )
+                    pos += 1
+                    # Consume before running: an exception in a hook or the
+                    # action must not leave the event eligible to re-fire.
+                    self._batch_pos = pos
+                    # The clock advances only when an event *fires* — an
+                    # all-cancelled batch must not drag ``now`` forward.
+                    self._now = when
+                    event.fired = True
+                    self._live -= 1
+                    self._events_processed += 1
+                    fired += 1
+                    if sanitizer is not None:
+                        sanitizer.on_fire(when, event.label)
+                    if trace is not None:
+                        trace.instant(event.label or "event", "sim", when, "simulator")
+                    if counter is not None:
+                        counter.add()
+                    event.action()
+            # The clock always advances to ``until`` — even when the event
+            # list drains first — so elapsed-time denominators (utilization,
             # offered Mbps) are consistent across stopping conditions.
             if until is not None and until > self._now:
                 self._now = until

@@ -1,0 +1,86 @@
+"""Operator-loop fusion: the ambient flag and its safety gate.
+
+Fusion collapses a machine's deterministic per-page charge chains — e.g.
+the ring IP's join protocol, which fills the inner page into processor
+memory (one event) and then runs the join CPU loop (a second event) —
+into **one** scheduled event whose duration is computed analytically up
+front (the Dong & Kjolstad bag-semantics compiler idea applied to the
+simulator: the inner loop's cost is a closed form of the operand row
+counts, so nothing needs to happen at the intermediate boundary).
+
+Exactness contract (enforced by ``repro check --fusion-identity``):
+
+* **timestamps** — the fused event lands on the bit-identical end time
+  the unfused cascade would have produced: each link schedules relative
+  to its own fire time, so the end time is the *left-to-right* float sum
+  ``(t0 + a) + b``, which :func:`repro.direct.exec_model.fused_chain_end`
+  reproduces and ``Simulator.schedule_abs`` stores untouched;
+* **accounting** — busy-time is credited per chain link in the original
+  order (float addition is not associative), and the engine's
+  ``count_fused`` credit keeps ``events_processed`` / ``sim.events``
+  equal to the unfused run;
+* **scope** — fusion silently disables itself when a fault plan is armed
+  (fault recovery settles and fences work at chain boundaries that no
+  longer exist when fused) and in serving mode (an ``until`` horizon can
+  cut a chain mid-flight, making the collapsed boundary observable in
+  ``events_processed``).  Batch experiments run to drain, where the
+  equivalence is exact.
+
+Enable per-machine (``RingMachine(..., fuse_ops=True)`` /
+``DirectMachine(..., fuse_ops=True)``), ambiently for a block
+(:func:`fusing`), or via ``REPRO_SIM_FUSE=1`` in the environment.  The
+flag defaults to **off**: the byte-identity oracle runs both ways in CI,
+and perf numbers in the bench trajectory are recorded unfused.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.sim.engine import Simulator
+
+__all__ = ["fusing", "fusion_default", "resolve_fusion"]
+
+#: Ambient fusion flag; read once by each machine at construction.  Seeded
+#: from the environment so sweep worker processes inherit the selection.
+_ambient_fuse: bool = os.environ.get("REPRO_SIM_FUSE", "") not in ("", "0")
+
+
+def fusion_default() -> bool:
+    """True when machines built right now should fuse operator loops."""
+    return _ambient_fuse
+
+
+@contextmanager
+def fusing(enabled: bool = True) -> Iterator[None]:
+    """Set the ambient fusion flag for machines constructed inside.
+
+    Exported through ``REPRO_SIM_FUSE`` so sweep worker processes build
+    their machines the same way.
+    """
+    global _ambient_fuse
+    previous = _ambient_fuse
+    previous_env = os.environ.get("REPRO_SIM_FUSE")
+    _ambient_fuse = enabled
+    os.environ["REPRO_SIM_FUSE"] = "1" if enabled else "0"
+    try:
+        yield
+    finally:
+        _ambient_fuse = previous
+        if previous_env is None:
+            os.environ.pop("REPRO_SIM_FUSE", None)
+        else:
+            os.environ["REPRO_SIM_FUSE"] = previous_env
+
+
+def resolve_fusion(explicit: Optional[bool], sim: "Simulator") -> bool:
+    """The effective fusion flag for a machine bound to ``sim``.
+
+    Explicit constructor argument wins, else the ambient flag; either way
+    an armed fault plan forces fusion off (see the module docstring).
+    """
+    enabled = _ambient_fuse if explicit is None else explicit
+    return bool(enabled) and sim.faults is None

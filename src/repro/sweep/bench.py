@@ -22,6 +22,15 @@ their names and meanings; new keys may be added.  Top level::
 ``sim_events`` is the merged ``sim.events`` counter across every
 simulator the experiment built; ``points`` is the number of independent
 sweep points the experiment fanned out.
+
+**Trajectory** (``repro-bench/v2``): ``BENCH_sweeps.json`` holds the
+perf history, not just the latest run — ``{schema, entries: [report,
+...]}`` where each entry is a v1 report as above, oldest first.  ``repro
+bench`` appends a new entry each run (a legacy single-report file is
+upgraded in place), and ``repro bench --gate`` fails when any
+experiment's events/sec drops more than :data:`GATE_THRESHOLD` below the
+last committed entry — the CI job that runs it turns perf regressions
+into red builds.
 """
 
 from __future__ import annotations
@@ -39,6 +48,13 @@ from repro import obs
 DEFAULT_OUT = "BENCH_sweeps.json"
 
 BENCH_SCHEMA = "repro-bench/v1"
+
+#: Schema of the trajectory file: a list of v1 reports, oldest first.
+HISTORY_SCHEMA = "repro-bench/v2"
+
+#: Default fractional events/sec drop (vs the last trajectory entry)
+#: that fails the ``--gate`` check.
+GATE_THRESHOLD = 0.2
 
 #: Events scheduled+fired by the event-loop microbenchmark.
 SIM_CORE_EVENTS = 200_000
@@ -211,3 +227,51 @@ def write_bench(report: dict, path: str = DEFAULT_OUT) -> None:
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
+
+
+def load_history(path: str = DEFAULT_OUT) -> dict:
+    """The bench trajectory at ``path``; a missing file is an empty one.
+
+    Accepts both file shapes: a v2 history is returned as-is, and a
+    legacy single v1 report is wrapped as a one-entry history so the
+    next append upgrades the file in place.
+    """
+    if not os.path.exists(path):
+        return {"schema": HISTORY_SCHEMA, "entries": []}
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if data.get("schema") == HISTORY_SCHEMA:
+        return data
+    return {"schema": HISTORY_SCHEMA, "entries": [data]}
+
+
+def append_bench(report: dict, path: str = DEFAULT_OUT) -> dict:
+    """Append ``report`` to the trajectory at ``path``; returns the history."""
+    history = load_history(path)
+    history["entries"].append(report)
+    write_bench(history, path)
+    return history
+
+
+def compare_entries(prev: dict, new: dict, threshold: float = GATE_THRESHOLD) -> List[str]:
+    """Regression descriptions for ``new`` against the older report ``prev``.
+
+    Every experiment present in both reports — ``sim_core`` and the
+    sweeps alike — must keep its events/sec within ``threshold`` of the
+    old rate.  An empty list means the gate passes; experiments that
+    appear in only one report are skipped (the suite may grow).
+    """
+    prev_rates = {e["experiment"]: e["events_per_sec"] for e in prev["experiments"]}
+    failures: List[str] = []
+    for entry in new["experiments"]:
+        name = entry["experiment"]
+        before = prev_rates.get(name)
+        if not before:
+            continue
+        after = entry["events_per_sec"]
+        if after < before * (1.0 - threshold):
+            failures.append(
+                f"{name}: {after} ev/s is {1.0 - after / before:.0%} below the "
+                f"last trajectory entry ({before} ev/s; allowed drop {threshold:.0%})"
+            )
+    return failures

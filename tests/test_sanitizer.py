@@ -69,13 +69,16 @@ def test_infinite_delay_raises():
         sim.schedule(float("inf"), lambda: None, label="x")
 
 
-def test_negative_delay_raises_sanitizer_error_first():
-    # Unsanitized simulators raise SimulationError; under the sanitizer
-    # the richer error (with the event-trail breadcrumb) wins.
+def test_negative_delay_raises_simulation_error_in_both_modes():
+    # Delay validation runs before the sanitizer, so callers see the same
+    # exception type whether or not sanitize mode is on.  (The sanitizer
+    # used to win with SanitizerError, making error handling mode-
+    # dependent.)  SanitizerError still covers NaN/inf, which the engine
+    # itself does not validate.
     sim = sanitized_sim()
-    with pytest.raises(SanitizerError, match="into the past"):
+    with pytest.raises(SimulationError, match="into the past"):
         sim.schedule(-0.5, lambda: None, label="x")
-    with pytest.raises(SimulationError):
+    with pytest.raises(SimulationError, match="into the past"):
         Simulator().schedule(-0.5, lambda: None)
 
 

@@ -184,3 +184,175 @@ def test_exception_in_callback_propagates():
     sim.schedule(1.0, boom)
     with pytest.raises(ValueError):
         sim.run()
+
+
+# ------------------------------------------------------- batched dispatch
+
+
+def test_batched_ties_preserve_order_across_many_events():
+    sim = Simulator()
+    order = []
+    for i, t in enumerate((2.0, 1.0, 2.0, 1.0, 2.0)):
+        sim.schedule(t, lambda i=i: order.append(i))
+    sim.run()
+    # Time order first, insertion order within the t=1.0 / t=2.0 batches.
+    assert order == [1, 3, 0, 2, 4]
+
+
+def test_same_time_event_scheduled_mid_batch_fires_after_batch():
+    # A callback scheduling at delay 0 opens a fresh bucket at the same
+    # timestamp; the new event must fire after the rest of the current
+    # batch, exactly as (time, sequence) order dictates.
+    sim = Simulator()
+    order = []
+
+    def first():
+        order.append("first")
+        sim.schedule(0.0, lambda: order.append("late"))
+
+    sim.schedule(1.0, first)
+    sim.schedule(1.0, lambda: order.append("second"))
+    sim.run()
+    assert order == ["first", "second", "late"]
+
+
+def test_max_events_stops_mid_batch_and_resumes_in_order():
+    sim = Simulator()
+    order = []
+    for i in range(5):
+        sim.schedule(1.0, lambda i=i: order.append(i))
+    with pytest.raises(SimulationError):
+        sim.run(max_events=3)
+    assert order == [0, 1, 2]
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+    assert sim.events_processed == 5
+
+
+def test_step_resumes_batch_left_by_run():
+    sim = Simulator()
+    order = []
+    for i in range(3):
+        sim.schedule(1.0, lambda i=i: order.append(i))
+    with pytest.raises(SimulationError):
+        sim.run(max_events=1)
+    assert sim.step() is True
+    assert sim.step() is True
+    assert sim.step() is False
+    assert order == [0, 1, 2]
+
+
+# ------------------------------------------------------- until + cancellation
+
+
+def test_cancelled_events_beyond_until_are_not_drained():
+    # run(until=...) used to eagerly pop batches past the horizon just to
+    # drop their cancelled events, leaving the event list in a different
+    # state than an equivalent step() sequence.
+    sim = Simulator()
+    fired = []
+    doomed = sim.schedule(10.0, lambda: fired.append("doomed"))
+    sim.schedule(10.0, lambda: fired.append("survivor"))
+    doomed.cancel()
+    assert sim.run(until=5.0) == 5.0
+    assert sim.now == 5.0
+    assert fired == []
+    assert sim.pending == 1
+    sim.run()
+    assert fired == ["survivor"]
+    assert sim.now == 10.0
+
+
+def test_all_cancelled_batch_does_not_advance_clock():
+    sim = Simulator()
+    for _ in range(3):
+        sim.schedule(10.0, lambda: None).cancel()
+    sim.run(until=5.0)
+    assert sim.now == 5.0
+    sim.run()
+    # Only fires advance the clock; draining cancelled events must not.
+    assert sim.now == 5.0
+    assert sim.events_processed == 0
+
+
+def test_pending_is_zero_after_mass_cancel():
+    sim = Simulator()
+    events = [sim.schedule(float(i % 7), lambda: None) for i in range(100)]
+    assert sim.pending == 100
+    for event in events:
+        event.cancel()
+    assert sim.pending == 0
+    # Double-cancel must not drive the counter negative.
+    events[0].cancel()
+    assert sim.pending == 0
+    sim.run()
+    assert sim.events_processed == 0
+
+
+def test_pending_tracks_fires():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    sim.step()
+    assert sim.pending == 1
+    sim.run()
+    assert sim.pending == 0
+
+
+# ------------------------------------------------------- reentrancy
+
+
+def test_step_inside_callback_raises():
+    sim = Simulator()
+
+    def nested():
+        sim.step()
+
+    sim.schedule(1.0, nested)
+    sim.schedule(2.0, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_run_inside_step_raises():
+    sim = Simulator()
+
+    def nested():
+        sim.run()
+
+    sim.schedule(1.0, nested)
+    with pytest.raises(SimulationError):
+        sim.step()
+
+
+# ------------------------------------------------------- fused-event credits
+
+
+def test_count_fused_credits_events_processed():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: sim.count_fused(2))
+    sim.run()
+    assert sim.events_processed == 3
+
+
+def test_count_fused_ignores_nonpositive():
+    sim = Simulator()
+    sim.count_fused(0)
+    sim.count_fused(-4)
+    assert sim.events_processed == 0
+
+
+def test_schedule_abs_rejects_past():
+    sim = Simulator()
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_abs(4.0, lambda: None)
+
+
+def test_schedule_abs_stores_exact_timestamp():
+    sim = Simulator()
+    fired = []
+    sim.schedule(0.1, lambda: sim.schedule_abs(0.30000000000000004, lambda: fired.append(sim.now)))
+    sim.run()
+    assert fired == [0.30000000000000004]
