@@ -15,9 +15,15 @@ experiment whose output changed:
   on bit-identical timestamps and event counts, and the flag disables
   itself in the modes where the equivalence cannot hold (armed fault
   plans, serving horizons) — so E13/E14/E15 pass by construction.
+* ``tracing`` — an armed :class:`repro.obs.spans.SpanCollector` against
+  no collector.  Span hooks observe existing state transitions only —
+  they schedule no events and draw no randomness — so an armed collector
+  must be invisible in every report, including the serving experiments
+  whose reports carry ``events_processed``.
 
 Exposed through ``repro check --scheduler-identity`` /
-``--fusion-identity`` and exercised (on a subset) by the test suite.
+``--fusion-identity`` / ``--tracing-identity`` and exercised (on a
+subset) by the test suite.
 
 Configurations are the experiments' quick grids — small enough for CI,
 large enough to cross every protocol path (joins, broadcasts, failover,
@@ -70,9 +76,13 @@ QUICK_CONFIGS: Dict[str, Tuple[str, Dict]] = {
         "repro.experiments.serving",
         dict(machines=("ring",), rates=(20.0, 60.0), duration_ms=1500.0, scale=0.05),
     ),
+    "latency_decomposition": (
+        "repro.experiments.latency_decomposition",
+        dict(machines=("ring",), rates=(20.0, 60.0), duration_ms=1500.0, scale=0.05),
+    ),
 }
 
-AXES = ("scheduler", "fusion")
+AXES = ("scheduler", "fusion", "tracing")
 
 
 def render_experiment(name: str) -> str:
@@ -101,6 +111,11 @@ def _axis_context(axis: str) -> Iterator[None]:
         from repro.sim.fusion import fusing
 
         with fusing(True):
+            yield
+    elif axis == "tracing":
+        from repro.obs.spans import collecting
+
+        with collecting():
             yield
     else:
         raise CheckError(f"unknown identity axis {axis!r} (choose from {AXES})")

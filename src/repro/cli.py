@@ -17,10 +17,17 @@ Commands:
 * ``serve [...]``             — continuous multi-user serving mode: open-loop
                                 arrivals into a running machine; prints a
                                 byte-stable JSON SLO report (p50/p99/p999)
+* ``explain-latency [...]``   — a serving run with span tracing armed:
+                                attributes end-to-end latency into
+                                queueing/service/transit/disk/retransmission
+                                buckets (repro-explain/v1); optional
+                                repro-tsdb/v1 time-series and Chrome-trace
+                                flow-graph outputs
 * ``check [paths...]``        — determinism lint (R001-R005); ``--self-test``
                                 proves each rule still fires;
-                                ``--scheduler-identity``/``--fusion-identity``
-                                prove the perf axes change no output bytes
+                                ``--scheduler-identity``/``--fusion-identity``/
+                                ``--tracing-identity`` prove the perf and
+                                observability axes change no output bytes
 
 ``run``/``trace``/``metrics`` accept ``--sanitize`` to enable the runtime
 simulation sanitizer (event-order, delay, lease, cache, and ring
@@ -43,6 +50,8 @@ Examples::
     python -m repro workload --scale 0.1
     python -m repro serve --machine ring --arrivals poisson --rate 50 --seed 7
     python -m repro run serving --workers 4
+    python -m repro explain-latency --machine ring --rate 80 --top 5
+    python -m repro check --tracing-identity --experiments serving
 """
 
 from __future__ import annotations
@@ -62,6 +71,7 @@ from repro.experiments import (
     figure_3_1,
     figure_4_2,
     granularity_tuple,
+    latency_decomposition,
     packets_demo,
     project_operator,
     ring_sizing_exp,
@@ -84,6 +94,10 @@ _EXPERIMENTS: Dict[str, tuple] = {
     "fault_tolerance": (fault_tolerance, "E13: survive disabled processors"),
     "chaos": (chaos_sweep, "E14: chaos sweep — every fault class x rate x machine"),
     "serving": (serving, "E15: serving saturation — offered rate x throughput x latency"),
+    "latency_decomposition": (
+        latency_decomposition,
+        "E16: latency decomposition — critical-path bucket shares vs load",
+    ),
 }
 
 
@@ -162,16 +176,24 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_trace(args) -> int:
-    with obs.observe(trace=True, metrics=False) as session:
+    out = args.out or f"{args.experiment}.trace.json"
+    tracer = obs.Tracer(stream_path=out) if args.stream else None
+    with obs.observe(trace=True, metrics=False, tracer=tracer) as session:
         result, code = _run_experiment(args)
     if result is None:
         return code
-    out = args.out or f"{args.experiment}.trace.json"
-    session.tracer.write(out)
-    print(
-        f"wrote {session.tracer.event_count} trace events to {out} "
-        f"(load in chrome://tracing or https://ui.perfetto.dev)"
-    )
+    if args.stream:
+        count = session.tracer.close()
+        print(
+            f"streamed {count} trace events to {out} "
+            f"(load in chrome://tracing or https://ui.perfetto.dev)"
+        )
+    else:
+        session.tracer.write(out)
+        print(
+            f"wrote {session.tracer.event_count} trace events to {out} "
+            f"(load in chrome://tracing or https://ui.perfetto.dev)"
+        )
     return 0
 
 
@@ -182,8 +204,13 @@ def _cmd_metrics(args) -> int:
         result, code = _run_experiment(args)
     if result is None:
         return code
-    report = metrics_report(session.metrics, experiment_id=args.experiment)
-    text = json.dumps(report, indent=2, sort_keys=True)
+    if args.format == "csv":
+        from repro.obs.metrics import report_csv
+
+        text = report_csv(session.metrics.report()).rstrip("\n")
+    else:
+        report = metrics_report(session.metrics, experiment_id=args.experiment)
+        text = json.dumps(report, indent=2, sort_keys=True)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
             handle.write(text + "\n")
@@ -254,7 +281,7 @@ def _cmd_check(args) -> int:
             return 2
         print("self-test OK: every rule fires and suppresses")
         return 0
-    if args.scheduler_identity or args.fusion_identity:
+    if args.scheduler_identity or args.fusion_identity or args.tracing_identity:
         from repro.check.identity import identity_mismatches
 
         experiments = [
@@ -264,6 +291,7 @@ def _cmd_check(args) -> int:
         for axis, wanted in (
             ("scheduler", args.scheduler_identity),
             ("fusion", args.fusion_identity),
+            ("tracing", args.tracing_identity),
         ):
             if not wanted:
                 continue
@@ -342,11 +370,11 @@ def _cmd_faults(args) -> int:
     return 0 if summary["all_correct"] else 1
 
 
-def _cmd_serve(args) -> int:
-    """Run one serving session; print (or write) the JSON SLO report."""
-    from repro.serve import ServeConfig, serve
+def _serve_config(args):
+    """Build a ServeConfig from the shared serving option set."""
+    from repro.serve import ServeConfig
 
-    config = ServeConfig(
+    return ServeConfig(
         machine=args.machine,
         arrivals=args.arrivals,
         rate_qps=args.rate,
@@ -365,6 +393,13 @@ def _cmd_serve(args) -> int:
         queue_limit=args.queue_limit,
         policy=args.policy,
     )
+
+
+def _cmd_serve(args) -> int:
+    """Run one serving session; print (or write) the JSON SLO report."""
+    from repro.serve import serve
+
+    config = _serve_config(args)
     if args.sanitize:
         from repro.check import sanitizing
 
@@ -379,6 +414,53 @@ def _cmd_serve(args) -> int:
         print(f"wrote SLO report to {args.out}")
     else:
         print(text)
+    return 0
+
+
+def _cmd_explain_latency(args) -> int:
+    """A traced serving run: critical-path latency attribution report."""
+    from repro.obs.critical_path import explain
+    from repro.obs.spans import SpanCollector, collecting
+    from repro.obs.timeseries import build_tsdb, spans_chrome_trace
+    from repro.serve import serve
+
+    config = _serve_config(args)
+    collector = SpanCollector(window_ms=args.window_ms)
+    with collecting(collector):
+        slo = serve(config)
+    report = explain(
+        collector,
+        top=args.top,
+        extra={
+            "serve": {
+                "machine": config.machine,
+                "rate_qps": config.rate_qps,
+                "duration_ms": config.duration_ms,
+                "elapsed_ms": slo["elapsed_ms"],
+                "slo_p99_ms": slo["latency"]["p99_ms"],
+            }
+        },
+    )
+    text = json.dumps(report, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote latency attribution report to {args.out}")
+    else:
+        print(text)
+    if args.tsdb_out:
+        tsdb = build_tsdb(collector, end_ms=float(slo["elapsed_ms"]))
+        with open(args.tsdb_out, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(tsdb, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {tsdb['windows']}-window time series to {args.tsdb_out}")
+    if args.trace_out:
+        trace = spans_chrome_trace(collector)
+        with open(args.trace_out, "w", encoding="utf-8") as handle:
+            json.dump(trace, handle)
+        print(
+            f"wrote {len(trace['traceEvents'])} span-trace events to "
+            f"{args.trace_out} (load in https://ui.perfetto.dev)"
+        )
     return 0
 
 
@@ -454,6 +536,12 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--out", default=None, help="trace file path (default <experiment>.trace.json)"
     )
+    trace.add_argument(
+        "--stream",
+        action="store_true",
+        help="flush trace events to --out incrementally (memory-bounded; "
+        "same JSON document, different write path)",
+    )
 
     metrics = sub.add_parser(
         "metrics", help="run one experiment with metrics; emit a JSON report"
@@ -461,6 +549,13 @@ def build_parser() -> argparse.ArgumentParser:
     add_experiment_options(metrics)
     metrics.add_argument(
         "--out", default=None, help="write the JSON report here instead of stdout"
+    )
+    metrics.add_argument(
+        "--format",
+        choices=["json", "csv"],
+        default="json",
+        help="report rendering: the derived JSON report, or a flat "
+        "section,key,field,value CSV of the raw instrument snapshot",
     )
 
     workload = sub.add_parser("workload", help="describe the benchmark database")
@@ -527,6 +622,13 @@ def build_parser() -> argparse.ArgumentParser:
         "byte-identically to unfused chains (CI gate)",
     )
     check.add_argument(
+        "--tracing-identity",
+        action="store_true",
+        dest="tracing_identity",
+        help="verify an armed span collector renders every experiment "
+        "byte-identically to untraced runs (CI gate)",
+    )
+    check.add_argument(
         "--experiments",
         default=None,
         help="comma-separated experiment subset for the identity gates",
@@ -584,72 +686,102 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None, help="write the JSON report here instead of stdout"
     )
 
+    def add_serving_options(parser_: argparse.ArgumentParser) -> None:
+        parser_.add_argument(
+            "--machine", choices=["ring", "direct", "dataflow"], default="ring"
+        )
+        parser_.add_argument(
+            "--arrivals", choices=["poisson", "bursty", "diurnal"], default="poisson"
+        )
+        parser_.add_argument(
+            "--rate", type=float, default=50.0, help="mean offered rate, queries/second"
+        )
+        parser_.add_argument(
+            "--duration-ms",
+            type=float,
+            default=10_000.0,
+            dest="duration_ms",
+            help="arrival window in simulated ms (the run then drains)",
+        )
+        parser_.add_argument("--seed", type=int, default=1979)
+        parser_.add_argument("--scale", type=float, default=0.05, help="database scale")
+        parser_.add_argument(
+            "--b-domain", type=int, default=100, dest="b_domain",
+            help="join-attribute domain (small keeps joins non-empty at low scale)",
+        )
+        parser_.add_argument("--selectivity", type=float, default=0.1)
+        parser_.add_argument(
+            "--page-bytes", type=int, default=2048, dest="page_bytes"
+        )
+        parser_.add_argument("--processors", type=int, default=8)
+        parser_.add_argument(
+            "--zipf-s", type=float, default=0.8, dest="zipf_s",
+            help="zipf skew of relation popularity and session activity",
+        )
+        parser_.add_argument(
+            "--loop", choices=["open", "closed"], default="open",
+            help="open = fixed arrival schedule; closed = N users with think time",
+        )
+        parser_.add_argument(
+            "--users", type=int, default=1000,
+            help="distinct sessions (open loop) or concurrent users (closed loop)",
+        )
+        parser_.add_argument(
+            "--think-ms", type=float, default=1000.0, dest="think_ms",
+            help="mean think time between a closed-loop user's queries",
+        )
+        parser_.add_argument(
+            "--max-inflight", type=int, default=8, dest="max_inflight",
+            help="admission bound on concurrently running queries",
+        )
+        parser_.add_argument(
+            "--queue-limit", type=int, default=64, dest="queue_limit",
+            help="admission queue depth; arrivals beyond it are shed",
+        )
+        parser_.add_argument(
+            "--policy", choices=["fifo", "sjf"], default="fifo",
+            help="admission queue order (sjf = shortest estimated job first)",
+        )
+
     serve_cmd = sub.add_parser(
         "serve",
         help="continuous serving mode: open-loop arrivals into a running "
         "machine; prints a byte-stable JSON SLO report",
     )
-    serve_cmd.add_argument(
-        "--machine", choices=["ring", "direct", "dataflow"], default="ring"
-    )
-    serve_cmd.add_argument(
-        "--arrivals", choices=["poisson", "bursty", "diurnal"], default="poisson"
-    )
-    serve_cmd.add_argument(
-        "--rate", type=float, default=50.0, help="mean offered rate, queries/second"
-    )
-    serve_cmd.add_argument(
-        "--duration-ms",
-        type=float,
-        default=10_000.0,
-        dest="duration_ms",
-        help="arrival window in simulated ms (the run then drains)",
-    )
-    serve_cmd.add_argument("--seed", type=int, default=1979)
-    serve_cmd.add_argument("--scale", type=float, default=0.05, help="database scale")
-    serve_cmd.add_argument(
-        "--b-domain", type=int, default=100, dest="b_domain",
-        help="join-attribute domain (small keeps joins non-empty at low scale)",
-    )
-    serve_cmd.add_argument("--selectivity", type=float, default=0.1)
-    serve_cmd.add_argument(
-        "--page-bytes", type=int, default=2048, dest="page_bytes"
-    )
-    serve_cmd.add_argument("--processors", type=int, default=8)
-    serve_cmd.add_argument(
-        "--zipf-s", type=float, default=0.8, dest="zipf_s",
-        help="zipf skew of relation popularity and session activity",
-    )
-    serve_cmd.add_argument(
-        "--loop", choices=["open", "closed"], default="open",
-        help="open = fixed arrival schedule; closed = N users with think time",
-    )
-    serve_cmd.add_argument(
-        "--users", type=int, default=1000,
-        help="distinct sessions (open loop) or concurrent users (closed loop)",
-    )
-    serve_cmd.add_argument(
-        "--think-ms", type=float, default=1000.0, dest="think_ms",
-        help="mean think time between a closed-loop user's queries",
-    )
-    serve_cmd.add_argument(
-        "--max-inflight", type=int, default=8, dest="max_inflight",
-        help="admission bound on concurrently running queries",
-    )
-    serve_cmd.add_argument(
-        "--queue-limit", type=int, default=64, dest="queue_limit",
-        help="admission queue depth; arrivals beyond it are shed",
-    )
-    serve_cmd.add_argument(
-        "--policy", choices=["fifo", "sjf"], default="fifo",
-        help="admission queue order (sjf = shortest estimated job first)",
-    )
+    add_serving_options(serve_cmd)
     serve_cmd.add_argument(
         "--sanitize", action="store_true",
         help="run under the simulation sanitizer",
     )
     serve_cmd.add_argument(
         "--out", default=None, help="write the JSON report here instead of stdout"
+    )
+
+    explain = sub.add_parser(
+        "explain-latency",
+        help="run a serving session with span tracing armed; attribute "
+        "end-to-end latency into critical-path buckets (repro-explain/v1)",
+    )
+    add_serving_options(explain)
+    explain.add_argument(
+        "--window-ms", type=float, default=100.0, dest="window_ms",
+        help="time-series fold window in simulated ms",
+    )
+    explain.add_argument(
+        "--top", type=int, default=10,
+        help="slowest queries to list with their critical paths",
+    )
+    explain.add_argument(
+        "--out", default=None,
+        help="write the attribution report here instead of stdout",
+    )
+    explain.add_argument(
+        "--tsdb-out", default=None, dest="tsdb_out",
+        help="also write the repro-tsdb/v1 windowed time series here",
+    )
+    explain.add_argument(
+        "--trace-out", default=None, dest="trace_out",
+        help="also write a Chrome trace with per-span flow arrows here",
     )
 
     sub.add_parser("bench-info", help="how to run the benchmark suite")
@@ -670,6 +802,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "check": _cmd_check,
         "faults": _cmd_faults,
         "serve": _cmd_serve,
+        "explain-latency": _cmd_explain_latency,
         "bench-info": _cmd_bench_info,
     }
     if args.command is None:

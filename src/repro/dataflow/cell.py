@@ -105,6 +105,10 @@ class Cell:
         self.cell_id = next(self._ids)
         self.node = node
         self.output_schema = output_schema
+        #: Owning query's name, stamped at submit time.  Gives the machine
+        #: O(1) cell -> query resolution (span attribution, result routing)
+        #: instead of scanning every submitted program.
+        self.tree_name = ""
         self.operands = [OperandSlot(name, schema) for name, schema in operand_schemas]
         #: Cells whose slot receives this cell's output: (cell, slot index).
         self.destinations: List[Tuple["Cell", int]] = []

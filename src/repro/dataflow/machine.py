@@ -112,6 +112,11 @@ class DataflowMachine:
         self._programs.append(program)
         for cell in program.cells:
             self._assemblies[cell.cell_id] = []
+            cell.tree_name = tree.name
+        if self.sim.spans is not None:
+            # Idempotent: the serve layer may have opened this record at
+            # offer time.
+            self.sim.spans.query_begin(tree.name, self.sim.now)
         if self._serving:
             self._pump_soon()
         return program
@@ -179,11 +184,21 @@ class DataflowMachine:
         nbytes = self._packet_bytes(unit)
         self.arbitration_bytes += nbytes
 
+        query = self._tree_name_of(cell)
+
         def at_processor() -> None:
             cpu = self._cpu_ms(unit)
-            self.processors.submit(cpu, lambda: self._fired(unit), nbytes=0)
+            self.processors.submit(
+                cpu, lambda: self._fired(unit), nbytes=0, query=query
+            )
 
-        self.arbitration.submit(nbytes / self.network_rate, at_processor, nbytes=nbytes)
+        self.arbitration.submit(
+            nbytes / self.network_rate,
+            at_processor,
+            nbytes=nbytes,
+            query=query,
+            span_kind="transit",
+        )
 
     def _packet_bytes(self, unit: FiringUnit) -> int:
         c = self.model.packet_overhead_bytes
@@ -255,7 +270,13 @@ class DataflowMachine:
                 self._results.setdefault(tree_name, []).extend(page.rows())
             self._pump()
 
-        self.distribution.submit(nbytes / self.network_rate, delivered, nbytes=nbytes)
+        self.distribution.submit(
+            nbytes / self.network_rate,
+            delivered,
+            nbytes=nbytes,
+            query=self._tree_name_of(cell),
+            span_kind="transit",
+        )
 
     # ------------------------------------------------------------------ completion
 
@@ -272,16 +293,20 @@ class DataflowMachine:
             tree_name = self._tree_name_of(cell)
             if tree_name not in self._query_done_at:
                 self._query_done_at[tree_name] = self.sim.now
+                rows = len(self._results.get(tree_name, []))
+                if self.sim.spans is not None:
+                    self.sim.spans.query_end(tree_name, self.sim.now, rows)
                 if self.on_query_complete is not None:
-                    self.on_query_complete(
-                        tree_name, self.sim.now, len(self._results.get(tree_name, []))
-                    )
+                    self.on_query_complete(tree_name, self.sim.now, rows)
         self._pump_soon()
 
     def _pump_soon(self) -> None:
         self.sim.schedule(0.0, self._pump, label="pump")
 
     def _tree_name_of(self, cell: Cell) -> str:
+        if cell.tree_name:
+            return cell.tree_name
+        # Fallback for cells built outside submit() (tests, tools): scan.
         for program in self._programs:
             if cell in program.cells:
                 return program.tree.name

@@ -15,7 +15,7 @@ The simulated processors do two separable things:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Sequence
+from typing import Callable, List, Sequence, Tuple
 
 from repro import hw
 from repro.relational.page import Page
@@ -81,6 +81,23 @@ def fused_chain_end(now: float, parts: Sequence[float]) -> float:
     for part in parts:
         end = end + part
     return end
+
+
+def fused_chain_spans(now: float, parts: Sequence[float]) -> List[Tuple[float, float]]:
+    """Per-link ``(start, duration)`` intervals of a chain begun at ``now``.
+
+    The analytic sub-spans an observer (tracer or span collector) reports
+    for a fused chain: each link starts exactly where the unfused cascade
+    would have scheduled it, using the same left-to-right accumulation as
+    :func:`fused_chain_end`, so traced fused runs show the same per-op
+    intervals as unfused ones.
+    """
+    spans: List[Tuple[float, float]] = []
+    start = now
+    for part in parts:
+        spans.append((start, part))
+        start = start + part
+    return spans
 
 
 # ---------------------------------------------------------------------------

@@ -33,7 +33,7 @@ from repro import hw
 from repro.errors import MachineError
 from repro.direct import traffic as tlevels
 from repro.direct.cache import DiskCache, PageRef
-from repro.direct.exec_model import ExecModel, fused_chain_end
+from repro.direct.exec_model import ExecModel, fused_chain_end, fused_chain_spans
 from repro.direct.instructions import (
     Instruction,
     JoinInstruction,
@@ -170,6 +170,8 @@ class DirectMachine:
         self.fuse_ops = resolve_fusion(fuse_ops, self.sim)
         self.meter = TrafficMeter()
         self.processors = [_Processor(i) for i in range(processors)]
+        if self.sim.spans is not None:
+            self.sim.spans.register_capacity("processors", processors)
         self.ports = Resource(self.sim, "cache-ports", capacity=cache_ports)
         self.disks = [
             Resource(self.sim, f"disk{i}", capacity=1) for i in range(num_disks)
@@ -276,6 +278,10 @@ class DirectMachine:
             )
         run = QueryRun(tree=tree, root_instruction=root_instr, submitted_at=self.sim.now)
         self._runs.append(run)
+        if self.sim.spans is not None:
+            # Idempotent: the serve layer may have opened this record at
+            # offer time; direct submission opens it here.
+            self.sim.spans.query_begin(tree.name, self.sim.now)
         return run
 
     def _compile_node(self, node: QueryNode, tree: QueryTree) -> Instruction:
@@ -450,19 +456,34 @@ class DirectMachine:
         def fetched() -> None:
             # Operand page lands in the staging memory cell (autonomous
             # transfer; does not occupy the execution unit).
+            fill = self.model.proc_read_ms(task.page.nbytes)
+            if self.sim.spans is not None:
+                # Service time for the query, but not processor busy time:
+                # the staging transfer runs beside the execution unit.
+                self.sim.spans.record(
+                    "service",
+                    task.instruction.query.name,
+                    self.sim.now,
+                    self.sim.now + fill,
+                    name="proc.stage",
+                )
             self.sim.schedule(
-                self.model.proc_read_ms(task.page.nbytes),
+                fill,
                 lambda: self._staged_filled(proc),
                 label=f"p{proc.pid}.fill",
             )
 
         self.sim.schedule(
             self.model.dispatch_ms,
-            lambda: self._fetch_operand(task.page, fetched),
+            lambda: self._fetch_operand(
+                task.page, fetched, query=task.instruction.query.name
+            ),
             label=f"p{proc.pid}.dispatch",
         )
 
-    def _fetch_operand(self, ref: PageRef, done: Callable[[], None]) -> None:
+    def _fetch_operand(
+        self, ref: PageRef, done: Callable[[], None], query: Optional[str] = None
+    ) -> None:
         """Deliver an operand page toward a processor.
 
         Intermediate pages still in controller local memory ship straight
@@ -482,8 +503,29 @@ class DirectMachine:
                 for cb in self._buffer_reads.pop(ref.key, []):
                     cb()
 
+            if self.sim.spans is not None:
+                # The interconnect hop out of controller memory is transit
+                # time for the requesting query (sharers that pile onto an
+                # in-flight read fall into the queueing residual).
+                self.sim.spans.record(
+                    "transit",
+                    query,
+                    self.sim.now,
+                    self.sim.now + self.model.ic_latency_ms,
+                    name="ic.read",
+                )
             self.sim.schedule(self.model.ic_latency_ms, delivered, label="ic.read")
         else:
+            spans = self.sim.spans
+            if spans is not None and query is not None:
+                started = self.sim.now
+                inner_done = done
+
+                def cache_fetched() -> None:
+                    spans.record("disk", query, started, self.sim.now, name="cache.read")
+                    inner_done()
+
+                done = cache_fetched
             self.cache.read_shared(ref, done)
 
     def _staged_filled(self, proc: _Processor) -> None:
@@ -509,11 +551,23 @@ class DirectMachine:
         else:
             self._unary_execute(proc, task)
 
-    def _charge(self, proc: _Processor, delay: float, then: Callable[[], None]) -> None:
+    def _charge(
+        self,
+        proc: _Processor,
+        delay: float,
+        then: Callable[[], None],
+        query: Optional[str] = None,
+        what: str = "cpu",
+    ) -> None:
         if self.sim.tracer.enabled:
             self.sim.tracer.span("cpu", "proc", self.sim.now, delay, f"P{proc.pid}")
         if self.sim.metrics.enabled:
             self.sim.metrics.tally("proc.charge_ms", kind="cpu").observe(delay)
+        if self.sim.spans is not None:
+            self.sim.spans.record(
+                "service", query, self.sim.now, self.sim.now + delay, name=f"proc.{what}"
+            )
+            self.sim.spans.resource_busy("processors", self.sim.now, delay)
 
         def done() -> None:
             # Credit busy time when the service interval has actually
@@ -536,7 +590,7 @@ class DirectMachine:
             rows_out = instr.compute(task)
             self._emit_rows(proc, instr, rows_out, lambda: self._finish_task(proc, task))
 
-        self._charge(proc, cpu, computed)
+        self._charge(proc, cpu, computed, query=instr.query.name)
 
     def _unary_cpu_ms(self, instr: Instruction, rows: int) -> float:
         if isinstance(instr, RestrictInstruction):
@@ -572,7 +626,10 @@ class DirectMachine:
                     self._charge_pair_traffic(instr, task.page, inner_ref)
 
                 self._charge(
-                    proc, cpu, lambda: self._join_pair_done(proc, task, instr, inner_ref)
+                    proc,
+                    cpu,
+                    lambda: self._join_pair_done(proc, task, instr, inner_ref),
+                    query=instr.query.name,
                 )
 
             if self.sim.tracer.enabled:
@@ -581,6 +638,15 @@ class DirectMachine:
                 )
             if self.sim.metrics.enabled:
                 self.sim.metrics.tally("proc.charge_ms", kind="inner-fill").observe(fill)
+            if self.sim.spans is not None:
+                self.sim.spans.record(
+                    "service",
+                    instr.query.name,
+                    self.sim.now,
+                    self.sim.now + fill,
+                    name="proc.fill",
+                )
+                self.sim.spans.resource_busy("processors", self.sim.now, fill)
 
             def fill_done() -> None:
                 proc.busy_ms += fill
@@ -588,7 +654,7 @@ class DirectMachine:
 
             self.sim.schedule(fill, fill_done, label=f"p{proc.pid}.inner-fill")
 
-        self._fetch_operand(inner_ref, inner_delivered)
+        self._fetch_operand(inner_ref, inner_delivered, query=instr.query.name)
 
     def _join_pair_done(
         self, proc: _Processor, task: Task, instr: JoinInstruction, inner_ref: PageRef
@@ -629,6 +695,19 @@ class DirectMachine:
         if sim.metrics.enabled:
             sim.metrics.tally("proc.charge_ms", kind="inner-fill").observe(fill)
             sim.metrics.tally("proc.charge_ms", kind="cpu").observe(cpu)
+        if sim.spans is not None:
+            # Fusion composition: report the same per-link intervals the
+            # unfused cascade would have produced (analytic sub-spans).
+            links = fused_chain_spans(sim.now, (fill, cpu))
+            for (span_start, dur), what in zip(links, ("fill", "cpu")):
+                sim.spans.record(
+                    "service",
+                    instr.query.name,
+                    span_start,
+                    span_start + dur,
+                    name=f"proc.{what}",
+                )
+                sim.spans.resource_busy("processors", span_start, dur)
 
         def fused_done() -> None:
             proc.busy_ms += fill
@@ -738,7 +817,7 @@ class DirectMachine:
         write_ms = sum(self.model.proc_write_ms(ref.nbytes) for ref in completed)
         for ref in completed:
             self._write_and_announce(instr, ref)
-        self._charge(proc, write_ms, then)
+        self._charge(proc, write_ms, then, query=instr.query.name, what="write")
 
     def _write_and_announce(self, instr: Instruction, ref: PageRef) -> None:
         if self.granularity.materialize_to_disk:
@@ -866,6 +945,10 @@ class DirectMachine:
                         run.completed_at - run.submitted_at,
                         "queries",
                         args={"result_rows": run.result_rows},
+                    )
+                if self.sim.spans is not None:
+                    self.sim.spans.query_end(
+                        run.tree.name, self.sim.now, run.result_rows
                     )
                 # The host drains the result; its pages leave the machine.
                 for ref in instr.produced_pages:

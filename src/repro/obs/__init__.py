@@ -30,6 +30,7 @@ from repro.obs.metrics import (
     metric_key,
     parse_metric_key,
 )
+from repro.obs.spans import SpanCollector, active_collector, collecting
 from repro.obs.tracer import NULL_TRACER, Tracer
 
 __all__ = [
@@ -37,8 +38,11 @@ __all__ = [
     "NULL_REGISTRY",
     "NULL_TRACER",
     "ObsSession",
+    "SpanCollector",
     "Tracer",
+    "active_collector",
     "ambient",
+    "collecting",
     "install",
     "metric_key",
     "next_run_id",

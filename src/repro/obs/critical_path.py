@@ -1,0 +1,187 @@
+"""Critical-path extraction: exact latency attribution per query.
+
+Given a completed :class:`~repro.obs.spans.QueryRecord`, every instant of
+the query's ``[start, end)`` timeline is charged to exactly one bucket:
+
+* instants covered by a **service** span (IP/processor busy on this query)
+  are service time, regardless of what else overlaps;
+* otherwise **disk** (cache fetch in flight), then **transit** (on a ring
+  or arbitration/distribution network), then **retransmission** (NAK or
+  timeout backoff after a lossy-ring drop);
+* everything else — explicit admission-queue waits and all uncovered
+  residue (dispatch waits, resource queues, controller coordination) — is
+  **queueing**.
+
+Because the sweep partitions the timeline, the five buckets sum to the
+end-to-end latency up to float addition error.  The sweep is an O(n log n)
+boundary walk over the query's span endpoints with one active-count per
+priority class, so attribution cost is linear-ish in spans observed.
+
+:func:`explain` aggregates per-query attributions into the
+``repro explain-latency`` report (repro-explain/v1): per-bucket
+p50/p99/mean/total, the p99 query's own decomposition, and the top-k
+slowest queries with their span paths.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.spans import QueryRecord, SpanCollector
+
+EXPLAIN_SCHEMA = "repro-explain/v1"
+
+#: Attribution buckets; index order is coverage precedence (lower wins).
+BUCKETS = ("service", "disk", "transit", "retransmission", "queueing")
+
+_PRIORITY = {kind: index for index, kind in enumerate(BUCKETS)}
+_QUEUEING = _PRIORITY["queueing"]
+
+
+def _stable(value: float) -> float:
+    return round(value, 6)
+
+
+def _percentile(values: Sequence[float], p: float) -> float:
+    """Nearest-rank percentile (matches ``repro.serve.slo.percentile``)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+def attribute_query(record: QueryRecord) -> Dict[str, float]:
+    """Partition ``record``'s latency into the five buckets (raw floats)."""
+    buckets = {kind: 0.0 for kind in BUCKETS}
+    if record.end is None or record.end <= record.start:
+        return buckets
+    qs, qe = record.start, record.end
+    # Boundary events on the clipped spans: (position, delta, priority).
+    events: List[Tuple[float, int, int]] = []
+    for kind, _name, start, end in record.spans:
+        lo = max(start, qs)
+        hi = min(end, qe)
+        if hi <= lo:
+            continue
+        priority = _PRIORITY.get(kind, _QUEUEING)
+        events.append((lo, +1, priority))
+        events.append((hi, -1, priority))
+    events.sort(key=lambda e: e[0])
+    active = [0] * len(BUCKETS)
+    cursor = qs
+    index = 0
+    n = len(events)
+    while index < n:
+        position = events[index][0]
+        if position > cursor:
+            segment = position - cursor
+            winner = _QUEUEING
+            for priority in range(len(BUCKETS)):
+                if active[priority] > 0:
+                    winner = priority
+                    break
+            buckets[BUCKETS[winner]] += segment
+            cursor = position
+        # Apply every delta at this position before measuring onward.
+        while index < n and events[index][0] <= cursor:
+            _, delta, priority = events[index]
+            active[priority] += delta
+            index += 1
+    if qe > cursor:
+        segment = qe - cursor
+        winner = _QUEUEING
+        for priority in range(len(BUCKETS)):
+            if active[priority] > 0:
+                winner = priority
+                break
+        buckets[BUCKETS[winner]] += segment
+    return buckets
+
+
+def _span_path(record: QueryRecord, limit: int = 40) -> Dict[str, Any]:
+    """A query's spans in start order, truncated for report compactness."""
+    ordered = sorted(record.spans, key=lambda s: (s[2], s[3], s[0], s[1]))
+    path = [
+        {
+            "kind": kind,
+            "name": name,
+            "start_ms": _stable(start - record.start),
+            "dur_ms": _stable(end - start),
+        }
+        for kind, name, start, end in ordered[:limit]
+    ]
+    return {"spans": path, "truncated": len(ordered) > limit}
+
+
+def explain(
+    collector: SpanCollector,
+    top: int = 10,
+    extra: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Build the repro-explain/v1 report from completed query records."""
+    records = sorted(collector.completed, key=lambda r: r.name)
+    attributions = [(record, attribute_query(record)) for record in records]
+    latencies = [record.latency_ms for record, _ in attributions]
+    per_bucket: Dict[str, List[float]] = {kind: [] for kind in BUCKETS}
+    for _record, buckets in attributions:
+        for kind in BUCKETS:
+            per_bucket[kind].append(buckets[kind])
+
+    n = len(records)
+    bucket_summary: Dict[str, Any] = {}
+    total_mean = sum(latencies) / n if n else 0.0
+    for kind in BUCKETS:
+        values = per_bucket[kind]
+        total = sum(values)
+        mean = total / n if n else 0.0
+        bucket_summary[kind] = {
+            "p50_ms": _stable(_percentile(values, 50.0)),
+            "p99_ms": _stable(_percentile(values, 99.0)),
+            "mean_ms": _stable(mean),
+            "total_ms": _stable(total),
+            "share": _stable(mean / total_mean) if total_mean > 0 else 0.0,
+        }
+
+    # The p99 query (nearest rank on end-to-end latency), decomposed.
+    p99_entry: Dict[str, Any] = {}
+    if n:
+        by_latency = sorted(attributions, key=lambda ra: (ra[0].latency_ms, ra[0].name))
+        rank = max(1, math.ceil(0.99 * n)) - 1
+        record, buckets = by_latency[rank]
+        p99_entry = {
+            "query": record.name,
+            "latency_ms": _stable(record.latency_ms),
+            "buckets": {kind: _stable(buckets[kind]) for kind in BUCKETS},
+        }
+
+    slowest = sorted(attributions, key=lambda ra: (-ra[0].latency_ms, ra[0].name))
+    top_entries = []
+    for record, buckets in slowest[: max(0, top)]:
+        entry = {
+            "query": record.name,
+            "latency_ms": _stable(record.latency_ms),
+            "rows": record.rows,
+            "buckets": {kind: _stable(buckets[kind]) for kind in BUCKETS},
+        }
+        entry.update(_span_path(record))
+        top_entries.append(entry)
+
+    report: Dict[str, Any] = {
+        "schema": EXPLAIN_SCHEMA,
+        "queries": n,
+        "cancelled": collector.cancelled,
+        "end_to_end": {
+            "p50_ms": _stable(_percentile(latencies, 50.0)),
+            "p99_ms": _stable(_percentile(latencies, 99.0)),
+            "mean_ms": _stable(total_mean),
+            "max_ms": _stable(max(latencies)) if latencies else 0.0,
+        },
+        "buckets": bucket_summary,
+        "p99_decomposition": p99_entry,
+        "slowest": top_entries,
+    }
+    if extra:
+        report.update(extra)
+    return report

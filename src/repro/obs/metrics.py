@@ -113,15 +113,18 @@ class MetricsRegistry:
         dump preserves raw tally state and raw time-series samples so a
         :meth:`merge` into another registry is lossless.  This is the
         transport format between sweep worker processes and the parent.
+
+        Keys are sorted: a dump's byte rendering depends only on what was
+        recorded, never on instrument creation order.
         """
         return {
-            "counters": {k: c.value for k, c in self._counters.items()},
-            "gauges": dict(self._gauges),
+            "counters": {k: c.value for k, c in sorted(self._counters.items())},
+            "gauges": dict(sorted(self._gauges.items())),
             "tallies": {
                 k: (t.count, t._mean, t._m2, t.minimum, t.maximum, t.samples)
-                for k, t in self._tallies.items()
+                for k, t in sorted(self._tallies.items())
             },
-            "series": {k: list(ts.samples) for k, ts in self._series.items()},
+            "series": {k: list(ts.samples) for k, ts in sorted(self._series.items())},
         }
 
     def merge(self, dump: dict, run_offset: int = 0) -> None:
@@ -219,6 +222,37 @@ class MetricsRegistry:
             f"{len(self._tallies)} tallies, {len(self._series)} series, "
             f"{len(self._gauges)} gauges)"
         )
+
+
+def _csv_field(value: object) -> str:
+    """RFC-4180 field quoting (metric keys carry commas in their labels)."""
+    text = str(value)
+    if any(ch in text for ch in (",", '"', "\n")):
+        return '"' + text.replace('"', '""') + '"'
+    return text
+
+
+def report_csv(report: dict) -> str:
+    """Flatten a :meth:`MetricsRegistry.report` dict into CSV text.
+
+    One row per scalar — ``section,key,field,value`` — in sorted key
+    order, so the rendering is byte-stable for a given set of recorded
+    values.  Counters and gauges use the field name ``value``; tallies
+    and series emit one row per summary statistic.
+    """
+    lines = ["section,key,field,value"]
+    for section in ("counters", "gauges"):
+        for key in sorted(report.get(section, {})):
+            value = report[section][key]
+            lines.append(f"{section},{_csv_field(key)},value,{_csv_field(value)}")
+    for section in ("tallies", "series"):
+        for key in sorted(report.get(section, {})):
+            fields = report[section][key]
+            for field in sorted(fields):
+                lines.append(
+                    f"{section},{_csv_field(key)},{field},{_csv_field(fields[field])}"
+                )
+    return "\n".join(lines) + "\n"
 
 
 #: The shared disabled registry: the ambient default when no one measures.

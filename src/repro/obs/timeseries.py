@@ -1,0 +1,278 @@
+"""Windowed time-series on simulated time (repro-tsdb/v1).
+
+Three fold primitives turn instrumentation callbacks into fixed-window
+series without retaining raw samples:
+
+* :class:`StepFold` — a step function (in-flight, queue depth) integrated
+  into per-window time-weighted means;
+* :class:`CumulativeFold` — a monotone counter (shed, completions) reduced
+  to its last value per window, from which per-window deltas derive rates;
+* :class:`BusyFold` — busy intervals (resource service time) integrated
+  into per-window busy-time, normalised by capacity into utilization.
+
+All windowing uses integer window indices (``int(t // window)``) — never
+float equality on timestamps — and every emitted value passes through
+``round(x, 6)`` so reports are byte-stable across platforms.
+
+:func:`build_tsdb` assembles a collector's folds into the repro-tsdb/v1
+document; :func:`validate_tsdb` and :func:`validate_chrome_trace` are the
+hand-rolled schema checks used by tests and the CI trace-smoke job (the
+container has no jsonschema dependency).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional
+
+TSDB_SCHEMA = "repro-tsdb/v1"
+
+
+def _stable(value: float) -> float:
+    return round(value, 6)
+
+
+class StepFold:
+    """Time-weighted integral of a step function, folded per window."""
+
+    def __init__(self, window_ms: float, initial: float = 0.0) -> None:
+        self.window_ms = window_ms
+        self._acc: Dict[int, float] = {}
+        self._last_t = 0.0
+        self._last_v = initial
+
+    def _integrate(self, t0: float, t1: float, value: float) -> None:
+        if t1 <= t0 or value == 0.0:
+            return
+        w = self.window_ms
+        i0 = int(t0 // w)
+        i1 = int(t1 // w)
+        for i in range(i0, i1 + 1):
+            lo = max(t0, i * w)
+            hi = min(t1, (i + 1) * w)
+            if hi > lo:
+                self._acc[i] = self._acc.get(i, 0.0) + (hi - lo) * value
+
+    def sample(self, t: float, value: float) -> None:
+        self._integrate(self._last_t, t, self._last_v)
+        self._last_t = max(self._last_t, t)
+        self._last_v = value
+
+    def values(self, end_ms: float, n_windows: int) -> List[float]:
+        """Per-window time-weighted means over ``[0, end_ms)``."""
+        self._integrate(self._last_t, end_ms, self._last_v)
+        self._last_t = max(self._last_t, end_ms)
+        w = self.window_ms
+        out: List[float] = []
+        for i in range(n_windows):
+            span = min(w, end_ms - i * w)
+            if span <= 0:
+                out.append(0.0)
+            else:
+                out.append(_stable(self._acc.get(i, 0.0) / span))
+        return out
+
+
+class CumulativeFold:
+    """Last-value-per-window fold of a monotone cumulative counter."""
+
+    def __init__(self, window_ms: float) -> None:
+        self.window_ms = window_ms
+        self._last_per_window: Dict[int, float] = {}
+
+    def sample(self, t: float, value: float) -> None:
+        self._last_per_window[int(t // self.window_ms)] = value
+
+    def deltas(self, n_windows: int) -> List[float]:
+        """Per-window increments (counter delta inside each window)."""
+        out: List[float] = []
+        carry = 0.0
+        for i in range(n_windows):
+            level = self._last_per_window.get(i, carry)
+            out.append(_stable(level - carry))
+            carry = level
+        return out
+
+
+class BusyFold:
+    """Busy-time integral per window (for resource utilization)."""
+
+    def __init__(self, window_ms: float) -> None:
+        self.window_ms = window_ms
+        self._acc: Dict[int, float] = {}
+
+    def add(self, start: float, duration: float) -> None:
+        if duration <= 0:
+            return
+        w = self.window_ms
+        end = start + duration
+        i0 = int(start // w)
+        i1 = int(end // w)
+        for i in range(i0, i1 + 1):
+            lo = max(start, i * w)
+            hi = min(end, (i + 1) * w)
+            if hi > lo:
+                self._acc[i] = self._acc.get(i, 0.0) + (hi - lo)
+
+    def utilization(self, end_ms: float, n_windows: int, capacity: int) -> List[float]:
+        w = self.window_ms
+        cap = max(1, capacity)
+        out: List[float] = []
+        for i in range(n_windows):
+            span = min(w, end_ms - i * w)
+            if span <= 0:
+                out.append(0.0)
+            else:
+                out.append(_stable(self._acc.get(i, 0.0) / (span * cap)))
+        return out
+
+
+def window_count(end_ms: float, window_ms: float) -> int:
+    """Number of (possibly partial) windows covering ``[0, end_ms)``."""
+    if end_ms <= 0:
+        return 1
+    return max(1, int(math.ceil(end_ms / window_ms)))
+
+
+def build_tsdb(collector: Any, end_ms: float) -> Dict[str, Any]:
+    """Assemble the repro-tsdb/v1 document from a SpanCollector's folds.
+
+    Series keys are sorted so ``json.dumps(..., sort_keys=True)`` output is
+    byte-stable; counter series named ``shed``/``completed`` are derived
+    into ``shed_rate`` / ``throughput_qps`` (per-window deltas, the latter
+    scaled to queries/second).
+    """
+    w = collector.window_ms
+    n = window_count(end_ms, w)
+    series: Dict[str, Dict[str, Any]] = {}
+    for name, fold in collector.step_series().items():
+        series[name] = {"mode": "mean", "values": fold.values(end_ms, n)}
+    scale_qps = 1000.0 / w
+    for name, cfold in collector.cumulative_series().items():
+        deltas = cfold.deltas(n)
+        if name == "completed":
+            series["throughput_qps"] = {
+                "mode": "rate",
+                "values": [_stable(d * scale_qps) for d in deltas],
+            }
+        elif name == "shed":
+            series["shed_rate"] = {
+                "mode": "rate",
+                "values": [_stable(d * scale_qps) for d in deltas],
+            }
+        else:
+            series[name] = {"mode": "delta", "values": deltas}
+    capacities = collector.capacities()
+    for name, bfold in collector.busy_series().items():
+        series[f"utilization.{name}"] = {
+            "mode": "utilization",
+            "values": bfold.utilization(end_ms, n, capacities.get(name, 1)),
+        }
+    return {
+        "schema": TSDB_SCHEMA,
+        "window_ms": _stable(w),
+        "windows": n,
+        "duration_ms": _stable(end_ms),
+        "series": {k: series[k] for k in sorted(series)},
+    }
+
+
+def spans_chrome_trace(collector: Any) -> Dict[str, Any]:
+    """Chrome-trace view of a :class:`SpanCollector`'s completed queries.
+
+    One slice per query on the ``queries`` track, one slice per recorded
+    span on its component track (the span's name, falling back to its
+    kind), and a flow-arrow pair per span linking the hop slice back to
+    its query slice.  Flow ids derive from
+    :func:`repro.ring.packets.query_flow_id` (offset by span index), so
+    the rendering is stable across runs and machines.
+    """
+    from repro.obs.tracer import Tracer
+    from repro.ring.packets import query_flow_id
+
+    tracer = Tracer()
+    for record in sorted(collector.completed, key=lambda r: (r.start, r.name)):
+        if record.end is None:
+            continue
+        base = query_flow_id(record.name)
+        tracer.span(
+            record.name,
+            "query",
+            record.start,
+            record.end - record.start,
+            "queries",
+            args={"rows": record.rows},
+        )
+        ordered = sorted(record.spans, key=lambda s: (s[2], s[3], s[0], s[1]))
+        for index, (kind, name, start, end) in enumerate(ordered):
+            track = name or kind
+            tracer.span(f"{record.name}:{kind}", kind, start, end - start, track)
+            flow_id = (base + index) & 0xFFFFFFFF
+            tracer.flow(record.name, "span", start, "queries", flow_id, phase="s")
+            tracer.flow(record.name, "span", start, track, flow_id, phase="f")
+    return tracer.chrome_trace()
+
+
+# ---------------------------------------------------------------- validators
+
+_TSDB_MODES = ("mean", "rate", "delta", "utilization")
+
+
+def validate_tsdb(doc: Dict[str, Any]) -> None:
+    """Raise ValueError unless ``doc`` is a well-formed repro-tsdb/v1."""
+    if not isinstance(doc, dict):
+        raise ValueError("tsdb document must be an object")
+    if doc.get("schema") != TSDB_SCHEMA:
+        raise ValueError(f"schema must be {TSDB_SCHEMA!r}, got {doc.get('schema')!r}")
+    for key in ("window_ms", "windows", "duration_ms", "series"):
+        if key not in doc:
+            raise ValueError(f"tsdb document missing {key!r}")
+    windows = doc["windows"]
+    if not isinstance(windows, int) or windows < 1:
+        raise ValueError("windows must be a positive integer")
+    if not isinstance(doc["series"], dict):
+        raise ValueError("series must be an object")
+    for name, entry in doc["series"].items():
+        if not isinstance(entry, dict):
+            raise ValueError(f"series {name!r} must be an object")
+        if entry.get("mode") not in _TSDB_MODES:
+            raise ValueError(f"series {name!r} has unknown mode {entry.get('mode')!r}")
+        values = entry.get("values")
+        if not isinstance(values, list) or len(values) != windows:
+            raise ValueError(
+                f"series {name!r} must carry exactly {windows} values"
+            )
+        for v in values:
+            if not isinstance(v, (int, float)) or isinstance(v, bool):
+                raise ValueError(f"series {name!r} holds a non-numeric value")
+
+
+_PHASE_REQUIRED = {
+    "X": ("name", "cat", "ph", "ts", "dur", "pid", "tid"),
+    "i": ("name", "ph", "ts", "pid", "tid"),
+    "C": ("name", "ph", "ts", "pid", "args"),
+    "M": ("name", "ph", "pid"),
+    "s": ("name", "cat", "ph", "ts", "pid", "tid", "id"),
+    "f": ("name", "cat", "ph", "ts", "pid", "tid", "id"),
+}
+
+
+def validate_chrome_trace(doc: Dict[str, Any]) -> None:
+    """Raise ValueError unless ``doc`` is a valid Chrome trace object."""
+    if not isinstance(doc, dict):
+        raise ValueError("chrome trace must be an object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("chrome trace missing traceEvents array")
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"traceEvents[{index}] is not an object")
+        phase = event.get("ph")
+        required: Optional[tuple] = _PHASE_REQUIRED.get(phase)  # type: ignore[arg-type]
+        if required is None:
+            raise ValueError(f"traceEvents[{index}] has unknown phase {phase!r}")
+        for key in required:
+            if key not in event:
+                raise ValueError(
+                    f"traceEvents[{index}] (ph={phase}) missing {key!r}"
+                )

@@ -14,7 +14,12 @@ Conventions:
   viewers show one swim-lane per simulated component;
 * a disabled tracer (``enabled=False``) records nothing — every recording
   method returns immediately, so instrumentation hooks cost one attribute
-  check when tracing is off.
+  check when tracing is off;
+* a *streaming* tracer (``stream_path=...``) flushes events to disk in
+  batches of ``flush_every`` instead of buffering the whole trace, so a
+  long traced ``repro serve`` run stays memory-bounded; call
+  :meth:`close` to finalize the file (thread-name metadata is appended at
+  the end — Chrome/Perfetto do not care about event order).
 """
 
 from __future__ import annotations
@@ -26,10 +31,22 @@ from typing import Dict, List, Optional
 class Tracer:
     """Collects trace events; renders/writes Chrome trace-event JSON."""
 
-    def __init__(self, enabled: bool = True):
+    def __init__(
+        self,
+        enabled: bool = True,
+        stream_path: Optional[str] = None,
+        flush_every: int = 10_000,
+    ):
+        if flush_every < 1:
+            raise ValueError("flush_every must be >= 1")
         self.enabled = enabled
+        self.stream_path = stream_path
+        self.flush_every = flush_every
         self._events: List[dict] = []
         self._tracks: Dict[str, int] = {}
+        self._stream_handle = None
+        self._streamed = 0
+        self._closed = False
 
     # -- recording ------------------------------------------------------------
 
@@ -57,6 +74,7 @@ class Tracer:
         if args:
             event["args"] = args
         self._events.append(event)
+        self._maybe_flush()
 
     def instant(
         self,
@@ -81,6 +99,7 @@ class Tracer:
         if args:
             event["args"] = args
         self._events.append(event)
+        self._maybe_flush()
 
     def counter(self, name: str, ts_ms: float, values: Dict[str, float]) -> None:
         """One counter (``ph: "C"``) sample; Perfetto plots it as a graph."""
@@ -97,6 +116,37 @@ class Tracer:
                 "args": dict(values),
             }
         )
+        self._maybe_flush()
+
+    def flow(
+        self,
+        name: str,
+        cat: str,
+        ts_ms: float,
+        track: str,
+        flow_id: int,
+        phase: str = "s",
+    ) -> None:
+        """One flow event (``ph: "s"`` start / ``"f"`` finish).
+
+        Flow arrows with a shared ``flow_id`` link slices across tracks —
+        used to tie packet-hop spans back to their query span.
+        """
+        if not self.enabled:
+            return
+        event = {
+            "name": name,
+            "cat": cat,
+            "ph": phase,
+            "ts": ts_ms * 1000.0,
+            "pid": 1,
+            "tid": self._tid(track),
+            "id": flow_id,
+        }
+        if phase == "f":
+            event["bp"] = "e"  # bind to the enclosing slice
+        self._events.append(event)
+        self._maybe_flush()
 
     def _tid(self, track: str) -> int:
         tid = self._tracks.get(track)
@@ -105,16 +155,60 @@ class Tracer:
             self._tracks[track] = tid
         return tid
 
+    # -- streaming ------------------------------------------------------------
+
+    def _maybe_flush(self) -> None:
+        if self.stream_path is not None and len(self._events) >= self.flush_every:
+            self._flush_events()
+
+    def _flush_events(self) -> None:
+        """Append the buffered events to the stream file and drop them."""
+        if self._closed:
+            raise ValueError("streaming tracer already closed")
+        if self._stream_handle is None:
+            self._stream_handle = open(self.stream_path, "w", encoding="utf-8")
+            self._stream_handle.write('{"displayTimeUnit": "ms", "traceEvents": [')
+        handle = self._stream_handle
+        for event in self._events:
+            if self._streamed:
+                handle.write(", ")
+            handle.write(json.dumps(event))
+            self._streamed += 1
+        self._events.clear()
+
+    def close(self) -> int:
+        """Finalize the stream file; returns total events written.
+
+        Flushes any buffered events, appends the thread-name metadata, and
+        closes the JSON document.  Only meaningful for a streaming tracer;
+        a buffering tracer raises (use :meth:`write`).
+        """
+        if self.stream_path is None:
+            raise ValueError("close() is for streaming tracers; use write()")
+        if self._closed:
+            return self._streamed
+        self._flush_events()
+        handle = self._stream_handle
+        for event in self._metadata_events():
+            if self._streamed:
+                handle.write(", ")
+            handle.write(json.dumps(event))
+            self._streamed += 1
+        handle.write("]}")
+        handle.close()
+        self._stream_handle = None
+        self._closed = True
+        return self._streamed
+
     # -- output ---------------------------------------------------------------
 
     @property
     def event_count(self) -> int:
         """Events recorded so far (excluding thread-name metadata)."""
-        return len(self._events)
+        return len(self._events) + self._streamed
 
-    def chrome_trace(self) -> dict:
-        """The trace as a Chrome trace-event JSON object."""
-        metadata = [
+    def _metadata_events(self) -> List[dict]:
+        return [
             {
                 "name": "thread_name",
                 "ph": "M",
@@ -124,8 +218,16 @@ class Tracer:
             }
             for track, tid in sorted(self._tracks.items(), key=lambda kv: kv[1])
         ]
+
+    def chrome_trace(self) -> dict:
+        """The trace as a Chrome trace-event JSON object."""
+        if self._streamed:
+            raise ValueError(
+                "events were already streamed to disk; the in-memory trace "
+                "is incomplete (finalize with close() instead)"
+            )
         return {
-            "traceEvents": metadata + list(self._events),
+            "traceEvents": self._metadata_events() + list(self._events),
             "displayTimeUnit": "ms",
         }
 

@@ -149,6 +149,10 @@ class RingMachine:
         self.mc = MasterController(self)
         self.ips = [InstructionProcessor(self, i + 1) for i in range(processors)]
         self.mc.free_ips.extend(self.ips)
+        if self.sim.spans is not None:
+            # IPs are not a Resource; declare their pooled capacity so the
+            # time-series can normalize their busy integral.
+            self.sim.spans.register_capacity("ips", processors)
 
         self._free_ic_ids: List[int] = list(range(1, controllers + 1))
         self._ics: Dict[int, InstructionController] = {}
@@ -177,6 +181,10 @@ class RingMachine:
             self.sim.tracer.instant(
                 f"submit.{tree.name}", "query", self.sim.now, "queries"
             )
+        if self.sim.spans is not None:
+            # Idempotent: the serve layer opens the record at offer time,
+            # so an admitted-from-queue query keeps its earlier start.
+            self.sim.spans.query_begin(tree.name, self.sim.now)
         self.mc.enqueue(tree)
         self.sim.schedule(0.0, self.mc.try_admit, label="mc.admit")
         return run
@@ -216,7 +224,7 @@ class RingMachine:
                 self.mc.free_ips.remove(ip)
             self.mc.grant_loop()
 
-        self.inner_ring.send(CONTROL_PACKET_BYTES, mc_notified)
+        self.inner_ring.send(CONTROL_PACKET_BYTES, mc_notified, query=ic.tree.name)
 
     # ------------------------------------------------------------------ fault arming
 
@@ -533,22 +541,27 @@ class RingMachine:
             if not ic.dead:
                 self.mc.request_ips(ic, count)
 
-        self.inner_ring.send(CONTROL_PACKET_BYTES, deliver)
+        self.inner_ring.send(CONTROL_PACKET_BYTES, deliver, query=ic.tree.name)
 
     def mc_grant_ip(self, ic: InstructionController, ip: InstructionProcessor) -> None:
         """MC -> IC: GRANT_IP."""
-        self.inner_ring.send(CONTROL_PACKET_BYTES, lambda: ic.grant_ip(ip))
+        self.inner_ring.send(
+            CONTROL_PACKET_BYTES, lambda: ic.grant_ip(ip), query=ic.tree.name
+        )
 
     def ic_release_ip(self, ic: InstructionController, ip: InstructionProcessor) -> None:
         """IC -> MC: RELEASE_IP."""
-        self.inner_ring.send(CONTROL_PACKET_BYTES, lambda: self.mc.add_free_ip(ip))
+        self.inner_ring.send(
+            CONTROL_PACKET_BYTES, lambda: self.mc.add_free_ip(ip), query=ic.tree.name
+        )
 
     def ic_instruction_done(self, ic: InstructionController) -> None:
         """IC finished: notify consumer (outer ring) and the MC (inner)."""
         dest_ic, operand_index = ic.destination
         if dest_ic == MC_ID:
             self.outer_ring.send(
-                CONTROL_PACKET_BYTES, lambda: self._finalize_query(ic)
+                CONTROL_PACKET_BYTES, lambda: self._finalize_query(ic),
+                query=ic.tree.name,
             )
         else:
             consumer = self._ics.get(dest_ic)
@@ -557,6 +570,7 @@ class RingMachine:
             self.outer_ring.send(
                 CONTROL_PACKET_BYTES,
                 lambda: consumer.receive_operand_complete(operand_index),
+                query=ic.tree.name,
             )
 
         def mc_notified() -> None:
@@ -568,7 +582,7 @@ class RingMachine:
             self._free_ic(ic)
             self.mc.try_admit()
 
-        self.inner_ring.send(CONTROL_PACKET_BYTES, mc_notified)
+        self.inner_ring.send(CONTROL_PACKET_BYTES, mc_notified, query=ic.tree.name)
 
     def _free_ic(self, ic: InstructionController) -> None:
         # Identity check: after a failover the freed id may already belong
@@ -615,7 +629,9 @@ class RingMachine:
         page_len = 0 if header_only else page.used_bytes
         nbytes = instruction_packet_bytes(ic.result_schema, [(page.schema, page_len)])
         self.outer_ring.send(
-            nbytes, self._to_ip(ic, ip, lambda: ip.receive_unary_packet(page, flush))
+            nbytes,
+            self._to_ip(ic, ip, lambda: ip.receive_unary_packet(page, flush)),
+            query=ic.tree.name,
         )
 
     def ic_send_join_packet(
@@ -644,6 +660,7 @@ class RingMachine:
                     outer_page, outer_index, inner_page, inner_index, flush
                 ),
             ),
+            query=ic.tree.name,
         )
 
     def ic_broadcast_inner(
@@ -664,7 +681,7 @@ class RingMachine:
                 ip.receive_inner_broadcast(index, page, last_known)
             delivered()
 
-        self.outer_ring.broadcast(nbytes, deliver)
+        self.outer_ring.broadcast(nbytes, deliver, query=ic.tree.name)
 
     def ic_send_inner_last(
         self, ic: InstructionController, ip: InstructionProcessor, count: int
@@ -673,31 +690,48 @@ class RingMachine:
         self.outer_ring.send(
             CONTROL_PACKET_BYTES,
             self._to_ip(ic, ip, lambda: ip.receive_inner_last(count)),
+            query=ic.tree.name,
         )
 
     def ic_flush_ip(self, ic: InstructionController, ip: InstructionProcessor) -> None:
         """IC -> IP: flush your result buffer, then report done."""
-        self.outer_ring.send(CONTROL_PACKET_BYTES, self._to_ip(ic, ip, ip.flush_and_done))
+        self.outer_ring.send(
+            CONTROL_PACKET_BYTES,
+            self._to_ip(ic, ip, ip.flush_and_done),
+            query=ic.tree.name,
+        )
 
     def ip_to_ic_done(self, ip: InstructionProcessor, ic: InstructionController) -> None:
         """IP -> IC: DONE control packet."""
-        self.outer_ring.send(CONTROL_PACKET_BYTES, lambda: ic.ip_done(ip))
+        self.outer_ring.send(
+            CONTROL_PACKET_BYTES, lambda: ic.ip_done(ip), query=ic.tree.name
+        )
 
     def ip_to_ic_flush_done(self, ip: InstructionProcessor, ic: InstructionController) -> None:
         """IP -> IC: DONE answering a FLUSH."""
-        self.outer_ring.send(CONTROL_PACKET_BYTES, lambda: ic.ip_flush_done(ip))
+        self.outer_ring.send(
+            CONTROL_PACKET_BYTES, lambda: ic.ip_flush_done(ip), query=ic.tree.name
+        )
 
     def ip_to_ic_request_inner(
         self, ip: InstructionProcessor, ic: InstructionController, index: int
     ) -> None:
         """IP -> IC: REQUEST_INNER(index)."""
-        self.outer_ring.send(CONTROL_PACKET_BYTES, lambda: ic.ip_request_inner(ip, index))
+        self.outer_ring.send(
+            CONTROL_PACKET_BYTES,
+            lambda: ic.ip_request_inner(ip, index),
+            query=ic.tree.name,
+        )
 
     def ip_to_ic_ready_for_outer(
         self, ip: InstructionProcessor, ic: InstructionController
     ) -> None:
         """IP -> IC: READY_FOR_OUTER."""
-        self.outer_ring.send(CONTROL_PACKET_BYTES, lambda: ic.ip_ready_for_outer(ip))
+        self.outer_ring.send(
+            CONTROL_PACKET_BYTES,
+            lambda: ic.ip_ready_for_outer(ip),
+            query=ic.tree.name,
+        )
 
     def ip_send_result(
         self, ip: InstructionProcessor, ic: InstructionController, page: Page
@@ -714,7 +748,7 @@ class RingMachine:
                     return  # the query attempt was failed over; rows discarded
                 self._query_rows.setdefault(ic.tree.name, []).extend(rows)
 
-            self.outer_ring.send(nbytes, to_host)
+            self.outer_ring.send(nbytes, to_host, query=ic.tree.name)
             return
         consumer = self._ics.get(dest_ic)
         if consumer is None:
@@ -725,11 +759,15 @@ class RingMachine:
             # inner operands still need IC mediation (broadcast), so they
             # keep the normal path.
             self.outer_ring.send(
-                nbytes, lambda: consumer.receive_direct_page(operand_index, page)
+                nbytes,
+                lambda: consumer.receive_direct_page(operand_index, page),
+                query=ic.tree.name,
             )
             return
         self.outer_ring.send(
-            nbytes, lambda: consumer.receive_result_rows(operand_index, rows)
+            nbytes,
+            lambda: consumer.receive_result_rows(operand_index, rows),
+            query=ic.tree.name,
         )
 
     # ------------------------------------------------------------------ storage hierarchy (IC <-> cache/disk)
@@ -738,13 +776,34 @@ class RingMachine:
         self, ic: InstructionController, ref: PageRef, done: Callable[[], None]
     ) -> None:
         """Bring a page from the cache (or disk) into IC local memory."""
-        self.cache.read_shared(ref, done)
+        self.cache.read_shared(ref, self._disk_span(ic, "cache.read", done))
 
     def ic_overflow_page(
         self, ic: InstructionController, ref: PageRef, done: Callable[[], None]
     ) -> None:
         """IC local memory overflow: write the page to the cache segment."""
-        self.cache.write_page(ref, done, dirty=True)
+        self.cache.write_page(ref, self._disk_span(ic, "cache.write", done), dirty=True)
+
+    def _disk_span(
+        self, ic: InstructionController, what: str, done: Callable[[], None]
+    ) -> Callable[[], None]:
+        """Wrap a cache completion to record the fetch as a disk span.
+
+        The span covers the whole storage-hierarchy round trip — port
+        queueing, disk service, cache fill — which is exactly the interval
+        the query's timeline spends waiting on the disk cache.
+        """
+        spans = self.sim.spans
+        if spans is None:
+            return done
+        query = ic.tree.name
+        started = self.sim.now
+
+        def finished() -> None:
+            spans.record("disk", query, started, self.sim.now, name=what)
+            done()
+
+        return finished
 
     # ------------------------------------------------------------------ completion
 
@@ -784,6 +843,8 @@ class RingMachine:
                         args={"result_rows": run.result_rows},
                     )
                 break
+        if self.sim.spans is not None:
+            self.sim.spans.query_end(tree.name, self.sim.now, len(rows))
         self.mc.query_finished(tree)
         if self.on_query_complete is not None:
             self.on_query_complete(tree.name, self.sim.now, len(rows))

@@ -62,6 +62,10 @@ class Ring:
         # check per message, and an enabled run skips the per-message
         # registry re-keying by holding its instruments directly.
         self._trace = sim.tracer if sim.tracer.enabled else None
+        # Pre-bound span collection (None when off).  The medium Resource
+        # records on-loop transit spans; this binding adds the
+        # retransmission-backoff spans of the lossy path.
+        self._spans = sim.spans
         # Packet conservation (Section 4's shift-register insertion
         # protocol: every message inserted into the loop is also removed).
         # Tracked only under sanitize mode — the removal count needs a
@@ -97,19 +101,40 @@ class Ring:
         else:
             self._bytes_counter = None
 
-    def send(self, nbytes: int, deliver: Callable[[], None]) -> None:
-        """Transmit one ``nbytes`` message; ``deliver`` fires at arrival."""
-        self._accept(nbytes, deliver, broadcast=False)
+    def send(
+        self,
+        nbytes: int,
+        deliver: Callable[[], None],
+        query: Optional[str] = None,
+    ) -> None:
+        """Transmit one ``nbytes`` message; ``deliver`` fires at arrival.
 
-    def broadcast(self, nbytes: int, deliver: Callable[[], None]) -> None:
+        ``query`` tags the message for span collection: its on-loop time
+        is attributed to that query's transit bucket (ignored when spans
+        are off).
+        """
+        self._accept(nbytes, deliver, broadcast=False, query=query)
+
+    def broadcast(
+        self,
+        nbytes: int,
+        deliver: Callable[[], None],
+        query: Optional[str] = None,
+    ) -> None:
         """Transmit one message that every tap on the loop can copy.
 
         Cost is identical to a point-to-point send — that is the whole
         point of the ring's broadcast facility.
         """
-        self._accept(nbytes, deliver, broadcast=True)
+        self._accept(nbytes, deliver, broadcast=True, query=query)
 
-    def _accept(self, nbytes: int, deliver: Callable[[], None], broadcast: bool) -> None:
+    def _accept(
+        self,
+        nbytes: int,
+        deliver: Callable[[], None],
+        broadcast: bool,
+        query: Optional[str] = None,
+    ) -> None:
         self.bytes_carried += nbytes
         self.messages_carried += 1
         if broadcast:
@@ -133,12 +158,18 @@ class Ring:
                 self.packets_injected += 1
             seq = self._lossy_seq
             self._lossy_seq += 1
-            self._transmit(nbytes, deliver, attempt=0, seq=seq)
+            self._transmit(nbytes, deliver, attempt=0, seq=seq, query=query)
             return
         if self._sanitizer is not None:
             self.packets_injected += 1
             deliver = self._counted_removal(deliver)
-        self._medium.submit(self.model.transfer_time_ms(nbytes), deliver, nbytes=nbytes)
+        self._medium.submit(
+            self.model.transfer_time_ms(nbytes),
+            deliver,
+            nbytes=nbytes,
+            query=query,
+            span_kind="transit",
+        )
 
     def _counted_removal(self, deliver: Callable[[], None]) -> Callable[[], None]:
         def removed() -> None:
@@ -150,7 +181,12 @@ class Ring:
     # -- lossy-ring recovery (fault injection) -------------------------------
 
     def _transmit(
-        self, nbytes: int, deliver: Callable[[], None], attempt: int, seq: int
+        self,
+        nbytes: int,
+        deliver: Callable[[], None],
+        attempt: int,
+        seq: int,
+        query: Optional[str] = None,
     ) -> None:
         """One transfer attempt under an armed drop/corrupt spec.
 
@@ -200,13 +236,30 @@ class Ring:
             else:
                 delay = fate.timeout_ms * fate.backoff**attempt
             inj.count("ring.retransmit", self.name)
+            if self._spans is not None:
+                # The recovery wait (NAK turnaround or timeout backoff) is
+                # the retransmission bucket; the re-offered transfer's
+                # on-loop time is charged as transit like any other.
+                self._spans.record(
+                    "retransmission",
+                    query,
+                    self.sim.now,
+                    self.sim.now + delay,
+                    name=self.name,
+                )
             self.sim.schedule(
                 delay,
-                lambda: self._retransmit(nbytes, deliver, attempt + 1, seq),
+                lambda: self._retransmit(nbytes, deliver, attempt + 1, seq, query),
                 label=f"ring.{self.name}.retransmit",
             )
 
-        self._medium.submit(self.model.transfer_time_ms(nbytes), arrived, nbytes=nbytes)
+        self._medium.submit(
+            self.model.transfer_time_ms(nbytes),
+            arrived,
+            nbytes=nbytes,
+            query=query,
+            span_kind="transit",
+        )
 
     def _drain_ready(self) -> None:
         """Release consecutively received messages in send order."""
@@ -216,7 +269,12 @@ class Ring:
             deliver()
 
     def _retransmit(
-        self, nbytes: int, deliver: Callable[[], None], attempt: int, seq: int
+        self,
+        nbytes: int,
+        deliver: Callable[[], None],
+        attempt: int,
+        seq: int,
+        query: Optional[str] = None,
     ) -> None:
         """Re-offer a lost transfer to the loop (charges bytes again)."""
         self.bytes_carried += nbytes
@@ -235,7 +293,7 @@ class Ring:
             )
         if self._sanitizer is not None:
             self.packets_injected += 1
-        self._transmit(nbytes, deliver, attempt, seq)
+        self._transmit(nbytes, deliver, attempt, seq, query=query)
 
     def _sanitize_finish(self) -> List[str]:
         """Packet-conservation invariant for the sanitizer."""

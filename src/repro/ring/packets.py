@@ -307,6 +307,18 @@ def result_packet_bytes(page_len: int) -> int:
     return 8 + _NAME_BYTES + 4 + page_len + CHECKSUM_BYTES
 
 
+def query_flow_id(query_name: str) -> int:
+    """Deterministic Chrome-trace flow id for ``query_name``.
+
+    Flow events linking a query's packet-hop slices back to its query
+    span need one stable ``id`` per query.  Reuse the same CRC-32 the
+    packets carry as their checksum word: stable across runs and
+    machines, independent of PYTHONHASHSEED, and cheap to recompute at
+    export time.
+    """
+    return zlib.crc32(query_name.encode("utf-8", errors="replace")) & 0xFFFFFFFF
+
+
 class ControlMessage(enum.Enum):
     """Messages carried by Figure 4.5 control packets."""
 

@@ -24,7 +24,7 @@ import itertools
 from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.errors import MachineError
-from repro.direct.exec_model import fused_chain_end, join_pages
+from repro.direct.exec_model import fused_chain_end, fused_chain_spans, join_pages
 from repro.relational.page import Page, page_capacity
 from repro.relational.schema import Row, Schema
 
@@ -349,6 +349,15 @@ class InstructionProcessor:
             )
         if sim.metrics.enabled:
             sim.metrics.tally("ip.charge_ms", kind=what).observe(delay)
+        if sim.spans is not None and self.owner is not None:
+            sim.spans.record(
+                "service",
+                self.owner.tree.name,
+                sim.now,
+                sim.now + delay,
+                name=f"ip.{what}",
+            )
+            sim.spans.resource_busy("ips", sim.now, delay)
 
         epoch = self._epoch
 
@@ -391,6 +400,19 @@ class InstructionProcessor:
                 if sim.metrics.enabled:
                     sim.metrics.tally("ip.charge_ms", kind=what).observe(delay)
                 start = start + delay
+        if sim.spans is not None and self.owner is not None:
+            # Fusion composes with span collection analytically: each link
+            # of the chain reports the sub-span the unfused cascade would
+            # have produced (same left-to-right accumulation).
+            query = self.owner.tree.name
+            for (span_start, delay), what in zip(
+                fused_chain_spans(sim.now, parts), whats
+            ):
+                sim.spans.record(
+                    "service", query, span_start, span_start + delay,
+                    name=f"ip.{what}",
+                )
+                sim.spans.resource_busy("ips", span_start, delay)
         end = fused_chain_end(sim.now, parts)
         self._inflight_charges[charge_id] = (sim.now, end - sim.now)
 

@@ -37,6 +37,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from repro.check.sanitizer import Sanitizer
     from repro.faults.injector import FaultInjector
     from repro.faults.plan import FaultPlan
+    from repro.obs.spans import SpanCollector
 
 #: Ambient scheduler name; read once by each Simulator at construction.
 #: Seeded from the environment so sweep worker processes (fork or spawn)
@@ -204,6 +205,14 @@ class Simulator:
             self._faults: Optional["FaultInjector"] = FaultInjector(faults, self)
         else:
             self._faults = None
+        # Span collection binds last, the same ambient way: None when off,
+        # so components pre-bind ``sim.spans`` and pay one identity check.
+        # Armed collection only *observes* — it never schedules events,
+        # so ``events_processed`` (and every report byte) is unchanged;
+        # ``repro check --tracing-identity`` proves it.
+        from repro.obs.spans import active_collector
+
+        self.spans: Optional["SpanCollector"] = active_collector()
 
     # -- clock ----------------------------------------------------------------
 

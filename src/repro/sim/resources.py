@@ -136,7 +136,9 @@ class Resource:
         self.capacity = capacity
         self.stats = ResourceStats()
         self._busy = 0
-        self._queue: Deque[Tuple[float, Callable[[], None], int, float]] = deque()
+        self._queue: Deque[
+            Tuple[float, Callable[[], None], int, float, Optional[str], str]
+        ] = deque()
         #: Jobs currently in service: job id -> (start time, service time).
         self._in_service: Dict[int, Tuple[float, float]] = {}
         self._job_ids = itertools.count()
@@ -150,6 +152,12 @@ class Resource:
             )
         # Pre-bound observability (None when the axis is disabled).
         self._trace = sim.tracer if sim.tracer.enabled else None
+        # Pre-bound span collection: service intervals fold into the
+        # resource's utilization time-series, and jobs tagged with a query
+        # contribute attribution spans.  Observation only — no events.
+        self._spans = sim.spans
+        if self._spans is not None:
+            self._spans.register_capacity(name, capacity)
         if sim.metrics.enabled:
             self._wait_tally = sim.metrics.tally("resource.wait_ms", resource=name)
             self._depth_series = sim.metrics.series(
@@ -245,15 +253,23 @@ class Resource:
         service_time: float,
         done: Optional[Callable[[], None]] = None,
         nbytes: int = 0,
+        query: Optional[str] = None,
+        span_kind: str = "service",
     ) -> None:
         """Enqueue a job needing ``service_time`` ms of one server.
 
         ``nbytes`` is accounting only (for bandwidth reports); ``done`` is
-        called at completion time.
+        called at completion time.  ``query``/``span_kind`` tag the job for
+        span collection (ignored when spans are off): the in-service
+        interval is recorded against the query under that attribution
+        bucket, while time spent waiting in this FIFO stays uncovered and
+        lands in the queueing bucket.
         """
         if service_time < 0:
             raise SimulationError(f"{self.name}: negative service time {service_time}")
-        self._queue.append((service_time, done or (lambda: None), nbytes, self.sim.now))
+        self._queue.append(
+            (service_time, done or (lambda: None), nbytes, self.sim.now, query, span_kind)
+        )
         if self._depth_series is not None:
             self._depth_series.record(self.sim.now, len(self._queue))
         self._dispatch()
@@ -267,9 +283,18 @@ class Resource:
 
     def _dispatch(self) -> None:
         while self._busy < self.capacity and self._queue:
-            service_time, done, nbytes, enqueued_at = self._queue.popleft()
+            service_time, done, nbytes, enqueued_at, query, span_kind = (
+                self._queue.popleft()
+            )
             self._busy += 1
             wait = self.sim.now - enqueued_at
+            if self._spans is not None:
+                self._spans.resource_busy(self.name, self.sim.now, service_time)
+                if query is not None:
+                    self._spans.record(
+                        span_kind, query, self.sim.now,
+                        self.sim.now + service_time, name=self.name,
+                    )
             self.stats.wait_time += wait
             job_id = next(self._job_ids)
             self._in_service[job_id] = (self.sim.now, service_time)

@@ -167,6 +167,47 @@ def _sim_core_entry() -> dict:
     }
 
 
+def _spans_overhead_entry() -> dict:
+    """Traced vs untraced serving wall time: what an armed span collector
+    costs.  One small ring serving run executes twice — identical config,
+    with and without an ambient :class:`SpanCollector` — and the entry
+    carries both rates so the trajectory can watch the overhead drift.
+    The simulations are byte-identical (the tracing identity gate), so
+    ``sim_events`` is the same count on both sides by construction.
+    """
+    from repro.obs.spans import SpanCollector, collecting
+    from repro.serve.service import ServeConfig, serve
+
+    config = ServeConfig(machine="ring", rate_qps=40.0, duration_ms=800.0, scale=0.05)
+
+    start = time.perf_counter()
+    untraced = serve(config)
+    untraced_wall = time.perf_counter() - start
+
+    start = time.perf_counter()
+    with collecting(SpanCollector()):
+        serve(config)
+    traced_wall = time.perf_counter() - start
+
+    events = int(untraced["events_processed"])  # type: ignore[call-overload]
+    wall = untraced_wall + traced_wall
+    return {
+        "experiment": "spans_overhead",
+        "wall_s": round(wall, 4),
+        "sim_events": 2 * events,
+        "events_per_sec": round(2 * events / wall) if wall > 0 else 0,
+        "points": 2,
+        "rows": 0,
+        "untraced_events_per_sec": round(events / untraced_wall)
+        if untraced_wall > 0
+        else 0,
+        "traced_events_per_sec": round(events / traced_wall) if traced_wall > 0 else 0,
+        "overhead_frac": round(traced_wall / untraced_wall - 1.0, 4)
+        if untraced_wall > 0
+        else 0.0,
+    }
+
+
 def run_bench(
     quick: bool = True,
     scale: Optional[float] = None,
@@ -175,6 +216,8 @@ def run_bench(
 ) -> dict:
     """Run the bench suite and return the report dict (see module docstring)."""
     entries = [_sim_core_entry()] if not only or "sim_core" in only else []
+    if not only or "spans_overhead" in only:
+        entries.append(_spans_overhead_entry())
     used_scale = None
     for case in bench_cases():
         if only and case.name not in only:

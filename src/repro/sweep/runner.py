@@ -92,17 +92,26 @@ def map_points(
 ) -> List:
     """Run ``fn(**point)`` for every point; results come back in point order.
 
-    Serial (``workers`` in (None, 1), a single point, or an ambient
-    tracing session) calls ``fn`` inline under the ambient observability
-    session — exactly the pre-sweep behaviour.  Parallel fans the points
-    out over a process pool and deterministically merges each worker's
-    metrics dump back into the ambient registry (see the module
-    docstring), so the two modes are interchangeable.
+    Serial (``workers`` in (None, 1), a single point, an ambient tracing
+    session, or an armed span collector) calls ``fn`` inline under the
+    ambient observability session — exactly the pre-sweep behaviour.
+    Parallel fans the points out over a process pool and
+    deterministically merges each worker's metrics dump back into the
+    ambient registry (see the module docstring), so the two modes are
+    interchangeable.  Tracing and span collection are single global
+    timelines a worker process cannot write into, hence the fallback.
     """
+    from repro.obs.spans import active_collector
+
     points = list(points)
     session = obs.ambient()
     n_workers = effective_workers(workers, len(points))
-    if n_workers <= 1 or len(points) <= 1 or session.tracer.enabled:
+    if (
+        n_workers <= 1
+        or len(points) <= 1
+        or session.tracer.enabled
+        or active_collector() is not None
+    ):
         return [fn(**point) for point in points]
 
     capture_metrics = session.metrics.enabled

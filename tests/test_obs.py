@@ -180,3 +180,95 @@ class TestDeterminism:
         assert NULL_TRACER.event_count == 0
         session = ObsSession()
         assert not session.enabled
+
+
+class TestStreamingTracer:
+    def test_stream_flushes_incrementally_and_close_finalizes(self, tmp_path):
+        path = str(tmp_path / "stream.trace.json")
+        tracer = Tracer(stream_path=path, flush_every=3)
+        for i in range(7):
+            tracer.span(f"e{i}", "test", float(i), 1.0, "track-a")
+        # Two batches of three are on disk; one event is still buffered.
+        assert tracer.event_count == 7
+        total = tracer.close()
+        assert total == 8  # 7 events + 1 thread_name metadata record
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+        names = [e["name"] for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert names == [f"e{i}" for i in range(7)]
+
+    def test_close_is_idempotent_and_blocks_further_recording(self, tmp_path):
+        path = str(tmp_path / "s.json")
+        tracer = Tracer(stream_path=path, flush_every=1)
+        tracer.span("a", "t", 0.0, 1.0, "x")
+        first = tracer.close()
+        assert tracer.close() == first
+        with pytest.raises(ValueError):
+            tracer.span("b", "t", 1.0, 1.0, "x")  # flushes, and the file is closed
+
+    def test_streamed_tracer_refuses_in_memory_export(self, tmp_path):
+        tracer = Tracer(stream_path=str(tmp_path / "s.json"), flush_every=1)
+        tracer.span("a", "t", 0.0, 1.0, "x")
+        with pytest.raises(ValueError):
+            tracer.chrome_trace()
+
+    def test_stream_matches_buffered_event_set(self, tmp_path):
+        path = str(tmp_path / "s.json")
+        streamed = Tracer(stream_path=path, flush_every=2)
+        buffered = Tracer()
+        for t in (streamed, buffered):
+            t.span("a", "c", 0.0, 1.0, "x")
+            t.instant("i", "c", 0.5, "x")
+            t.counter("n", 0.5, {"v": 1.0})
+            t.flow("f", "c", 0.25, "x", 7, phase="s")
+            t.flow("f", "c", 0.25, "x", 7, phase="f")
+        streamed.close()
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+        key = lambda e: json.dumps(e, sort_keys=True)
+        assert sorted(map(key, doc["traceEvents"])) == sorted(
+            map(key, buffered.chrome_trace()["traceEvents"])
+        )
+
+    def test_flush_every_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Tracer(stream_path="x.json", flush_every=0)
+
+
+class TestMetricsRendering:
+    """Byte-stable report/dump rendering and the CSV flattening."""
+
+    def _filled(self, order):
+        registry = MetricsRegistry()
+        for name in order:
+            registry.counter(name).add(1)
+        registry.set_gauge("z.gauge", 2.0)
+        registry.tally("t.lat").observe(5.0)
+        registry.series("s.depth").record(0.0, 1.0)
+        return registry
+
+    def test_dump_bytes_independent_of_creation_order(self):
+        a = self._filled(["b.count", "a.count"])
+        b = self._filled(["a.count", "b.count"])
+        assert json.dumps(a.dump(), sort_keys=False) == json.dumps(
+            b.dump(), sort_keys=False
+        )
+
+    def test_report_csv_stable_and_parseable(self):
+        from repro.obs.metrics import report_csv
+
+        a = report_csv(self._filled(["b.count", "a.count"]).report())
+        b = report_csv(self._filled(["a.count", "b.count"]).report())
+        assert a == b
+        lines = a.strip().split("\n")
+        assert lines[0] == "section,key,field,value"
+        assert any(line.startswith("counters,a.count,value,") for line in lines)
+        assert any(line.startswith("tallies,t.lat,mean,") for line in lines)
+
+    def test_report_csv_quotes_label_commas(self):
+        from repro.obs.metrics import report_csv
+
+        registry = MetricsRegistry()
+        registry.counter("c", x="1", y="2").add(3)
+        text = report_csv(registry.report())
+        assert '"c{x=1,y=2}"' in text
