@@ -3,20 +3,39 @@
 Two prongs keep both simulators bit-deterministic and leak-free:
 
 * :mod:`repro.check.lint` — an AST-based static linter with project
-  rules R001-R005 (seeded randomness, wall-clock leaks, unordered
-  iteration near event scheduling, float timestamp equality, and
-  acquire/release pairing).  ``python -m repro check src`` gates CI.
+  rules R001-R010 (seeded randomness, wall-clock leaks, unordered
+  iteration near event scheduling, float timestamp equality,
+  acquire/release pairing, per-module lock order, effectful duration
+  callables, mutable defaults, ambient contexts outside ``with``, and
+  unsorted report serialization).  ``python -m repro check src`` gates
+  CI, and :mod:`repro.check.flow` layers the interprocedural analyses
+  (static deadlock detection F001, fusion-safety proofs F002) on top
+  via ``repro check --flow``.
 * :mod:`repro.check.sanitizer` — a runtime sanitizer the simulators can
   run under (``repro run <experiment> --sanitize``) that detects delay
   corruption, same-timestamp order hazards, resource-lease leaks, cache
-  frame-accounting bugs, and ring packet-conservation violations.
+  frame-accounting bugs, ring packet-conservation violations, and —
+  through the ambient :class:`~repro.check.sanitizer.LockOrderWitness`
+  — runtime lock-order inversions.
 
-Only the sanitizer's entry points are re-exported here; the linter is a
-CLI/test tool and is imported on demand.
+Only the sanitizer's entry points are re-exported here; the linter and
+flow analyses are CLI/test tools and are imported on demand.
 """
 
 from __future__ import annotations
 
-from repro.check.sanitizer import Sanitizer, is_active, sanitizing
+from repro.check.sanitizer import (
+    LockOrderWitness,
+    Sanitizer,
+    active_witness,
+    is_active,
+    sanitizing,
+)
 
-__all__ = ["Sanitizer", "is_active", "sanitizing"]
+__all__ = [
+    "LockOrderWitness",
+    "Sanitizer",
+    "active_witness",
+    "is_active",
+    "sanitizing",
+]

@@ -1,0 +1,392 @@
+"""Effect analysis: fusion-safety proofs for operator charge chains.
+
+Operator-loop fusion (:mod:`repro.sim.fusion`) pre-computes a chain's
+per-link durations and collapses the cascade into one scheduled event.
+That is only sound when every *duration callable* — the ``*_ms``
+functions whose results feed the chain — is free of side effects:
+evaluating them early (and exactly once) must be indistinguishable from
+evaluating them at each link boundary.  PR 6 asserted this by
+byte-identity testing; this module proves it statically.
+
+Every function in the call graph is classified on a three-point effect
+lattice::
+
+    pure          depends on its arguments alone (fused_chain_end)
+    duration-pure reads instance/module state, writes nothing
+                  (ExecModel.join_cpu_ms: rows * self.join_pair_ms)
+    effectful     writes any non-local state, or calls something that
+                  does, or calls something the analysis cannot resolve
+
+The classification is the least fixed point over the call graph:
+``effect(f) = max(local(f), max(effect(callee) for resolvable callees))``
+with unresolvable calls treated as effectful (a *proof* must not
+depend on unseen code).  Exception construction directly under a
+``raise`` is exempt — aborting deterministically is not an effect that
+fusion can reorder.
+
+A **chain site** is any function that calls ``_charge_fused`` or
+``fused_chain_end``; its **obligations** are the ``*_ms`` calls it
+makes.  A chain is *proven safe* when every obligation resolves and
+classifies at or below duration-pure.  :class:`FusionSafetyReport`
+aggregates the verdicts; :func:`repro.sim.fusion.resolve_fusion`
+consults it and refuses fusion for machines whose chains are unproven.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.check.flow.callgraph import CallGraph, CallSite, FunctionInfo
+
+PURE = "pure"
+DURATION_PURE = "duration-pure"
+EFFECTFUL = "effectful"
+
+_RANK = {PURE: 0, DURATION_PURE: 1, EFFECTFUL: 2}
+
+#: Builtins that neither mutate their arguments nor touch the world.
+_PURE_BUILTINS = frozenset(
+    {
+        "abs", "all", "any", "bool", "bytes", "dict", "divmod", "enumerate",
+        "float", "format", "frozenset", "getattr", "hasattr", "hash", "int",
+        "isinstance", "issubclass", "len", "list", "max", "min", "pow",
+        "range", "repr", "reversed", "round", "set", "sorted", "str", "sum",
+        "tuple", "type", "zip",
+    }
+)
+
+#: Receiver modules whose functions are pure by contract.
+_PURE_MODULES = frozenset({"math"})
+
+#: Calls that mark a chain site.
+_CHAIN_MARKERS = frozenset({"_charge_fused", "fused_chain_end"})
+
+
+@dataclass(frozen=True)
+class ChainReport:
+    """One fusion chain site and the verdicts on its obligations."""
+
+    function: str  #: qualname of the chain-building function
+    module: str
+    path: str
+    line: int  #: line of the chain marker call
+    #: duration callable name -> resolved qualnames (may be empty)
+    obligations: Tuple[Tuple[str, Tuple[str, ...]], ...]
+    #: obligations that failed the proof, with the reason
+    unsafe: Tuple[Tuple[str, str], ...]
+
+    @property
+    def safe(self) -> bool:
+        return not self.unsafe
+
+
+@dataclass
+class FusionSafetyReport:
+    """Classification of every function plus per-chain safety verdicts."""
+
+    classifications: Dict[str, str] = field(default_factory=dict)
+    chains: List[ChainReport] = field(default_factory=list)
+
+    def chains_in(self, module_suffix: str) -> List[ChainReport]:
+        """Chain reports whose module path ends with ``module_suffix``."""
+        return [c for c in self.chains if c.module.endswith(module_suffix)]
+
+    def module_proven_safe(self, module_suffix: str) -> bool:
+        """True when the module has chains and every one is proven safe.
+
+        A module with *no* discovered chains is **not** proven — a scan
+        that silently finds nothing must read as a broken scan, not as a
+        safety certificate.
+        """
+        chains = self.chains_in(module_suffix)
+        return bool(chains) and all(chain.safe for chain in chains)
+
+    def unsafe_chains(self) -> List[ChainReport]:
+        return [c for c in self.chains if not c.safe]
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form (sorted, byte-stable)."""
+        return {
+            "schema": "repro-fusion-safety/v1",
+            "chains": [
+                {
+                    "function": c.function,
+                    "module": c.module,
+                    "line": c.line,
+                    "safe": c.safe,
+                    "obligations": {
+                        name: sorted(targets) for name, targets in c.obligations
+                    },
+                    "unsafe": [list(item) for item in c.unsafe],
+                }
+                for c in sorted(self.chains, key=lambda c: (c.module, c.line))
+            ],
+            "classifications": dict(sorted(self.classifications.items())),
+        }
+
+
+# ------------------------------------------------------------ local analysis
+
+
+class _LocalScan(ast.NodeVisitor):
+    """One function body's local effect facts (no call resolution yet)."""
+
+    def __init__(self, root: ast.AST) -> None:
+        self.effect = PURE
+        self.reasons: List[str] = []
+        self.calls: List[ast.Call] = []
+        self._locals: Set[str] = set()
+        self._raise_calls: Set[int] = set()
+        self._collect_locals(root)
+        self._root = root
+
+    def _collect_locals(self, root: ast.AST) -> None:
+        args = getattr(root, "args", None)
+        if args is not None:
+            for arg in args.posonlyargs + args.args + args.kwonlyargs:
+                self._locals.add(arg.arg)
+            if args.vararg:
+                self._locals.add(args.vararg.arg)
+            if args.kwarg:
+                self._locals.add(args.kwarg.arg)
+        for node in ast.walk(root):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+                self._locals.add(node.id)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._locals.add(node.name)
+            elif isinstance(node, ast.comprehension):
+                for target in ast.walk(node.target):
+                    if isinstance(target, ast.Name):
+                        self._locals.add(target.id)
+
+    def _demote(self, level: str, reason: str) -> None:
+        if _RANK[level] > _RANK[self.effect]:
+            self.effect = level
+        if level is EFFECTFUL:
+            self.reasons.append(reason)
+
+    # -- traversal entry -----------------------------------------------------
+
+    def run(self) -> None:
+        root = self._root
+        for fld, value in ast.iter_fields(root):
+            if fld in ("returns", "decorator_list", "type_comment"):
+                continue  # annotations/decorators are not evaluated per call
+            if fld == "args":
+                continue  # defaults evaluate at def time
+            self._visit_field(value)
+
+    def _visit_field(self, value: object) -> None:
+        if isinstance(value, list):
+            for item in value:
+                if isinstance(item, ast.AST):
+                    self.visit(item)
+        elif isinstance(value, ast.AST):
+            self.visit(value)
+
+    # -- store / binding effects ---------------------------------------------
+
+    def _check_store_target(self, target: ast.AST) -> None:
+        for node in ast.walk(target):
+            if isinstance(node, (ast.Attribute, ast.Subscript)) and isinstance(
+                node.ctx, (ast.Store, ast.Del)
+            ):
+                kind = "attribute" if isinstance(node, ast.Attribute) else "subscript"
+                self._demote(EFFECTFUL, f"{kind} store at line {node.lineno}")
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_store_target(target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_store_target(node.target)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._check_store_target(node.target)
+        if node.value is not None:
+            self.visit(node.value)  # skip the annotation expression
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._check_store_target(target)
+        self.generic_visit(node)
+
+    def visit_Global(self, node: ast.Global) -> None:
+        self._demote(EFFECTFUL, f"global statement at line {node.lineno}")
+
+    def visit_Nonlocal(self, node: ast.Nonlocal) -> None:
+        self._demote(EFFECTFUL, f"nonlocal statement at line {node.lineno}")
+
+    # -- reads ---------------------------------------------------------------
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if isinstance(node.ctx, ast.Load):
+            self._demote(DURATION_PURE, "")
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if (
+            isinstance(node.ctx, ast.Load)
+            and node.id not in self._locals
+            and not hasattr(builtins, node.id)
+        ):
+            self._demote(DURATION_PURE, "")
+
+    # -- calls ---------------------------------------------------------------
+
+    def visit_Raise(self, node: ast.Raise) -> None:
+        # Exception construction under a raise is exempt: deterministic
+        # aborts are not effects fusion could reorder.
+        for sub in (node.exc, node.cause):
+            if isinstance(sub, ast.Call):
+                self._raise_calls.add(id(sub))
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if id(node) not in self._raise_calls:
+            self.calls.append(node)
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        # Nested defs (and their calls) belong to the closure; a chain
+        # site's nested continuations are scheduled, not evaluated here.
+        return
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        return
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        return
+
+
+def _call_site_of(node: ast.Call) -> Optional[CallSite]:
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        from repro.check.flow.callgraph import _receiver_text
+
+        return CallSite(
+            name=func.attr,
+            receiver=_receiver_text(func.value),
+            line=node.lineno,
+            col=node.col_offset,
+        )
+    if isinstance(func, ast.Name):
+        return CallSite(name=func.id, receiver="", line=node.lineno, col=node.col_offset)
+    return None
+
+
+def _is_exempt_call(site: CallSite) -> bool:
+    """Calls pure by contract: allowlisted builtins and ``math.*``."""
+    if site.receiver == "" and site.name in _PURE_BUILTINS:
+        return True
+    root = site.receiver.split(".", 1)[0]
+    return root in _PURE_MODULES
+
+
+# ----------------------------------------------------------------- fixpoint
+
+
+def classify_effects(graph: CallGraph) -> Dict[str, str]:
+    """Effect class for every function in the graph (least fixed point)."""
+    local: Dict[str, str] = {}
+    dependencies: Dict[str, List[str]] = {}
+    for info in graph.sorted_functions():
+        scan = _LocalScan(info.node)
+        scan.run()
+        effect = scan.effect
+        deps: List[str] = []
+        for call in scan.calls:
+            site = _call_site_of(call)
+            if site is None:
+                effect = EFFECTFUL  # *expr(...) — cannot resolve
+                continue
+            if _is_exempt_call(site):
+                continue
+            callees = graph.resolve(info, site)
+            if not callees:
+                effect = EFFECTFUL  # unresolved: no proof possible
+                continue
+            deps.extend(callee.qualname for callee in callees)
+        local[info.qualname] = effect
+        dependencies[info.qualname] = deps
+
+    result = dict(local)
+    changed = True
+    while changed:
+        changed = False
+        for qualname in result:
+            if result[qualname] is EFFECTFUL:
+                continue
+            level = result[qualname]
+            for dep in dependencies[qualname]:
+                dep_level = result.get(dep, EFFECTFUL)
+                if _RANK[dep_level] > _RANK[level]:
+                    level = dep_level
+            if level != result[qualname]:
+                result[qualname] = level
+                changed = True
+    return result
+
+
+# ------------------------------------------------------------ chain extraction
+
+
+def _chain_sites(graph: CallGraph) -> Iterator[Tuple[FunctionInfo, CallSite]]:
+    """Functions that build fused chains, with the marker call site."""
+    for info in graph.sorted_functions():
+        for call in info.calls:
+            if call.name in _CHAIN_MARKERS:
+                yield info, call
+                break  # one report per function
+
+
+def analyze_fusion_safety(
+    graph: CallGraph, classifications: Optional[Dict[str, str]] = None
+) -> FusionSafetyReport:
+    """Prove (or refuse to prove) every fusion chain in the graph safe."""
+    if classifications is None:
+        classifications = classify_effects(graph)
+    report = FusionSafetyReport(classifications=classifications)
+    for info, marker in _chain_sites(graph):
+        # Skip the marker definitions themselves (exec_model helpers).
+        if info.name in _CHAIN_MARKERS:
+            continue
+        obligations: List[Tuple[str, Tuple[str, ...]]] = []
+        unsafe: List[Tuple[str, str]] = []
+        for call in info.calls:
+            if not call.name.endswith("_ms") or call.name in _CHAIN_MARKERS:
+                continue
+            callees = graph.resolve(info, call)
+            names = tuple(sorted(c.qualname for c in callees))
+            obligations.append((call.name, names))
+            if not callees:
+                unsafe.append(
+                    (call.name, f"line {call.line}: duration callable not resolved")
+                )
+                continue
+            for callee in callees:
+                level = classifications.get(callee.qualname, EFFECTFUL)
+                if _RANK[level] > _RANK[DURATION_PURE]:
+                    unsafe.append(
+                        (
+                            call.name,
+                            f"line {call.line}: {callee.qualname} is {level}",
+                        )
+                    )
+        report.chains.append(
+            ChainReport(
+                function=info.qualname,
+                module=info.module,
+                path=info.path,
+                line=marker.line,
+                obligations=tuple(obligations),
+                unsafe=tuple(unsafe),
+            )
+        )
+    report.chains.sort(key=lambda c: (c.module, c.line))
+    return report

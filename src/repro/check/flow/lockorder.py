@@ -1,0 +1,306 @@
+"""Interprocedural lock-order analysis: static deadlock detection.
+
+Two queries deadlock when they acquire the same locks in opposite
+orders.  The static side of the guard works at the granularity the
+source exposes — *acquire sites*:
+
+1. every call of ``try_acquire``, or of ``acquire`` on a receiver whose
+   name mentions a lock (``self.locks.try_acquire(...)``,
+   ``self.lock_a.acquire(...)``), is an acquire site; the **lock
+   identity** is the terminal receiver name (``locks``, ``lock_a``);
+2. from each site, the code executed *while that lock is held* is the
+   rest of the enclosing function (lexically after the acquire, up to a
+   ``release`` on the same lock) plus everything reachable from it
+   through the call graph — walking into a callee stops extending the
+   region past a ``release`` of the held lock inside that callee;
+3. every acquire site found inside the region adds an edge
+   ``held-lock -> acquired-lock`` annotated with the **witness call
+   chain** that realises it;
+4. a cycle among the lock nodes — including a self-edge, which is a
+   re-entrant acquisition of a non-reentrant manager — is a potential
+   deadlock and is reported with one witness chain per edge.
+
+The region is the *synchronous* continuation: callbacks handed to
+``Simulator.schedule`` run outside the acquiring call tree and are
+deliberately not followed (the runtime lock-order witness in
+:mod:`repro.check.sanitizer` covers cross-event ordering).  Like the
+call graph itself the analysis over-approximates — a reported cycle is
+a *potential* deadlock; a clean report is the proof of absence at this
+granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.check.flow.callgraph import CallGraph, CallSite, FunctionInfo
+
+#: Call names that acquire a lock set.
+_ACQUIRE_NAMES = frozenset({"try_acquire"})
+#: ``acquire``/``release`` count only on lock-like receivers, so Resource
+#: leases (``resource.acquire(label=...)``) stay out of scope — they are
+#: R005's and the sanitizer's job.
+_GENERIC_ACQUIRE = "acquire"
+_GENERIC_RELEASE = "release"
+
+
+def _terminal_name(receiver: str) -> str:
+    """``locks`` for ``self.locks``; the last dotted segment."""
+    return receiver.rsplit(".", 1)[-1] if receiver else ""
+
+
+def _is_lockish(receiver: str) -> bool:
+    return "lock" in _terminal_name(receiver).lower()
+
+
+def _lock_identity(site: CallSite) -> Optional[str]:
+    """The lock a call site acquires, or None when it is not an acquire."""
+    if site.name in _ACQUIRE_NAMES:
+        return _terminal_name(site.receiver) or "<lock>"
+    if site.name == _GENERIC_ACQUIRE and _is_lockish(site.receiver):
+        return _terminal_name(site.receiver)
+    return None
+
+
+def _release_identity(site: CallSite) -> Optional[str]:
+    """The lock a call site releases, or None."""
+    if site.name == _GENERIC_RELEASE and _is_lockish(site.receiver):
+        return _terminal_name(site.receiver)
+    return None
+
+
+@dataclass(frozen=True)
+class AcquireSite:
+    """One static lock-acquisition site."""
+
+    lock: str
+    function: str  #: qualname of the enclosing function
+    module: str
+    path: str
+    line: int
+    col: int
+
+    def render(self) -> str:
+        return f"{self.module}:{self.line} ({self.function.split('::')[-1]})"
+
+
+@dataclass(frozen=True)
+class LockEdge:
+    """``source.lock`` is held when ``target`` acquires ``target.lock``."""
+
+    source: AcquireSite
+    target: AcquireSite
+    #: Witness call chain from the holding site to the acquiring site.
+    chain: Tuple[str, ...]
+
+    def render_chain(self) -> str:
+        return " -> ".join(self.chain)
+
+
+@dataclass
+class LockCycle:
+    """A cycle in the lock-order graph (a potential deadlock)."""
+
+    locks: Tuple[str, ...]
+    edges: Tuple[LockEdge, ...]
+
+    def render(self) -> str:
+        ring = " -> ".join(self.locks + (self.locks[0],))
+        witnesses = "; ".join(
+            f"[{edge.source.lock}->{edge.target.lock}] {edge.render_chain()}"
+            for edge in self.edges
+        )
+        return f"lock-order cycle {ring}: {witnesses}"
+
+
+@dataclass
+class LockOrderAnalysis:
+    """Everything the lock-order pass learned about one source tree."""
+
+    sites: List[AcquireSite]
+    edges: List[LockEdge]
+    cycles: List[LockCycle]
+
+
+def analyze_lock_order(graph: CallGraph) -> LockOrderAnalysis:
+    """Run the analysis over an already-built call graph."""
+    sites: List[AcquireSite] = []
+    for info in graph.sorted_functions():
+        for call in info.calls:
+            lock = _lock_identity(call)
+            if lock is not None:
+                sites.append(
+                    AcquireSite(
+                        lock=lock,
+                        function=info.qualname,
+                        module=info.module,
+                        path=info.path,
+                        line=call.line,
+                        col=call.col,
+                    )
+                )
+    edges: List[LockEdge] = []
+    for site in sites:
+        edges.extend(_edges_from(graph, site))
+    return LockOrderAnalysis(sites=sites, edges=edges, cycles=_find_cycles(edges))
+
+
+# ------------------------------------------------------------- region walking
+
+
+def _calls_under_lock(
+    info: FunctionInfo, lock: str, after: Optional[Tuple[int, int]]
+) -> List[CallSite]:
+    """``info``'s calls made while ``lock`` is (still) held.
+
+    ``after`` marks the acquire position for the site's own function; for
+    callees the whole body is in the region.  Either way the region ends
+    at the first subsequent ``release`` of the same lock — the lexical
+    approximation of the hold scope.
+    """
+    region: List[CallSite] = []
+    for call in info.calls:  # already in (line, col) order
+        position = (call.line, call.col)
+        if after is not None and position <= after:
+            continue
+        if _release_identity(call) == lock:
+            break
+        region.append(call)
+    return region
+
+
+def _edges_from(graph: CallGraph, origin: AcquireSite) -> List[LockEdge]:
+    """BFS the under-lock region of ``origin`` for nested acquire sites."""
+    start = graph.functions.get(origin.function)
+    if start is None:  # pragma: no cover - sites come from the same graph
+        return []
+    edges: List[LockEdge] = []
+    seen_edges: Set[Tuple[str, str, int]] = set()
+    visited: Set[str] = {start.qualname}
+    # Queue of (function, chain-to-it, acquire position to skip past).
+    queue: List[Tuple[FunctionInfo, Tuple[str, ...], Optional[Tuple[int, int]]]] = [
+        (start, (f"{origin.module}:{origin.line} acquire {origin.lock!r}",), (origin.line, origin.col))
+    ]
+    while queue:
+        info, chain, after = queue.pop(0)
+        for call in _calls_under_lock(info, origin.lock, after):
+            lock = _lock_identity(call)
+            if lock is not None:
+                key = (info.qualname, lock, call.line)
+                if key in seen_edges:
+                    continue
+                seen_edges.add(key)
+                target = AcquireSite(
+                    lock=lock,
+                    function=info.qualname,
+                    module=info.module,
+                    path=info.path,
+                    line=call.line,
+                    col=call.col,
+                )
+                edges.append(
+                    LockEdge(
+                        source=origin,
+                        target=target,
+                        chain=chain + (f"{info.module}:{call.line} acquire {lock!r}",),
+                    )
+                )
+                continue
+            for callee in graph.resolve(info, call):
+                if callee.qualname in visited:
+                    continue
+                visited.add(callee.qualname)
+                queue.append(
+                    (
+                        callee,
+                        chain + (f"{info.module}:{call.line} -> {callee.qualname.split('::')[-1]}",),
+                        None,
+                    )
+                )
+    return edges
+
+
+# ------------------------------------------------------------ cycle detection
+
+
+def _find_cycles(edges: Sequence[LockEdge]) -> List[LockCycle]:
+    """Cycles among lock nodes: SCCs of size > 1 plus self-edges."""
+    adjacency: Dict[str, Dict[str, LockEdge]] = {}
+    for edge in edges:
+        bucket = adjacency.setdefault(edge.source.lock, {})
+        # Keep the first witness per (from, to) pair (BFS = shortest chain).
+        bucket.setdefault(edge.target.lock, edge)
+        adjacency.setdefault(edge.target.lock, {})
+
+    cycles: List[LockCycle] = []
+    for component in _sccs(adjacency):
+        if len(component) == 1:
+            lock = component[0]
+            self_edge = adjacency.get(lock, {}).get(lock)
+            if self_edge is None:
+                continue
+            cycles.append(LockCycle(locks=(lock,), edges=(self_edge,)))
+            continue
+        ordered = sorted(component)
+        witness: List[LockEdge] = []
+        for lock in ordered:
+            # One outgoing edge per member that stays inside the component.
+            for other in sorted(adjacency.get(lock, {})):
+                if other in component and other != lock:
+                    witness.append(adjacency[lock][other])
+                    break
+        cycles.append(LockCycle(locks=tuple(ordered), edges=tuple(witness)))
+    cycles.sort(key=lambda cycle: cycle.locks)
+    return cycles
+
+
+def _sccs(adjacency: Dict[str, Dict[str, LockEdge]]) -> List[List[str]]:
+    """Tarjan's strongly connected components, iterative, sorted input."""
+    index: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Dict[str, bool] = {}
+    stack: List[str] = []
+    counter = [0]
+    components: List[List[str]] = []
+
+    def strongconnect(root: str) -> None:
+        work: List[Tuple[str, int]] = [(root, 0)]
+        while work:
+            node, child_index = work.pop()
+            if child_index == 0:
+                index[node] = counter[0]
+                lowlink[node] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack[node] = True
+            recursed = False
+            successors = sorted(adjacency.get(node, {}))
+            for offset in range(child_index, len(successors)):
+                succ = successors[offset]
+                if succ not in index:
+                    work.append((node, offset + 1))
+                    work.append((succ, 0))
+                    recursed = True
+                    break
+                if on_stack.get(succ):
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if recursed:
+                continue
+            if lowlink[node] == index[node]:
+                component: List[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+
+    for node in sorted(adjacency):
+        if node not in index:
+            strongconnect(node)
+    return components

@@ -72,12 +72,21 @@ def module_rel(path: str) -> str:
 
 
 def _suppressed_lines(source: str) -> dict:
-    """Map line number -> set of rule ids allowed on that line."""
+    """Map line number -> set of rule ids allowed on that line.
+
+    A line may carry several ``allow[...]`` groups and each group may
+    list several comma-separated ids; all of them are honored.
+    """
     allowed: dict = {}
     for number, text in enumerate(source.splitlines(), start=1):
-        match = _ALLOW_RE.search(text)
-        if match:
-            allowed[number] = {r.strip() for r in match.group(1).split(",")}
+        ids = {
+            rule.strip()
+            for match in _ALLOW_RE.finditer(text)
+            for rule in match.group(1).split(",")
+            if rule.strip()
+        }
+        if ids:
+            allowed[number] = ids
     return allowed
 
 
@@ -144,7 +153,7 @@ def render_text(findings: Iterable[Finding]) -> str:
 
 def render_json(findings: Iterable[Finding]) -> str:
     items = [asdict(f) for f in findings]
-    return json.dumps({"findings": items, "count": len(items)}, indent=2)
+    return json.dumps({"findings": items, "count": len(items)}, indent=2, sort_keys=True)
 
 
 # ---------------------------------------------------------------------- self-test
@@ -159,6 +168,23 @@ SEEDED_VIOLATIONS = {
     "R003": "pending: set = set()\nfor item in pending:\n    print(item)\n",
     "R004": "def f(now, deadline):\n    return now == deadline\n",
     "R005": "def f(resource):\n    resource.acquire(label='x')\n",
+    "R006": (
+        "def grab_ab(self, request):\n"
+        "    self.lock_a.acquire(request)\n"
+        "    self.lock_b.acquire(request)\n"
+        "\n"
+        "def grab_ba(self, request):\n"
+        "    self.lock_b.acquire(request)\n"
+        "    self.lock_a.acquire(request)\n"
+    ),
+    "R007": (
+        "def scan_cost_ms(self, rows):\n"
+        "    self.calls = self.calls + 1\n"
+        "    return rows * 0.25\n"
+    ),
+    "R008": "def f(pending=[]):\n    return pending\n",
+    "R009": "def f():\n    ctx = sanitizing()\n    return ctx\n",
+    "R010": "import json\ndef f(report):\n    return json.dumps(report)\n",
 }
 
 #: Scoped rules are exercised against a path inside their scope.
@@ -177,6 +203,14 @@ def self_test() -> List[str]:
         still = [f for f in lint_source(suppressed, _SELF_TEST_PATH) if f.rule == rule_id]
         if still:
             problems.append(f"{rule_id}: allow[] comment did not suppress the finding")
+    # One line can violate two rules; a single comma-separated allow[]
+    # group must silence both.
+    multi = (
+        "import time, random\n"
+        "x = random.random() + time.time()  # repro: allow[R001,R002]\n"
+    )
+    if lint_source(multi, _SELF_TEST_PATH):
+        problems.append("allow[R001,R002]: comma-separated ids not honored")
     return problems
 
 

@@ -1,0 +1,105 @@
+"""R006 — one module, one lock order.
+
+The interprocedural lock-order pass (``repro check --flow``, F001)
+proves the absence of cross-module acquisition cycles; this rule is its
+cheap local complement: within a single module, two functions that
+acquire the same pair of locks in opposite orders are an inversion
+waiting for the scheduler to interleave them.  The fix is to pick one
+global order (the ``LockManager`` convention: sorted shared, then
+sorted exclusive) and stick to it.
+
+An *acquire site* is a ``try_acquire(...)`` call, or an ``acquire(...)``
+call on a receiver whose terminal name mentions a lock
+(``self.lock_a.acquire(...)``); the lock identity is that terminal
+name.  The first order observed in the file (top to bottom) is taken as
+the module's convention; later inversions are flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Tuple
+
+from repro.check.rules.base import SIMULATION_PACKAGES, Rule, Violation, in_packages
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _lock_name(node: ast.Call) -> str:
+    """The lock a call acquires, or "" when it is not an acquire site."""
+    func = node.func
+    if not isinstance(func, ast.Attribute):
+        return ""
+    terminal = ""
+    value = func.value
+    if isinstance(value, ast.Name):
+        terminal = value.id
+    elif isinstance(value, ast.Attribute):
+        terminal = value.attr
+    if func.attr == "try_acquire":
+        return terminal or "<lock>"
+    if func.attr == "acquire" and "lock" in terminal.lower():
+        return terminal
+    return ""
+
+
+class LockOrderRule(Rule):
+    rule_id = "R006"
+
+    def applies_to(self, module: str) -> bool:
+        return in_packages(module, SIMULATION_PACKAGES)
+
+    def check(self, tree: ast.AST) -> Iterator[Violation]:
+        # (first, second) -> occurrences of acquiring `first` then `second`,
+        # positioned at the second acquire.
+        orders: Dict[Tuple[str, str], List[Tuple[int, int]]] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, _FUNCTION_NODES):
+                self._record(node, orders)
+        flagged: List[Violation] = []
+        for (first, second), positions in orders.items():
+            if first >= second:
+                continue  # handle each unordered pair once
+            reverse = orders.get((second, first))
+            if not reverse:
+                continue
+            forward_start = min(positions)
+            reverse_start = min(reverse)
+            # The order seen first in the file is the module's convention.
+            if forward_start <= reverse_start:
+                convention, conv_line, offenders = (first, second), forward_start[0], reverse
+            else:
+                convention, conv_line, offenders = (second, first), reverse_start[0], positions
+            for line, col in offenders:
+                flagged.append(
+                    (
+                        line,
+                        col,
+                        f"locks {convention[1]!r} and {convention[0]!r} acquired "
+                        f"in inverted order; this module acquires "
+                        f"{convention[0]!r} before {convention[1]!r} "
+                        f"(established at line {conv_line})",
+                    )
+                )
+        flagged.sort()
+        yield from flagged
+
+    @staticmethod
+    def _record(
+        func: ast.AST, orders: Dict[Tuple[str, str], List[Tuple[int, int]]]
+    ) -> None:
+        held: List[str] = []
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            lock = _lock_name(node)
+            if not lock or lock in held:
+                continue
+            for earlier in held:
+                orders.setdefault((earlier, lock), []).append(
+                    (node.lineno, node.col_offset)
+                )
+            held.append(lock)
+
+
+RULE = LockOrderRule()

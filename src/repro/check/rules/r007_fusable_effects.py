@@ -1,0 +1,94 @@
+"""R007 — duration callables (``*_ms``) are effect-free.
+
+Operator fusion (:mod:`repro.sim.fusion`) evaluates a chain's duration
+callables early and exactly once; any side effect inside one is
+reordered or dropped relative to the unfused cascade.  The
+interprocedural proof lives in ``repro check --flow`` (F002); this rule
+is the local fast path that catches the obvious cases at the definition
+site, whole-program analysis not required:
+
+* assignments (plain, augmented, annotated) or deletions through an
+  attribute or subscript — mutating ``self`` or shared containers,
+* ``global`` / ``nonlocal`` declarations,
+* ``print(...)`` calls.
+
+Any function or method whose name ends in ``_ms`` is in scope: the
+suffix is the project-wide naming contract for duration callables
+(``join_cpu_ms``, ``access_time_ms``), which is exactly what the fusion
+layer keys on.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.check.rules.base import SIMULATION_PACKAGES, Rule, Violation, in_packages
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+#: hw.py hosts the device timing models fused chains charge against.
+_SCOPE = SIMULATION_PACKAGES + ("repro/hw.py", "repro/serve/")
+
+
+def _store_targets(node: ast.AST) -> Iterator[ast.AST]:
+    for sub in ast.walk(node):
+        if isinstance(sub, (ast.Attribute, ast.Subscript)) and isinstance(
+            sub.ctx, (ast.Store, ast.Del)
+        ):
+            yield sub
+
+
+class FusableEffectsRule(Rule):
+    rule_id = "R007"
+
+    def applies_to(self, module: str) -> bool:
+        return in_packages(module, _SCOPE)
+
+    def check(self, tree: ast.AST) -> Iterator[Violation]:
+        for node in ast.walk(tree):
+            if isinstance(node, _FUNCTION_NODES) and node.name.endswith("_ms"):
+                yield from self._check_body(node)
+
+    def _check_body(self, func: ast.AST) -> Iterator[Violation]:
+        # Manual stack so traversal stops at nested defs — closures are
+        # scheduled continuations, not part of this callable's evaluation.
+        stack = list(ast.iter_child_nodes(func))
+        while stack:
+            node = stack.pop(0)
+            if isinstance(node, _FUNCTION_NODES + (ast.Lambda,)):
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign, ast.Delete)):
+                for target in _store_targets(node):
+                    kind = (
+                        "attribute" if isinstance(target, ast.Attribute) else "subscript"
+                    )
+                    yield (
+                        target.lineno,
+                        target.col_offset,
+                        f"{kind} write inside duration callable "
+                        f"{func.name!r}; *_ms functions feed fused chains "
+                        "and must be effect-free",
+                    )
+            elif isinstance(node, (ast.Global, ast.Nonlocal)):
+                keyword = "global" if isinstance(node, ast.Global) else "nonlocal"
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    f"{keyword} declaration inside duration callable "
+                    f"{func.name!r}; *_ms functions must be effect-free",
+                )
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    f"print() inside duration callable {func.name!r}; "
+                    "*_ms functions must be effect-free",
+                )
+
+
+RULE = FusableEffectsRule()

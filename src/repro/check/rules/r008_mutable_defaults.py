@@ -1,0 +1,74 @@
+"""R008 — no mutable default arguments in simulation or serving code.
+
+A ``def f(queue=[])`` default is evaluated once at definition time and
+shared across every call.  In ordinary code that is a latent bug; in
+this codebase it is a *determinism* bug — state smuggled between
+queries through a default argument makes run N+1 depend on run N, which
+the byte-identity oracles will catch only long after the cause is cold.
+Use ``None`` and materialise inside the body, or a
+``dataclasses.field(default_factory=...)``.
+
+Flagged defaults: ``list``/``dict``/``set`` literals and
+comprehensions, and bare ``list()``/``dict()``/``set()``/
+``collections.deque()``/``bytearray()`` constructor calls.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.check.rules.base import SIMULATION_PACKAGES, Rule, Violation, in_packages
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+_SCOPE = SIMULATION_PACKAGES + ("repro/serve/",)
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "deque", "bytearray"})
+
+
+def _mutable_kind(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.List):
+        return "list literal"
+    if isinstance(node, ast.Dict):
+        return "dict literal"
+    if isinstance(node, ast.Set):
+        return "set literal"
+    if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp)):
+        return "comprehension"
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr if isinstance(func, ast.Attribute) else ""
+        )
+        if name in _MUTABLE_CALLS:
+            return f"{name}() call"
+    return None
+
+
+class MutableDefaultsRule(Rule):
+    rule_id = "R008"
+
+    def applies_to(self, module: str) -> bool:
+        return in_packages(module, _SCOPE)
+
+    def check(self, tree: ast.AST) -> Iterator[Violation]:
+        for node in ast.walk(tree):
+            if not isinstance(node, _FUNCTION_NODES + (ast.Lambda,)):
+                continue
+            args = node.args
+            for default in list(args.defaults) + [
+                d for d in args.kw_defaults if d is not None
+            ]:
+                kind = _mutable_kind(default)
+                if kind is not None:
+                    yield (
+                        default.lineno,
+                        default.col_offset,
+                        f"mutable default argument ({kind}); defaults are "
+                        "shared across calls — use None and materialise in "
+                        "the body",
+                    )
+
+
+RULE = MutableDefaultsRule()

@@ -1,0 +1,61 @@
+"""R010 — serialized report bytes are key-sorted.
+
+Reports, traces, and TSDB exports are compared byte-for-byte by the
+identity oracles and by CI artifact diffs.  ``json.dumps`` without
+``sort_keys=True`` serializes dict keys in insertion order, so two runs
+that build the same mapping along different code paths produce
+different bytes for equal data — the diff noise then hides real
+regressions.  Every ``json.dumps(...)`` / ``json.dump(...)`` call must
+pass ``sort_keys=True`` (a literal, so the intent survives review).
+
+The same hazard applies to hand-rolled serialization iterating a set
+into an output buffer; that side is covered by R003 in scheduling
+modules — this rule owns the ``json`` boundary, project-wide.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.check.rules.base import Rule, Violation
+
+
+def _is_json_serialize(node: ast.Call) -> bool:
+    func = node.func
+    if isinstance(func, ast.Attribute) and func.attr in ("dump", "dumps"):
+        value = func.value
+        return isinstance(value, ast.Name) and value.id == "json"
+    return False
+
+
+def _sorts_keys(node: ast.Call) -> bool:
+    for keyword in node.keywords:
+        if keyword.arg == "sort_keys":
+            return bool(
+                isinstance(keyword.value, ast.Constant) and keyword.value.value is True
+            )
+        if keyword.arg is None:
+            return True  # **kwargs: cannot prove, do not flag
+    return False
+
+
+class SortedBytesRule(Rule):
+    rule_id = "R010"
+
+    def check(self, tree: ast.AST) -> Iterator[Violation]:
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and _is_json_serialize(node)
+                and not _sorts_keys(node)
+            ):
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    "json serialization without sort_keys=True; report "
+                    "bytes must not depend on dict insertion order",
+                )
+
+
+RULE = SortedBytesRule()

@@ -23,8 +23,13 @@ Commands:
                                 buckets (repro-explain/v1); optional
                                 repro-tsdb/v1 time-series and Chrome-trace
                                 flow-graph outputs
-* ``check [paths...]``        — determinism lint (R001-R005); ``--self-test``
-                                proves each rule still fires;
+* ``check [paths...]``        — determinism lint (R001-R010); ``--flow``
+                                adds the interprocedural analyses (static
+                                deadlock detection F001, fusion-safety
+                                proofs F002); ``--format`` selects
+                                text/json/sarif/github output;
+                                ``--self-test`` proves each rule and
+                                analysis still fires;
                                 ``--scheduler-identity``/``--fusion-identity``/
                                 ``--tracing-identity`` prove the perf and
                                 observability axes change no output bytes
@@ -271,15 +276,20 @@ def _cmd_bench(args) -> int:
 
 
 def _cmd_check(args) -> int:
-    from repro.check.lint import lint_paths, render_json, render_text, self_test
+    from repro.check.lint import lint_paths, self_test
+    from repro.check.render import render
 
     if args.self_test:
-        problems = self_test()
+        from repro.check.flow import flow_self_test
+
+        problems = self_test() + flow_self_test()
         if problems:
             for problem in problems:
                 print(problem)
             return 2
-        print("self-test OK: every rule fires and suppresses")
+        print(
+            "self-test OK: every rule and flow analysis fires and suppresses"
+        )
         return 0
     if args.scheduler_identity or args.fusion_identity or args.tracing_identity:
         from repro.check.identity import identity_mismatches
@@ -304,7 +314,19 @@ def _cmd_check(args) -> int:
                 print(f"{axis} identity OK: byte-identical renders")
         return 1 if failed else 0
     findings = lint_paths(args.paths)
-    print(render_json(findings) if args.as_json else render_text(findings))
+    if args.flow:
+        from repro.check.flow import analyze_paths
+
+        findings = findings + analyze_paths(args.paths)
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    fmt = "json" if args.as_json else args.format
+    text = render(findings, fmt)
+    if args.report_out:
+        with open(args.report_out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {len(findings)} finding(s) as {fmt} to {args.report_out}")
+    else:
+        print(text)
     return 1 if findings else 0
 
 
@@ -456,7 +478,7 @@ def _cmd_explain_latency(args) -> int:
     if args.trace_out:
         trace = spans_chrome_trace(collector)
         with open(args.trace_out, "w", encoding="utf-8") as handle:
-            json.dump(trace, handle)
+            json.dump(trace, handle, sort_keys=True)
         print(
             f"wrote {len(trace['traceEvents'])} span-trace events to "
             f"{args.trace_out} (load in https://ui.perfetto.dev)"
@@ -602,10 +624,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", dest="as_json", help="emit findings as JSON"
     )
     check.add_argument(
+        "--flow",
+        action="store_true",
+        help="also run the interprocedural flow analyses (lock-order "
+        "deadlock detection F001, fusion-safety proofs F002)",
+    )
+    check.add_argument(
+        "--format",
+        choices=["text", "json", "sarif", "github"],
+        default="text",
+        help="finding output format (github emits ::error annotations)",
+    )
+    check.add_argument(
+        "--out",
+        dest="report_out",
+        default=None,
+        help="write the rendered findings to a file instead of stdout",
+    )
+    check.add_argument(
         "--self-test",
         action="store_true",
         dest="self_test",
-        help="verify every rule fires on its seeded violation (CI gate)",
+        help="verify every rule and flow analysis fires on its seeded "
+        "violation (CI gate)",
     )
     check.add_argument(
         "--scheduler-identity",

@@ -166,8 +166,9 @@ class DirectMachine:
 
         self.sim = Simulator()
         # Operator-loop fusion (repro.sim.fusion); resolve_fusion keeps the
-        # flag off when a fault plan is armed on this simulator.
-        self.fuse_ops = resolve_fusion(fuse_ops, self.sim)
+        # flag off when a fault plan is armed on this simulator or when the
+        # static effect analysis has not proven this machine's chains safe.
+        self.fuse_ops = resolve_fusion(fuse_ops, self.sim, component="direct")
         self.meter = TrafficMeter()
         self.processors = [_Processor(i) for i in range(processors)]
         if self.sim.spans is not None:

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Iterator, Optional
 
 from repro.obs.metrics import (
     NULL_REGISTRY,
@@ -122,9 +123,9 @@ def install(session: ObsSession) -> ObsSession:
 def observe(
     trace: bool = True,
     metrics: bool = True,
-    tracer: Tracer = None,
-    registry: MetricsRegistry = None,
-):
+    tracer: Optional[Tracer] = None,
+    registry: Optional[MetricsRegistry] = None,
+) -> Iterator[ObsSession]:
     """Install a fresh (or given) session as ambient for the block.
 
     Only simulators *constructed inside* the block pick the session up —

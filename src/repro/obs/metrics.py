@@ -20,7 +20,7 @@ are off.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.sim.monitor import Counter, Tally, TimeSeries
 
@@ -33,12 +33,12 @@ def metric_key(name: str, labels: Optional[dict] = None) -> str:
     return f"{name}{{{inner}}}"
 
 
-def parse_metric_key(key: str):
+def parse_metric_key(key: str) -> Tuple[str, Dict[str, str]]:
     """Invert :func:`metric_key`: ``"name{k=v}"`` -> ``(name, {k: v})``."""
     if not key.endswith("}") or "{" not in key:
         return key, {}
     name, _, inner = key[:-1].partition("{")
-    labels = {}
+    labels: Dict[str, str] = {}
     for part in inner.split(","):
         if part:
             k, _, v = part.partition("=")
@@ -49,7 +49,7 @@ def parse_metric_key(key: str):
 class MetricsRegistry:
     """Namespaced counters, tallies, time series, and gauges."""
 
-    def __init__(self, enabled: bool = True, capture_tally_samples: bool = False):
+    def __init__(self, enabled: bool = True, capture_tally_samples: bool = False) -> None:
         self.enabled = enabled
         #: Sweep worker registries keep raw tally samples so the parent's
         #: merge can replay them in order (bit-identical to serial).
@@ -66,7 +66,7 @@ class MetricsRegistry:
 
     # -- instrument access -----------------------------------------------------
 
-    def counter(self, name: str, **labels) -> Counter:
+    def counter(self, name: str, **labels: object) -> Counter:
         """The monotone counter for ``name`` + ``labels`` (created on first use)."""
         if not self.enabled:
             return self._null_counter
@@ -76,7 +76,7 @@ class MetricsRegistry:
             instrument = self._counters[key] = Counter(key)
         return instrument
 
-    def tally(self, name: str, **labels) -> Tally:
+    def tally(self, name: str, **labels: object) -> Tally:
         """The sample tally for ``name`` + ``labels``."""
         if not self.enabled:
             return self._null_tally
@@ -88,7 +88,7 @@ class MetricsRegistry:
             )
         return instrument
 
-    def series(self, name: str, **labels) -> TimeSeries:
+    def series(self, name: str, **labels: object) -> TimeSeries:
         """The time series for ``name`` + ``labels``."""
         if not self.enabled:
             return self._null_series
@@ -98,7 +98,7 @@ class MetricsRegistry:
             instrument = self._series[key] = TimeSeries(key)
         return instrument
 
-    def set_gauge(self, name: str, value: float, **labels) -> None:
+    def set_gauge(self, name: str, value: float, **labels: object) -> None:
         """Record a summary value (last write wins)."""
         if not self.enabled:
             return
@@ -176,7 +176,7 @@ class MetricsRegistry:
 
     # -- reading ---------------------------------------------------------------
 
-    def value(self, name: str, **labels) -> float:
+    def value(self, name: str, **labels: object) -> float:
         """A counter's or gauge's current value (0.0 when never recorded)."""
         key = metric_key(name, labels)
         if key in self._counters:

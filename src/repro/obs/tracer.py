@@ -36,7 +36,7 @@ class Tracer:
         enabled: bool = True,
         stream_path: Optional[str] = None,
         flush_every: int = 10_000,
-    ):
+    ) -> None:
         if flush_every < 1:
             raise ValueError("flush_every must be >= 1")
         self.enabled = enabled
@@ -172,7 +172,7 @@ class Tracer:
         for event in self._events:
             if self._streamed:
                 handle.write(", ")
-            handle.write(json.dumps(event))
+            handle.write(json.dumps(event, sort_keys=True))
             self._streamed += 1
         self._events.clear()
 
@@ -192,7 +192,7 @@ class Tracer:
         for event in self._metadata_events():
             if self._streamed:
                 handle.write(", ")
-            handle.write(json.dumps(event))
+            handle.write(json.dumps(event, sort_keys=True))
             self._streamed += 1
         handle.write("]}")
         handle.close()
@@ -234,7 +234,7 @@ class Tracer:
     def write(self, path: str) -> None:
         """Serialize the trace to ``path`` as JSON."""
         with open(path, "w", encoding="utf-8") as handle:
-            json.dump(self.chrome_trace(), handle)
+            json.dump(self.chrome_trace(), handle, sort_keys=True)
 
     def clear(self) -> None:
         """Drop all recorded events (track ids are kept stable)."""

@@ -19,6 +19,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Set
 
+from repro.check.sanitizer import active_witness
 from repro.errors import ConcurrencyError
 from repro.query.tree import QueryTree
 
@@ -98,6 +99,23 @@ class LockManager:
             held.holders.add(request.query_name)
         for relation in sorted(request.exclusive):
             self._held[relation] = _Held(LockMode.EXCLUSIVE, {request.query_name})
+        witness = active_witness()
+        if witness is not None:
+            # The whole set is granted or nothing is, so the witness sees
+            # one atomic grant: no hold-and-wait inside it, no ordering
+            # edges between its own members.
+            witness.record_grant(
+                request.query_name,
+                [
+                    (
+                        relation,
+                        f"try_acquire({request.query_name!r}) "
+                        f"{'X' if relation in request.exclusive else 'S'}-lock "
+                        f"{relation!r}",
+                    )
+                    for relation in sorted(request.relations)
+                ],
+            )
         self._owners[request.query_name] = request
         return True
 
@@ -115,6 +133,9 @@ class LockManager:
             raise ConcurrencyError(
                 f"query {query_name!r} holds no locks (double release?)"
             )
+        witness = active_witness()
+        if witness is not None:
+            witness.release(query_name)
         for relation in sorted(request.relations):
             held = self._held.get(relation)
             if held is None or query_name not in held.holders:

@@ -125,10 +125,13 @@ class RingMachine:
 
         self.sim = Simulator()
         # Operator-loop fusion (repro.sim.fusion): besides the armed-plan
-        # gate inside resolve_fusion, fail-stop mode keeps chains unfused —
-        # watchdog abort settles in-flight charges pro rata, and a fused
-        # chain's settlement would differ from the cascade's.
-        self.fuse_ops = resolve_fusion(fuse_ops, self.sim) and not fault_tolerant
+        # and fusion-safety gates inside resolve_fusion, fail-stop mode
+        # keeps chains unfused — watchdog abort settles in-flight charges
+        # pro rata, and a fused chain's settlement would differ from the
+        # cascade's.
+        self.fuse_ops = (
+            resolve_fusion(fuse_ops, self.sim, component="ring") and not fault_tolerant
+        )
         self.meter = TrafficMeter()
         self.outer_ring = Ring(self.sim, outer_ring, "outer-ring")
         self.inner_ring = Ring(self.sim, inner_ring, "inner-ring")

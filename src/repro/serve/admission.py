@@ -32,7 +32,7 @@ _POLICIES = ("fifo", "sjf")
 class AdmissionQueue:
     """Bounded-concurrency admission with FIFO/SJF queueing and shedding."""
 
-    def __init__(self, max_inflight: int, queue_limit: int, policy: str = "fifo"):
+    def __init__(self, max_inflight: int, queue_limit: int, policy: str = "fifo") -> None:
         if max_inflight < 1:
             raise WorkloadError(f"max_inflight must be >= 1, got {max_inflight}")
         if queue_limit < 0:

@@ -40,7 +40,7 @@ class PoissonArrivals(ArrivalProcess):
 
     name = "poisson"
 
-    def __init__(self, rate_qps: float):
+    def __init__(self, rate_qps: float) -> None:
         self.rate_per_ms = _check_rate(rate_qps)
         self.rate_qps = rate_qps
 
@@ -71,7 +71,7 @@ class BurstyArrivals(ArrivalProcess):
         on_ms: float = 200.0,
         off_ms: float = 800.0,
         off_level: float = 0.2,
-    ):
+    ) -> None:
         if on_ms <= 0 or off_ms <= 0:
             raise WorkloadError("burst phase means must be positive")
         if not 0.0 <= off_level < 1.0:
@@ -115,7 +115,7 @@ class DiurnalArrivals(ArrivalProcess):
 
     name = "diurnal"
 
-    def __init__(self, rate_qps: float, period_ms: float = 10_000.0, depth: float = 0.8):
+    def __init__(self, rate_qps: float, period_ms: float = 10_000.0, depth: float = 0.8) -> None:
         if period_ms <= 0:
             raise WorkloadError(f"period_ms must be positive, got {period_ms}")
         if not 0.0 <= depth < 1.0:

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import asdict, dataclass
-from typing import Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
 
 from repro.errors import MachineError, WorkloadError
 from repro.serve.admission import ADMIT, QUEUE, AdmissionQueue
@@ -26,6 +26,9 @@ from repro.serve.sessions import DEFAULT_MIX, SessionWorkload
 from repro.serve.slo import LatencyRecorder, build_report
 from repro.sim.random import RandomStreams
 from repro.workload.generator import generate_benchmark_database
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.sim.engine import Simulator
 
 MACHINES = ("ring", "direct", "dataflow")
 LOOPS = ("open", "closed")
@@ -72,7 +75,7 @@ class ServeConfig:
             raise WorkloadError(f"think_ms must be positive, got {self.think_ms}")
 
 
-def _build_machine(config: ServeConfig, catalog):
+def _build_machine(config: ServeConfig, catalog: Any) -> Any:
     if config.machine == "ring":
         from repro.ring.machine import RingMachine
 
@@ -110,7 +113,7 @@ def _build_machine(config: ServeConfig, catalog):
     )
 
 
-def _machine_utilization(report) -> Optional[float]:
+def _machine_utilization(report: object) -> Optional[float]:
     for field in ("ip_utilization", "processor_utilization"):
         value = getattr(report, field, None)
         if value is not None:
@@ -179,7 +182,7 @@ def serve(config: ServeConfig) -> Dict[str, object]:
 
 def _wire_open_loop(
     config: ServeConfig,
-    machine,
+    machine: Any,
     workload: SessionWorkload,
     workload_rng: random.Random,
     streams: RandomStreams,
@@ -247,7 +250,7 @@ def _wire_open_loop(
 
 def _wire_closed_loop(
     config: ServeConfig,
-    machine,
+    machine: Any,
     workload: SessionWorkload,
     workload_rng: random.Random,
     streams: RandomStreams,
@@ -302,7 +305,7 @@ def _wire_closed_loop(
         )
 
 
-def _sample_admission(spans, now: float, admission: AdmissionQueue) -> None:
+def _sample_admission(spans: Any, now: float, admission: AdmissionQueue) -> None:
     """Fold the admission gauges/counters into the time-series windows.
 
     Called at every admission transition (offer, dequeue, completion),
@@ -329,7 +332,7 @@ def _record_completion(
     completed["n"] += 1
 
 
-def _publish_serve_metrics(sim, slo: Dict[str, object]) -> None:
+def _publish_serve_metrics(sim: "Simulator", slo: Dict[str, Any]) -> None:
     """Mirror the headline SLO numbers into the metrics registry."""
     metrics = sim.metrics
     if not metrics.enabled:

@@ -38,7 +38,7 @@ class SessionWorkload:
         zipf_s: float = 0.8,
         mix: Sequence[float] = DEFAULT_MIX,
         users: int = 1000,
-    ):
+    ) -> None:
         if not 0.0 < selectivity <= 1.0:
             raise WorkloadError(f"selectivity must be in (0, 1], got {selectivity}")
         if len(mix) != 3 or any(w < 0 for w in mix) or sum(mix) <= 0:

@@ -32,7 +32,7 @@ def percentile(sorted_values: Sequence[float], p: float) -> float:
 class LatencyRecorder:
     """Accumulates per-query latencies and summarizes them."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._values: List[float] = []
 
     def record(self, latency_ms: float) -> None:

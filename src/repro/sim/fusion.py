@@ -40,9 +40,10 @@ from contextlib import contextmanager
 from typing import TYPE_CHECKING, Iterator, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.check.flow.effects import FusionSafetyReport
     from repro.sim.engine import Simulator
 
-__all__ = ["fusing", "fusion_default", "resolve_fusion"]
+__all__ = ["fusing", "fusion_default", "fusion_safety_report", "resolve_fusion"]
 
 #: Ambient fusion flag; read once by each machine at construction.  Seeded
 #: from the environment so sweep worker processes inherit the selection.
@@ -76,11 +77,62 @@ def fusing(enabled: bool = True) -> Iterator[None]:
             os.environ["REPRO_SIM_FUSE"] = previous_env
 
 
-def resolve_fusion(explicit: Optional[bool], sim: "Simulator") -> bool:
+# -- fusion-safety gate --------------------------------------------------------
+
+#: Machine component -> the module whose charge chains it fuses.  The
+#: effect analysis must prove *that* module's chains safe before the
+#: component is allowed to fuse.
+_COMPONENT_MODULES = {
+    "ring": "repro/ring/processor.py",
+    "direct": "repro/direct/machine.py",
+}
+
+#: Lazily built whole-project safety report; ``False`` records that the
+#: analysis itself failed, which reads as "nothing is proven" (fail
+#: closed).  Process-wide cache: the sources cannot change under a
+#: running simulator.
+_safety_report: object = None
+
+
+def fusion_safety_report() -> "Optional[FusionSafetyReport]":
+    """The cached project-wide fusion-safety report (None if unbuildable)."""
+    global _safety_report
+    if _safety_report is None:
+        try:
+            import repro
+            from repro.check.flow import analyze_fusion_safety, build_call_graph
+
+            root = os.path.dirname(os.path.abspath(repro.__file__))
+            _safety_report = analyze_fusion_safety(build_call_graph([root]))
+        except Exception:  # pragma: no cover - analysis must not kill a run
+            _safety_report = False
+    return _safety_report if _safety_report is not False else None
+
+
+def _component_proven_safe(component: str) -> bool:
+    """True when ``component``'s fused chains are statically proven safe."""
+    suffix = _COMPONENT_MODULES.get(component)
+    if suffix is None:
+        return False  # unknown component: nothing is proven
+    report = fusion_safety_report()
+    return report is not None and report.module_proven_safe(suffix)
+
+
+def resolve_fusion(
+    explicit: Optional[bool], sim: "Simulator", component: Optional[str] = None
+) -> bool:
     """The effective fusion flag for a machine bound to ``sim``.
 
     Explicit constructor argument wins, else the ambient flag; either way
     an armed fault plan forces fusion off (see the module docstring).
+    When ``component`` is given, fusion additionally requires the static
+    effect analysis (:mod:`repro.check.flow.effects`) to have proven the
+    component's charge chains effect-free — a chain the analysis cannot
+    prove safe is never fused, no matter what the flag says.
     """
     enabled = _ambient_fuse if explicit is None else explicit
-    return bool(enabled) and sim.faults is None
+    if not (bool(enabled) and sim.faults is None):
+        return False
+    if component is not None and not _component_proven_safe(component):
+        return False
+    return True
