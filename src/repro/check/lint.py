@@ -185,22 +185,32 @@ SEEDED_VIOLATIONS = {
     "R008": "def f(pending=[]):\n    return pending\n",
     "R009": "def f():\n    ctx = sanitizing()\n    return ctx\n",
     "R010": "import json\ndef f(report):\n    return json.dumps(report)\n",
+    "R011": (
+        "def deliver_update(self, page, row):\n"
+        "    page.mutate_row(0, row)\n"
+    ),
 }
 
 #: Scoped rules are exercised against a path inside their scope.
 _SELF_TEST_PATH = "repro/sim/_selftest.py"
+
+#: Rules whose scope excludes the default path pick their own stand-in.
+_SELF_TEST_PATHS = {
+    "R011": "repro/ring/_selftest.py",
+}
 
 
 def self_test() -> List[str]:
     """Return a list of problems (empty == every rule fires and suppresses)."""
     problems: List[str] = []
     for rule_id, snippet in sorted(SEEDED_VIOLATIONS.items()):
-        hits = [f for f in lint_source(snippet, _SELF_TEST_PATH) if f.rule == rule_id]
+        test_path = _SELF_TEST_PATHS.get(rule_id, _SELF_TEST_PATH)
+        hits = [f for f in lint_source(snippet, test_path) if f.rule == rule_id]
         if not hits:
             problems.append(f"{rule_id}: seeded violation not detected")
             continue
         suppressed = _suppress_all(snippet, rule_id)
-        still = [f for f in lint_source(suppressed, _SELF_TEST_PATH) if f.rule == rule_id]
+        still = [f for f in lint_source(suppressed, test_path) if f.rule == rule_id]
         if still:
             problems.append(f"{rule_id}: allow[] comment did not suppress the finding")
     # One line can violate two rules; a single comma-separated allow[]

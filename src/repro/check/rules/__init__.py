@@ -15,6 +15,9 @@ from repro.check.rules.r007_fusable_effects import RULE as R007
 from repro.check.rules.r008_mutable_defaults import RULE as R008
 from repro.check.rules.r009_ambient_with import RULE as R009
 from repro.check.rules.r010_sorted_bytes import RULE as R010
+from repro.check.rules.r011_page_mutation import RULE as R011
 
 #: Every registered rule, in id order.
-ALL_RULES: List[Rule] = [R001, R002, R003, R004, R005, R006, R007, R008, R009, R010]
+ALL_RULES: List[Rule] = [
+    R001, R002, R003, R004, R005, R006, R007, R008, R009, R010, R011,
+]

@@ -14,6 +14,12 @@ Commands:
 * ``faults [...]``            — run the benchmark under a seeded fault plan
                                 (``repro.faults``); JSON report, exit 1 on
                                 any oracle mismatch
+* ``recover [...]``           — run a mixed write workload under the WAL,
+                                crash it (torn pages + corrupt log tail),
+                                restart, and verify the recovered store is
+                                byte-identical to the interpreter oracle;
+                                ``--dump-prefix`` writes both images for
+                                an external ``cmp``
 * ``serve [...]``             — continuous multi-user serving mode: open-loop
                                 arrivals into a running machine; prints a
                                 byte-stable JSON SLO report (p50/p99/p999)
@@ -79,6 +85,7 @@ from repro.experiments import (
     latency_decomposition,
     packets_demo,
     project_operator,
+    recovery_sweep,
     ring_sizing_exp,
     ring_vs_direct,
     section_3_3,
@@ -102,6 +109,10 @@ _EXPERIMENTS: Dict[str, tuple] = {
     "latency_decomposition": (
         latency_decomposition,
         "E16: latency decomposition — critical-path bucket shares vs load",
+    ),
+    "recovery": (
+        recovery_sweep,
+        "E17: recovery sweep — byte-identical restart after stateful crashes",
     ),
 }
 
@@ -392,6 +403,58 @@ def _cmd_faults(args) -> int:
     return 0 if summary["all_correct"] else 1
 
 
+def _cmd_recover(args) -> int:
+    """One crash-recovery trial; JSON report, exit 1 on contract breach.
+
+    Runs the mixed read/write stream on the chosen machine with the WAL
+    armed and the stateful fault plan (machine crash + torn pages +
+    corrupt log tail), restarts, and compares the recovered stable
+    store byte-for-byte against the interpreter oracle.  With
+    ``--dump-prefix`` the recovered and oracle images are written to
+    ``<prefix>.recovered.bin`` / ``<prefix>.oracle.bin`` so an external
+    ``cmp`` can witness the byte identity.
+    """
+    from repro.recovery.harness import run_crash_trial
+
+    def execute():
+        return run_crash_trial(
+            machine=args.machine,
+            seed=args.seed,
+            scale=args.scale,
+            write_fraction=args.write_fraction,
+            crash_rate=args.crash_rate,
+            torn_page_rate=args.torn_rate,
+            log_tail_rate=args.tail_rate,
+            crash_at_ms=args.crash_at,
+            queries=args.queries,
+            processors=args.processors,
+        )
+
+    if args.sanitize:
+        from repro.check import sanitizing
+
+        with sanitizing():
+            trial = execute()
+    else:
+        trial = execute()
+    if args.dump_prefix:
+        recovered_path = f"{args.dump_prefix}.recovered.bin"
+        oracle_path = f"{args.dump_prefix}.oracle.bin"
+        with open(recovered_path, "wb") as handle:
+            handle.write(trial.recovered_bytes)
+        with open(oracle_path, "wb") as handle:
+            handle.write(trial.oracle)
+        print(f"wrote {recovered_path} and {oracle_path}")
+    text = json.dumps(trial.to_dict(), indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote recovery report to {args.out}")
+    else:
+        print(text)
+    return 0 if trial.ok else 1
+
+
 def _serve_config(args):
     """Build a ServeConfig from the shared serving option set."""
     from repro.serve import ServeConfig
@@ -414,6 +477,7 @@ def _serve_config(args):
         max_inflight=args.max_inflight,
         queue_limit=args.queue_limit,
         policy=args.policy,
+        write_mix=args.write_mix,
     )
 
 
@@ -727,6 +791,51 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None, help="write the JSON report here instead of stdout"
     )
 
+    recover = sub.add_parser(
+        "recover",
+        help="run a mixed write workload, crash it (torn pages + corrupt "
+        "log tail), restart, and verify byte-identity against the oracle",
+    )
+    recover.add_argument(
+        "--machine", choices=["ring", "direct", "dataflow"], default="ring"
+    )
+    recover.add_argument("--seed", type=int, default=0)
+    recover.add_argument("--scale", type=float, default=0.02, help="database scale")
+    recover.add_argument(
+        "--write-fraction", type=float, default=0.5, dest="write_fraction",
+        help="fraction of the stream that are write transactions",
+    )
+    recover.add_argument(
+        "--crash-rate", type=float, default=1.0, dest="crash_rate",
+        help="probability the machine crash fires during the run",
+    )
+    recover.add_argument(
+        "--torn-rate", type=float, default=0.5, dest="torn_rate",
+        help="per-page torn-write probability at the moment of the crash",
+    )
+    recover.add_argument(
+        "--tail-rate", type=float, default=0.5, dest="tail_rate",
+        help="probability the unforced log tail is truncated/corrupted",
+    )
+    recover.add_argument(
+        "--crash-at", type=float, default=250.0, dest="crash_at",
+        help="earliest crash time in simulated ms",
+    )
+    recover.add_argument(
+        "--queries", type=int, default=12, help="length of the mixed stream"
+    )
+    recover.add_argument("--processors", type=int, default=4)
+    recover.add_argument(
+        "--sanitize", action="store_true", help="run under the simulation sanitizer"
+    )
+    recover.add_argument(
+        "--dump-prefix", default=None, dest="dump_prefix",
+        help="write <prefix>.recovered.bin and <prefix>.oracle.bin for cmp",
+    )
+    recover.add_argument(
+        "--out", default=None, help="write the JSON report here instead of stdout"
+    )
+
     def add_serving_options(parser_: argparse.ArgumentParser) -> None:
         parser_.add_argument(
             "--machine", choices=["ring", "direct", "dataflow"], default="ring"
@@ -782,6 +891,11 @@ def build_parser() -> argparse.ArgumentParser:
         parser_.add_argument(
             "--policy", choices=["fifo", "sjf"], default="fifo",
             help="admission queue order (sjf = shortest estimated job first)",
+        )
+        parser_.add_argument(
+            "--write-mix", type=float, default=0.0, dest="write_mix",
+            help="fraction of arrivals that are write transactions "
+            "(ring only; arms the WAL and reports abort/retry stats)",
         )
 
     serve_cmd = sub.add_parser(
@@ -842,6 +956,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bench": _cmd_bench,
         "check": _cmd_check,
         "faults": _cmd_faults,
+        "recover": _cmd_recover,
         "serve": _cmd_serve,
         "explain-latency": _cmd_explain_latency,
         "bench-info": _cmd_bench_info,

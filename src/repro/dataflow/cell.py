@@ -30,11 +30,14 @@ from repro.errors import MachineError
 from repro.relational.page import Page
 from repro.relational.schema import Row, Schema
 from repro.query.tree import (
+    AppendNode,
+    DeleteNode,
     JoinNode,
     ProjectNode,
     QueryNode,
     RestrictNode,
     UnionNode,
+    UpdateNode,
 )
 
 
@@ -269,6 +272,44 @@ def _make_kernel(
             return out
 
         return union_kernel
+
+    if isinstance(node, AppendNode):
+
+        def append_kernel(unit: FiringUnit) -> List[Row]:
+            out: List[Row] = []
+            for slot, page in unit.pages:
+                out.extend(unit.cell.operands[slot].pages[page].rows())
+            return out
+
+        return append_kernel
+
+    if isinstance(node, DeleteNode):
+        survive = node.predicate.compile(operand_schemas[0])
+
+        def delete_kernel(unit: FiringUnit) -> List[Row]:
+            out: List[Row] = []
+            for slot, page in unit.pages:
+                out.extend(
+                    r
+                    for r in unit.cell.operands[slot].pages[page].rows()
+                    if not survive(r)
+                )
+            return out
+
+        return delete_kernel
+
+    if isinstance(node, UpdateNode):
+        apply_row = node.compile_apply(operand_schemas[0])
+
+        def update_kernel(unit: FiringUnit) -> List[Row]:
+            out: List[Row] = []
+            for slot, page in unit.pages:
+                out.extend(
+                    apply_row(r) for r in unit.cell.operands[slot].pages[page].rows()
+                )
+            return out
+
+        return update_kernel
 
     if isinstance(node, JoinNode):
         from repro.direct.exec_model import join_pages

@@ -24,13 +24,15 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro import hw
-from repro.errors import MachineError
+from repro.errors import CrashError, FaultError, MachineError
 from repro.direct.exec_model import ExecModel
+from repro.recovery.apply import apply_write
+from repro.recovery.txn import Transaction, TransactionManager
 from repro.relational.catalog import Catalog
 from repro.relational.page import Page, page_capacity
 from repro.relational.relation import Relation
 from repro.relational.schema import Row
-from repro.query.tree import JoinNode, QueryTree
+from repro.query.tree import AppendNode, DeleteNode, JoinNode, QueryTree, UpdateNode
 from repro.dataflow.cell import Cell, FiringUnit
 from repro.dataflow.program import DataflowProgram, compile_query
 from repro.sim.engine import Simulator
@@ -96,6 +98,10 @@ class DataflowMachine:
         self.firings = 0
         self.arbitration_bytes = 0
         self.distribution_bytes = 0
+        #: Durable write transactions (see :meth:`attach_recovery`);
+        #: None means writes install in-memory only.
+        self.txn: Optional[TransactionManager] = None
+        self._write_txns: Dict[str, Transaction] = {}
         #: Serving hook: ``(query_name, completed_at_ms, result_rows)``
         #: on root-cell completion.
         self.on_query_complete: Optional[Callable[[str, float, int], None]] = None
@@ -106,8 +112,35 @@ class DataflowMachine:
 
     # ------------------------------------------------------------------ host API
 
+    def attach_recovery(self, tm: TransactionManager) -> None:
+        """Arm durable write transactions through ``tm``.
+
+        Seeds the stable store from the catalog's current images if the
+        caller has not already, and registers the WAL invariants with
+        this run's sanitizer.  Like DIRECT, the data-flow machine has no
+        admission lock manager: conflicting writes must be serialized by
+        the caller (chained submission).
+        """
+        if not tm.store.pages:
+            tm.seed_from_catalog(self.catalog)
+        self.txn = tm
+        tm.register_sanitizer(self.sim)
+
     def submit(self, tree: QueryTree) -> DataflowProgram:
         """Compile ``tree`` into cells and add it to the memory section."""
+        root = tree.root
+        if (
+            self.txn is not None
+            and isinstance(root, (AppendNode, DeleteNode, UpdateNode))
+            and tree.name not in self._write_txns
+        ):
+            tree.validate(self.catalog)
+            self._write_txns[tree.name] = self.txn.begin(
+                tree.name,
+                root.target_relation,
+                root.output_schema(self.catalog),
+                append=isinstance(root, AppendNode),
+            )
         program = compile_query(tree, self.catalog, self.page_bytes)
         self._programs.append(program)
         for cell in program.cells:
@@ -134,6 +167,7 @@ class DataflowMachine:
         firing loop); all of them must finish before the heap drains.
         """
         self._serving = True
+        self._arm_machine_crash()
         self.sim.schedule(0.0, self._pump, label="pump")
         self.sim.run(max_events=self.max_events)
         unfinished = [
@@ -141,6 +175,10 @@ class DataflowMachine:
         ]
         if unfinished:
             raise MachineError(f"data-flow machine stalled on: {unfinished}")
+        if self.txn is not None:
+            # Clean shutdown: force the log, flush every dirty page, and
+            # checkpoint — the sanitizer's dirty-page leak check runs next.
+            self.txn.shutdown()
         self.sim.finalize_sanitizer()
         return DataflowReport(
             granularity=self.granularity,
@@ -155,6 +193,38 @@ class DataflowMachine:
             query_times=dict(self._query_done_at),
             events_processed=self.sim.events_processed,
         )
+
+    def _arm_machine_crash(self) -> None:
+        """Schedule a whole-machine power cut if the plan draws one.
+
+        Mirrors the ring machine: the strike raises
+        :class:`repro.errors.CrashError` straight out of the event loop,
+        and the crash harness picks recovery up from the stable store.
+        """
+        inj = self.sim.faults
+        if inj is None:
+            return
+        spec = inj.armed_spec("machine_crash")
+        if spec is None or spec.rate <= 0:
+            return
+        if self.txn is None:
+            raise FaultError(
+                "fault plan arms machine_crash but no transaction manager "
+                "is attached (attach_recovery); a crash without durable "
+                "state cannot be recovered"
+            )
+        if not inj.decide("machine_crash", "machine", spec.rate):
+            return
+        at_ms = spec.at_ms + inj.uniform("machine_crash", "machine", 0.0, spec.window_ms)
+
+        def crash_now() -> None:
+            inj.count("machine.crash", "machine")
+            raise CrashError(
+                f"machine crash fault at t={self.sim.now:.3f}ms "
+                f"({len(self.txn.active)} transaction(s) in flight)"
+            )
+
+        self.sim.schedule_at(at_ms, crash_now, label="fault.machine_crash")
 
     def _result_relation(self, program: DataflowProgram) -> Relation:
         return Relation.from_rows(
@@ -267,7 +337,13 @@ class DataflowMachine:
                     destination.operands[slot].deliver(page)
             else:
                 tree_name = self._tree_name_of(cell)
-                self._results.setdefault(tree_name, []).extend(page.rows())
+                rows = list(page.rows())
+                self._results.setdefault(tree_name, []).extend(rows)
+                txn = self._write_txns.get(tree_name)
+                if txn is not None:
+                    # WAL-stage the write root's output as it lands — a
+                    # crash mid-run leaves genuine partial writes for undo.
+                    self.txn.stage_rows(txn, rows)
             self._pump()
 
         self.distribution.submit(
@@ -293,6 +369,18 @@ class DataflowMachine:
             tree_name = self._tree_name_of(cell)
             if tree_name not in self._query_done_at:
                 self._query_done_at[tree_name] = self.sim.now
+                if isinstance(cell.node, (AppendNode, DeleteNode, UpdateNode)):
+                    txn = self._write_txns.pop(tree_name, None)
+                    _, all_rows = apply_write(
+                        self.catalog,
+                        cell.node,
+                        self._results.get(tree_name, []),
+                        self.page_bytes,
+                        tm=self.txn if txn is not None else None,
+                        txn=txn,
+                    )
+                    # Write queries report the target's whole new content.
+                    self._results[tree_name] = all_rows
                 rows = len(self._results.get(tree_name, []))
                 if self.sim.spans is not None:
                     self.sim.spans.query_end(tree_name, self.sim.now, rows)

@@ -16,7 +16,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.errors import MachineError
 from repro.relational.catalog import Catalog
 from repro.relational.schema import Schema
-from repro.query.tree import QueryNode, QueryTree, ScanNode
+from repro.query.tree import DeleteNode, QueryNode, QueryTree, ScanNode, UpdateNode
 from repro.dataflow.cell import Cell
 
 
@@ -50,7 +50,7 @@ def compile_query(
         if isinstance(node, ScanNode):
             continue
         operand_schemas: List[Tuple[str, Schema]] = []
-        for child in node.children:
+        for child in _operand_children(node):
             operand_schemas.append(
                 (_operand_name(child), child.output_schema(catalog))
             )
@@ -64,7 +64,7 @@ def compile_query(
 
     # Wire destinations and preload base operands.
     for node_id, cell in by_node.items():
-        for slot_index, child in enumerate(cell.node.children):
+        for slot_index, child in enumerate(_operand_children(cell.node)):
             if isinstance(child, ScanNode):
                 relation = catalog.get(child.relation_name)
                 # Shared read-only images, memoized on the relation.
@@ -76,6 +76,18 @@ def compile_query(
             else:
                 by_node[child.node_id].destinations.append((cell, slot_index))
     return program
+
+
+def _operand_children(node: QueryNode) -> List[QueryNode]:
+    """Operand producers for ``node``.
+
+    Childless write roots (delete/update) read the target relation
+    itself: synthesize a scan so the preload path fills their single
+    operand slot with the target's current pages.
+    """
+    if isinstance(node, (DeleteNode, UpdateNode)):
+        return [ScanNode(node.target_relation)]
+    return list(node.children)
 
 
 def _operand_name(node: QueryNode) -> str:

@@ -28,12 +28,15 @@ from repro.direct.cache import PageRef
 from repro.relational.page import Page
 from repro.relational.schema import Row, Schema
 from repro.query.tree import (
+    AppendNode,
+    DeleteNode,
     JoinNode,
     ProjectNode,
     QueryNode,
     QueryTree,
     RestrictNode,
     UnionNode,
+    UpdateNode,
 )
 
 
@@ -305,6 +308,64 @@ class UnionInstruction(Instruction):
                 self._seen.add(row)
                 out.append(row)
         return out
+
+
+class AppendInstruction(Instruction):
+    """Append: pass the child's rows through toward the target relation.
+
+    The machine installs the target's new content at query completion
+    (the shared apply path); this instruction only assembles the rows
+    that arrive from the subtree.
+    """
+
+    def __init__(self, node: AppendNode, query, input_schema: Schema, page_bytes: int):
+        super().__init__(node, query, input_schema, page_bytes)
+        self.operands = [OperandTable("in", input_schema)]
+
+    def _on_new_input(self, operand_index: int, ref: PageRef) -> None:
+        self.pending.append(Task(self, ref))
+
+    def compute(self, task: Task) -> List[Row]:
+        """All rows of the task's page (appends filter nothing)."""
+        return list(task.page.payload.rows())
+
+
+class DeleteInstruction(Instruction):
+    """Delete: operand 0 is the target relation itself.
+
+    Rows *failing* the predicate survive; the emitted stream is the
+    target's whole new content (the write-result convention shared with
+    the ring machine).
+    """
+
+    def __init__(self, node: DeleteNode, query, input_schema: Schema, page_bytes: int):
+        super().__init__(node, query, input_schema, page_bytes)
+        self.operands = [OperandTable("target", input_schema)]
+        self.test = node.predicate.compile(input_schema)
+
+    def _on_new_input(self, operand_index: int, ref: PageRef) -> None:
+        self.pending.append(Task(self, ref))
+
+    def compute(self, task: Task) -> List[Row]:
+        """Rows of the task's page that survive the delete."""
+        return [row for row in task.page.payload.rows() if not self.test(row)]
+
+
+class UpdateInstruction(Instruction):
+    """Update: operand 0 is the target relation; matching rows are
+    transformed and every row is re-emitted (whole new content)."""
+
+    def __init__(self, node: UpdateNode, query, input_schema: Schema, page_bytes: int):
+        super().__init__(node, query, input_schema, page_bytes)
+        self.operands = [OperandTable("target", input_schema)]
+        self.apply = node.compile_apply(input_schema)
+
+    def _on_new_input(self, operand_index: int, ref: PageRef) -> None:
+        self.pending.append(Task(self, ref))
+
+    def compute(self, task: Task) -> List[Row]:
+        """Every row of the task's page, transformed where matching."""
+        return [self.apply(row) for row in task.page.payload.rows()]
 
 
 class JoinInstruction(Instruction):

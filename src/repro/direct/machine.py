@@ -30,24 +30,32 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro import hw
-from repro.errors import MachineError
+from repro.errors import CrashError, FaultError, MachineError
 from repro.direct import traffic as tlevels
 from repro.direct.cache import DiskCache, PageRef
 from repro.direct.exec_model import ExecModel, fused_chain_end, fused_chain_spans
 from repro.direct.instructions import (
+    AppendInstruction,
+    DeleteInstruction,
     Instruction,
     JoinInstruction,
     ProjectInstruction,
     RestrictInstruction,
     Task,
     UnionInstruction,
+    UpdateInstruction,
 )
 from repro.direct.scheduler import Granularity, PAGE, pick_instruction
 from repro.direct.traffic import TrafficMeter
+from repro.recovery.apply import apply_write
+from repro.recovery.txn import Transaction, TransactionManager
 from repro.relational.catalog import Catalog
 from repro.relational.page import Page
 from repro.relational.relation import Relation
+from repro.relational.schema import Row
 from repro.query.tree import (
+    AppendNode,
+    DeleteNode,
     JoinNode,
     ProjectNode,
     QueryNode,
@@ -55,6 +63,7 @@ from repro.query.tree import (
     RestrictNode,
     ScanNode,
     UnionNode,
+    UpdateNode,
 )
 from repro.sim.engine import Simulator
 from repro.sim.fusion import resolve_fusion
@@ -210,6 +219,12 @@ class DirectMachine:
         self._overflowing: Dict[str, None] = {}
         self._buffer_reads: Dict[str, List[Callable[[], None]]] = {}
 
+        #: Durable write transactions (see :meth:`attach_recovery`);
+        #: None means writes install in-memory only, the pre-WAL behavior.
+        self.txn: Optional[TransactionManager] = None
+        self._write_txns: Dict[str, Transaction] = {}
+        self._write_results: Dict[str, List[Row]] = {}
+
         #: Serving hook: called as ``(query_name, completed_at_ms,
         #: result_rows)`` when a query's root instruction completes.
         self.on_query_complete: Optional[Callable[[str, float, int], None]] = None
@@ -241,9 +256,35 @@ class DirectMachine:
             self._base_pages[relation_name] = refs
         return self._base_pages[relation_name]
 
+    def attach_recovery(self, tm: TransactionManager) -> None:
+        """Arm durable write transactions through ``tm``.
+
+        Seeds the stable store from the catalog's current images if the
+        caller has not already, and registers the WAL invariants with
+        this run's sanitizer.  DIRECT has no admission lock manager, so
+        callers must serialize conflicting writes themselves (the crash
+        harness and serve layer chain write submissions back-to-back).
+        """
+        if not tm.store.pages:
+            tm.seed_from_catalog(self.catalog)
+        self.txn = tm
+        tm.register_sanitizer(self.sim)
+
     def submit(self, tree: QueryTree) -> QueryRun:
         """Compile ``tree`` into instructions and queue it for execution."""
         tree.validate(self.catalog)
+        root = tree.root
+        if (
+            self.txn is not None
+            and isinstance(root, (AppendNode, DeleteNode, UpdateNode))
+            and tree.name not in self._write_txns
+        ):
+            self._write_txns[tree.name] = self.txn.begin(
+                tree.name,
+                root.target_relation,
+                root.output_schema(self.catalog),
+                append=isinstance(root, AppendNode),
+            )
         by_node: Dict[int, Instruction] = {}
         root_instr: Optional[Instruction] = None
 
@@ -306,12 +347,32 @@ class DirectMachine:
             return UnionInstruction(
                 node, tree, node.children[0].output_schema(self.catalog), self.page_bytes
             )
+        if isinstance(node, AppendNode):
+            return AppendInstruction(
+                node, tree, node.child.output_schema(self.catalog), self.page_bytes
+            )
+        if isinstance(node, DeleteNode):
+            return DeleteInstruction(
+                node, tree, self.catalog.get(node.target_relation).schema, self.page_bytes
+            )
+        if isinstance(node, UpdateNode):
+            return UpdateInstruction(
+                node, tree, self.catalog.get(node.target_relation).schema, self.page_bytes
+            )
         raise MachineError(
             f"the DIRECT simulator does not execute {node.opcode!r} nodes; "
             f"use the reference interpreter or the ring machine"
         )
 
     def _operand_children(self, node: QueryNode) -> Sequence[QueryNode]:
+        """Operand producers for ``node``.
+
+        Childless write roots (delete/update) read the target relation
+        itself: synthesize a scan so the standard base-delivery path
+        feeds them the target's current pages.
+        """
+        if isinstance(node, (DeleteNode, UpdateNode)):
+            return [ScanNode(node.target_relation)]
         return node.children
 
     def _deliver_base(self, instr: Instruction, operand_index: int, refs: List[PageRef]) -> None:
@@ -338,12 +399,17 @@ class DirectMachine:
         :meth:`submit` mid-run, so no queries need to exist up front;
         every query submitted must still finish before the heap drains.
         """
+        self._arm_machine_crash()
         self.sim.run(max_events=self.max_events)
         unfinished = [r.tree.name for r in self._runs if r.completed_at is None]
         if unfinished:
             raise MachineError(
                 f"simulation drained with unfinished queries: {unfinished}"
             )
+        if self.txn is not None:
+            # Clean shutdown: force the log, flush every dirty page, and
+            # checkpoint — the sanitizer's dirty-page leak check runs next.
+            self.txn.shutdown()
         self.sim.finalize_sanitizer()
         self.sim.finalize_faults()
         elapsed = self.sim.now
@@ -364,6 +430,38 @@ class DirectMachine:
             processor_utilization=utilization,
             events_processed=self.sim.events_processed,
         )
+
+    def _arm_machine_crash(self) -> None:
+        """Schedule a whole-machine power cut if the plan draws one.
+
+        Mirrors the ring machine: the strike raises
+        :class:`repro.errors.CrashError` straight out of the event loop,
+        and the crash harness picks recovery up from the stable store.
+        """
+        inj = self.sim.faults
+        if inj is None:
+            return
+        spec = inj.armed_spec("machine_crash")
+        if spec is None or spec.rate <= 0:
+            return
+        if self.txn is None:
+            raise FaultError(
+                "fault plan arms machine_crash but no transaction manager "
+                "is attached (attach_recovery); a crash without durable "
+                "state cannot be recovered"
+            )
+        if not inj.decide("machine_crash", "machine", spec.rate):
+            return
+        at_ms = spec.at_ms + inj.uniform("machine_crash", "machine", 0.0, spec.window_ms)
+
+        def crash_now() -> None:
+            inj.count("machine.crash", "machine")
+            raise CrashError(
+                f"machine crash fault at t={self.sim.now:.3f}ms "
+                f"({len(self.txn.active)} transaction(s) in flight)"
+            )
+
+        self.sim.schedule_at(at_ms, crash_now, label="fault.machine_crash")
 
     def _publish_metrics(self, elapsed: float, utilization: float) -> None:
         """Summarize the run into the metrics registry (stable names)."""
@@ -403,6 +501,17 @@ class DirectMachine:
 
     def _result_relation(self, run: QueryRun) -> Relation:
         instr = run.root_instruction
+        rows = self._write_results.get(run.tree.name)
+        if rows is not None:
+            # Write queries report the target's whole new content (the
+            # convention shared with the ring machine and interpreter).
+            return Relation.from_rows(
+                f"{run.tree.name}.result",
+                instr.output_schema,
+                rows,
+                self.page_bytes,
+                validated=True,
+            )
         out = Relation(
             f"{run.tree.name}.result", instr.output_schema, page_bytes=self.page_bytes
         )
@@ -594,9 +703,11 @@ class DirectMachine:
         self._charge(proc, cpu, computed, query=instr.query.name)
 
     def _unary_cpu_ms(self, instr: Instruction, rows: int) -> float:
-        if isinstance(instr, RestrictInstruction):
+        if isinstance(instr, (RestrictInstruction, DeleteInstruction, UpdateInstruction)):
+            # Delete/update kernels are a predicate pass over the page,
+            # the same work profile as restrict.
             return self.model.restrict_cpu_ms(rows)
-        if isinstance(instr, (ProjectInstruction, UnionInstruction)):
+        if isinstance(instr, (ProjectInstruction, UnionInstruction, AppendInstruction)):
             return self.model.project_cpu_ms(rows)
         raise MachineError(f"no unary cost model for {type(instr).__name__}")
 
@@ -832,6 +943,7 @@ class DirectMachine:
             self._buffered[ref.key] = ref
             self._buffer_fifo[id(instr)].append(ref.key)
             instr.produced_pages.append(ref)
+            self._stage_write_rows(instr, ref)
             self._overflow_buffer(instr)
             if self.granularity.pipeline:
                 self._announce_page(instr, ref)
@@ -858,12 +970,26 @@ class DirectMachine:
                 ref.on_disk = True
                 self._pending_writes[id(instr)] -= 1
                 instr.produced_pages.append(ref)
+                self._stage_write_rows(instr, ref)
                 self._check_completion(instr)
                 self._dispatch()
 
             disk.submit(self.model.disk_ms(ref.nbytes), written, nbytes=ref.nbytes)
 
         self.ports.submit(self.model.cache_port_ms(ref.nbytes), to_disk, nbytes=ref.nbytes)
+
+    def _stage_write_rows(self, instr: Instruction, ref: PageRef) -> None:
+        """WAL-stage a write root's freshly produced page.
+
+        Only the root of a write query stages (its output *is* the
+        target's new content); a crash mid-run therefore leaves genuine
+        partial writes in the log for the undo phase to erase.
+        """
+        if instr.consumers or ref.payload is None:
+            return
+        txn = self._write_txns.get(instr.query.name)
+        if txn is not None:
+            self.txn.stage_rows(txn, list(ref.payload.rows()))
 
     def _overflow_buffer(self, instr: Instruction) -> None:
         """Push the oldest unconsumed pages out to the disk cache when the
@@ -909,6 +1035,7 @@ class DirectMachine:
         def written() -> None:
             self._pending_writes[id(instr)] -= 1
             instr.produced_pages.append(final)
+            self._stage_write_rows(instr, final)
             if self.granularity.pipeline:
                 self._announce_page(instr, final)
             self._complete(instr)
@@ -938,6 +1065,26 @@ class DirectMachine:
             if run.root_instruction is instr:
                 run.completed_at = self.sim.now
                 run.result_rows = instr.assembler.rows_emitted
+                node = run.tree.root
+                if isinstance(node, (AppendNode, DeleteNode, UpdateNode)):
+                    produced = [
+                        row
+                        for ref in instr.produced_pages
+                        if ref.payload is not None
+                        for row in ref.payload.rows()
+                    ]
+                    txn = self._write_txns.pop(run.tree.name, None)
+                    _, rows = apply_write(
+                        self.catalog,
+                        node,
+                        produced,
+                        self.page_bytes,
+                        tm=self.txn if txn is not None else None,
+                        txn=txn,
+                    )
+                    self._write_results[run.tree.name] = rows
+                    self._base_pages.pop(node.target_relation, None)
+                    run.result_rows = len(rows)
                 if self.sim.tracer.enabled:
                     self.sim.tracer.span(
                         run.tree.name,

@@ -85,3 +85,22 @@ class RetryExhaustedError(FaultError):
     packet or page transfer has failed ``max_retries + 1`` times in a
     row; the message names the site and the attempt count.
     """
+
+
+class CrashError(FaultError):
+    """A planned whole-machine crash fault fired mid-run.
+
+    Raised out of the event loop when a ``machine_crash`` fault strikes;
+    the crash harness catches it at the ``run_service`` boundary, drops
+    volatile state, and hands the stable store to restart recovery.
+    """
+
+
+class RecoveryError(ReproError):
+    """The write-ahead log or restart protocol hit an impossible state.
+
+    Distinct from *detected* damage (a torn page, a corrupt log tail),
+    which recovery repairs silently: this error means the log itself
+    violates its own invariants (non-monotone LSNs, a redo image missing
+    for a page known to be damaged) and restart cannot proceed.
+    """

@@ -26,6 +26,11 @@ benchmarks, and the EXPERIMENTS.md records.
 * E15 :mod:`repro.experiments.serving` — steady-state serving saturation:
   open-loop offered rate x achieved throughput x tail latency
   (extension; ROADMAP item 1).
+* E16 :mod:`repro.experiments.latency_decomposition` — critical-path
+  latency attribution vs load (extension).
+* E17 :mod:`repro.experiments.recovery_sweep` — durable update
+  transactions: machine x write-fraction x crash-rate, byte-identical
+  restart from the WAL (extension).
 """
 
 from repro.experiments.common import ExperimentResult, render_table

@@ -13,6 +13,20 @@ Each cell runs under a seeded :class:`repro.faults.FaultPlan`, so the
 whole grid is deterministic — same seed, same strikes, byte-identical
 rows — and fans out over :func:`repro.sweep.map_points` (``workers > 1``
 parallelizes with identical output).
+
+The grid has two workload rows per (machine, fault, rate) coordinate:
+
+* ``read`` — the original ten-query benchmark, checked row-for-row
+  against the sequential oracle;
+* ``write`` — a mixed read/write transaction stream with the WAL armed,
+  checked **byte-for-byte**: after the run the stable store is
+  recovered and compared against an interpreter replay of the committed
+  set (:func:`repro.recovery.harness.oracle_bytes`).
+
+The three *stateful* fault classes (``machine_crash``, ``torn_page``,
+``log_tail_corrupt``) are whole-machine power-cut models, not
+survivable soft faults; they live in E17's recovery sweep
+(:mod:`repro.experiments.recovery_sweep`), not here.
 """
 
 from __future__ import annotations
@@ -28,10 +42,22 @@ from repro.ring.machine import RingMachine
 from repro.sweep import map_points
 from repro.workload import benchmark_queries, generate_benchmark_database
 
+#: Power-cut fault classes: they end the run instead of degrading it,
+#: so they belong to the E17 recovery sweep, not the chaos grid.
+STATEFUL_FAULTS: Tuple[str, ...] = ("machine_crash", "torn_page", "log_tail_corrupt")
+
 #: Fault classes that exist on each machine.  The DIRECT machine has no
 #: rings, ICs, or IPs to break — only its storage hierarchy.
 MACHINE_FAULTS: Dict[str, Tuple[str, ...]] = {
-    "ring": FAULT_KINDS,
+    "ring": tuple(k for k in FAULT_KINDS if k not in STATEFUL_FAULTS),
+    "direct": ("disk_read_error", "cache_poison"),
+}
+
+#: Fault classes the write-transaction cells run under.  ``ip_kill``
+#: is excluded on ring: a killed IP degrades read bandwidth but write
+#: packets are executed by the MC path, so the cell adds no coverage.
+WRITE_MACHINE_FAULTS: Dict[str, Tuple[str, ...]] = {
+    "ring": ("ring_drop", "disk_read_error", "cache_poison", "ic_failure"),
     "direct": ("disk_read_error", "cache_poison"),
 }
 
@@ -115,6 +141,76 @@ def run_faulted_benchmark(
     }
 
 
+def run_faulted_write_benchmark(
+    machine: str,
+    plan: FaultPlan,
+    scale: float = 0.05,
+    write_fraction: float = 0.5,
+    seed: int = 2027,
+    page_bytes: int = 2048,
+    processors: int = 8,
+    queries: int = 12,
+) -> dict:
+    """Run a mixed read/write stream on ``machine`` with the WAL armed.
+
+    Soft faults (lossy rings, disk retries, IC failovers...) may abort
+    and retry transactions, but the durable outcome must be exact: the
+    recovered stable store is compared *byte-for-byte* against an
+    interpreter replay of the committed set.
+    """
+    from repro.recovery.harness import _run_workload, oracle_bytes
+    from repro.recovery.restart import recover
+    from repro.recovery.store import StableStore
+    from repro.recovery.txn import TransactionManager
+    from repro.workload.updates import mixed_update_workload
+
+    if machine not in WRITE_MACHINE_FAULTS:
+        raise FaultError(
+            f"unknown machine {machine!r}; choose from {sorted(WRITE_MACHINE_FAULTS)}"
+        )
+    db = generate_benchmark_database(scale=scale, seed=seed, page_bytes=page_bytes)
+    workload = mixed_update_workload(
+        db.catalog,
+        db.relation_names,
+        seed=seed,
+        count=queries,
+        write_fraction=write_fraction,
+    )
+    store = StableStore()
+    tm = TransactionManager(store, page_bytes)
+    with injecting(plan):
+        if machine == "ring":
+            rig = RingMachine(
+                db.catalog,
+                processors=processors,
+                controllers=16,
+                page_bytes=page_bytes,
+                fault_tolerant=True,
+                watchdog_interval_ms=100.0,
+            )
+        else:
+            rig = DirectMachine(db.catalog, processors=processors, page_bytes=page_bytes)
+    rig.attach_recovery(tm)
+    elapsed = _run_workload(machine, rig, workload)
+    report = recover(store)
+    committed = list(report.committed)
+    recovered = store.committed_bytes()
+    oracle = oracle_bytes(committed, workload, scale, seed, page_bytes)
+    counters: Dict[str, int] = {}
+    if rig.sim.faults is not None:
+        counters = rig.sim.faults.snapshot()
+    return {
+        "elapsed_ms": elapsed,
+        "events": 0,
+        "all_correct": recovered == oracle
+        and set(tm.committed_names) <= set(committed),
+        "result_rows": len(committed),
+        "commits": tm.commits,
+        "aborts": tm.aborts,
+        "counters": counters,
+    }
+
+
 def _point(
     machine: str,
     fault: str,
@@ -124,18 +220,29 @@ def _point(
     seed: int,
     page_bytes: int,
     processors: int,
+    workload: str = "read",
 ) -> dict:
     """One chaos cell (module-level so ``map_points`` can pickle it)."""
     plan = FaultPlan(seed=seed, specs=(_spec_for(fault, rate),))
-    cell = run_faulted_benchmark(
-        machine,
-        plan,
-        scale=scale,
-        selectivity=selectivity,
-        seed=seed,
-        page_bytes=page_bytes,
-        processors=processors,
-    )
+    if workload == "write":
+        cell = run_faulted_write_benchmark(
+            machine,
+            plan,
+            scale=scale,
+            seed=seed,
+            page_bytes=page_bytes,
+            processors=processors,
+        )
+    else:
+        cell = run_faulted_benchmark(
+            machine,
+            plan,
+            scale=scale,
+            selectivity=selectivity,
+            seed=seed,
+            page_bytes=page_bytes,
+            processors=processors,
+        )
     # The injector snapshot is keyed "name[site]"; fold it into one
     # recovery total so rows stay narrow.
     recoveries = 0
@@ -157,14 +264,17 @@ def run(
     page_bytes: int = 2048,
     processors: int = 8,
     workers: Optional[int] = None,
+    workloads: Sequence[str] = ("read", "write"),
 ) -> ExperimentResult:
     """The chaos grid: each machine's fault classes x ``rates``.
 
-    Row fields: ``machine``, ``fault``, ``rate``, ``elapsed_ms``,
-    ``slowdown`` (vs the same machine+fault's lowest-rate cell),
-    ``recoveries`` (retransmits + retries + refetches + failovers +
-    kills), ``all_correct``.  Every cell — including the faulted ones —
-    must match the sequential oracle exactly.
+    Row fields: ``machine``, ``workload`` (``read`` or ``write``),
+    ``fault``, ``rate``, ``elapsed_ms``, ``slowdown`` (vs the same
+    machine+workload+fault's lowest-rate cell), ``recoveries``
+    (retransmits + retries + refetches + failovers + kills),
+    ``all_correct``.  Every cell — including the faulted ones — must
+    match its oracle exactly: row-identity for read cells,
+    byte-identity of the recovered store for write cells.
     """
     result = ExperimentResult(
         experiment_id="E14 (extension)",
@@ -175,6 +285,7 @@ def run(
             "seed": seed,
             "processors": processors,
             "rates": tuple(rates),
+            "workloads": tuple(workloads),
         },
     )
     grid = []
@@ -183,11 +294,17 @@ def run(
             raise FaultError(
                 f"unknown machine {machine!r}; choose from {sorted(MACHINE_FAULTS)}"
             )
-        for fault in MACHINE_FAULTS[machine]:
-            if fault_classes is not None and fault not in fault_classes:
-                continue
-            for rate in rates:
-                grid.append((machine, fault, rate))
+        for workload in workloads:
+            faults = (
+                WRITE_MACHINE_FAULTS[machine]
+                if workload == "write"
+                else MACHINE_FAULTS[machine]
+            )
+            for fault in faults:
+                if fault_classes is not None and fault not in fault_classes:
+                    continue
+                for rate in rates:
+                    grid.append((machine, workload, fault, rate))
     points = [
         dict(
             machine=machine,
@@ -198,20 +315,24 @@ def run(
             seed=seed,
             page_bytes=page_bytes,
             processors=processors,
+            workload=workload,
         )
-        for machine, fault, rate in grid
+        for machine, workload, fault, rate in grid
     ]
     cells = map_points(_point, points, workers=workers)
-    baselines: Dict[Tuple[str, str], float] = {}
-    for (machine, fault, rate), cell in zip(grid, cells):
-        baseline = baselines.setdefault((machine, fault), cell["elapsed_ms"])
+    baselines: Dict[Tuple[str, str, str], float] = {}
+    for (machine, workload, fault, rate), cell in zip(grid, cells):
+        baseline = baselines.setdefault(
+            (machine, workload, fault), cell["elapsed_ms"]
+        )
         result.rows.append(
             {
                 "machine": machine,
+                "workload": workload,
                 "fault": fault,
                 "rate": rate,
                 "elapsed_ms": round(cell["elapsed_ms"], 1),
-                "slowdown": cell["elapsed_ms"] / baseline,
+                "slowdown": cell["elapsed_ms"] / baseline if baseline else 1.0,
                 "recoveries": cell["recoveries"],
                 "all_correct": cell["all_correct"],
             }

@@ -38,6 +38,22 @@ be able to survive an arbitrary number of disabled processors"):
     An Instruction Controller fail-stops; the Master Controller tears
     down the query's instruction queue and re-activates it from the
     still-held locks (bounded by ``max_failovers`` per query).
+``machine_crash``
+    The whole machine loses power mid-run: the event loop aborts with
+    :class:`repro.errors.CrashError`, volatile state is discarded, and
+    the :mod:`repro.recovery` restart protocol rebuilds committed state
+    from the stable store.  ``at_ms`` (or a rate-drawn time inside
+    ``window_ms``) picks the strike time.
+``torn_page``
+    At a crash, each in-flight dirty-page flush may land half-written —
+    bytes failing their own sector checksum; redo repairs it from the
+    last logged full image.  Only meaningful alongside ``machine_crash``.
+``log_tail_corrupt``
+    At a crash, a fragment of the *unforced* WAL tail reaches disk with
+    its final frame garbled; the recovery scan stops at the last
+    CRC-valid frame.  Nothing in that tail was acknowledged, so no
+    committed transaction is lost.  Only meaningful alongside
+    ``machine_crash``.
 
 Ambient arming mirrors :func:`repro.check.sanitizing`: simulators
 constructed inside :func:`injecting` pick the plan up automatically::
@@ -71,6 +87,9 @@ FAULT_KINDS: Tuple[str, ...] = (
     "cache_poison",
     "ip_kill",
     "ic_failure",
+    "machine_crash",
+    "torn_page",
+    "log_tail_corrupt",
 )
 
 

@@ -26,6 +26,7 @@ from repro.query.tree import (
     RestrictNode,
     ScanNode,
     UnionNode,
+    UpdateNode,
 )
 
 
@@ -78,4 +79,41 @@ def delete_from(target_relation: str, predicate: Predicate, name: Optional[str] 
     return QueryTree(DeleteNode(target_relation, predicate), name=name)
 
 
-__all__ = ["NodeBuilder", "scan", "delete_from", "attr"]
+def update_set(
+    target_relation: str,
+    predicate: Predicate,
+    set_attr: str,
+    delta,
+    name: Optional[str] = None,
+) -> QueryTree:
+    """A single-node update query: ``set_attr += delta`` on matching rows."""
+    return QueryTree(
+        UpdateNode(target_relation, predicate, set_attr, delta), name=name
+    )
+
+
+def insert_from(
+    source_relation: str,
+    predicate: Predicate,
+    target_relation: str,
+    name: Optional[str] = None,
+) -> QueryTree:
+    """An INSERT ... SELECT template: restricted scan appended into a base
+    relation (the paper has no row-literal packet; inserts arrive as the
+    result of a query, exactly like Section 2.1's append example)."""
+    return (
+        scan(source_relation)
+        .restrict(predicate)
+        .append_into(target_relation)
+        .tree(name)
+    )
+
+
+__all__ = [
+    "NodeBuilder",
+    "scan",
+    "delete_from",
+    "update_set",
+    "insert_from",
+    "attr",
+]

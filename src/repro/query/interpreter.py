@@ -21,6 +21,7 @@ from repro.query.tree import (
     RestrictNode,
     ScanNode,
     UnionNode,
+    UpdateNode,
 )
 
 
@@ -64,6 +65,15 @@ def execute_node(
     if isinstance(node, DeleteNode):
         target = catalog.get(node.target_relation)
         updated = operators.delete(target, node.predicate, name=node.target_relation)
+        catalog.replace(updated)
+        return updated
+
+    if isinstance(node, UpdateNode):
+        target = catalog.get(node.target_relation)
+        updated = operators.update(
+            target, node.predicate, node.set_attr, node.delta,
+            name=node.target_relation,
+        )
         catalog.replace(updated)
         return updated
 

@@ -275,6 +275,79 @@ class DeleteNode(QueryNode):
         return f"delete from {self.target_relation} where {self.predicate!r}"
 
 
+class UpdateNode(QueryNode):
+    """Update: add ``delta`` to one numeric attribute of matching rows.
+
+    Like :class:`DeleteNode` this is a childless write root — the target
+    relation is both the operand (delivered page by page, exactly like a
+    scan) and the destination.  Rows satisfying the predicate get
+    ``set_attr += delta``; the rest pass through unchanged, so the
+    operator's output is the *entire* new content of the relation.
+    """
+
+    opcode = "update"
+
+    def __init__(
+        self,
+        target_relation: str,
+        predicate: Predicate,
+        set_attr: str,
+        delta: float,
+    ):
+        super().__init__([])
+        self.target_relation = target_relation
+        self.predicate = predicate
+        self.set_attr = set_attr
+        self.delta = delta
+
+    def output_schema(self, catalog: Catalog) -> Schema:
+        return catalog.get(self.target_relation).schema
+
+    def validate(self, catalog: Catalog) -> None:
+        if self.target_relation not in catalog:
+            raise QueryTreeError(f"update of unknown relation {self.target_relation!r}")
+        schema = catalog.get(self.target_relation).schema
+        try:
+            self.predicate.validate(schema)
+        except Exception as exc:
+            raise QueryTreeError(f"update node {self.node_id}: {exc}") from exc
+        if self.set_attr not in schema:
+            raise QueryTreeError(
+                f"update node {self.node_id} sets missing attribute "
+                f"{self.set_attr!r}"
+            )
+        dtype = schema.attribute(self.set_attr).dtype.value
+        if dtype == "int" and not isinstance(self.delta, int):
+            raise QueryTreeError(
+                f"update node {self.node_id}: integer attribute "
+                f"{self.set_attr!r} needs an integer delta, got {self.delta!r}"
+            )
+        if dtype not in ("int", "float"):
+            raise QueryTreeError(
+                f"update node {self.node_id}: attribute {self.set_attr!r} "
+                f"is {dtype}, not numeric"
+            )
+
+    def compile_apply(self, schema: Schema) -> Callable[[tuple], tuple]:
+        """A row -> row function applying this update (predicate compiled)."""
+        test = self.predicate.compile(schema)
+        index = schema.index_of(self.set_attr)
+        delta = self.delta
+
+        def apply(row: tuple) -> tuple:
+            if test(row):
+                return row[:index] + (row[index] + delta,) + row[index + 1 :]
+            return row
+
+        return apply
+
+    def label(self) -> str:
+        return (
+            f"update {self.target_relation} set {self.set_attr} += "
+            f"{self.delta} where {self.predicate!r}"
+        )
+
+
 class QueryTree:
     """A rooted query tree with identity, validation, and shape accounting.
 
@@ -350,17 +423,15 @@ class QueryTree:
         for node in self.nodes():
             if isinstance(node, ScanNode):
                 names.append(node.relation_name)
-            elif isinstance(node, DeleteNode):
+            elif isinstance(node, (DeleteNode, UpdateNode)):
                 names.append(node.target_relation)
         return names
 
     def updated_relations(self) -> List[str]:
-        """Names of base relations this query writes (append/delete targets)."""
+        """Names of base relations this query writes (append/delete/update)."""
         names = []
         for node in self.nodes():
-            if isinstance(node, AppendNode):
-                names.append(node.target_relation)
-            elif isinstance(node, DeleteNode):
+            if isinstance(node, (AppendNode, DeleteNode, UpdateNode)):
                 names.append(node.target_relation)
         return names
 

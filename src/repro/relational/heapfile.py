@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterator, List, Optional
 
 from repro.errors import PageError
-from repro.relational.page import DEFAULT_PAGE_BYTES
+from repro.relational.page import DEFAULT_PAGE_BYTES, Page
 from repro.relational.relation import Relation
 from repro.relational.schema import Row, Schema
 
@@ -29,12 +29,14 @@ class RowId:
 class _HeapPage:
     """A page with tombstones so deletes leave stable slots behind."""
 
-    __slots__ = ("schema", "page_bytes", "slots")
+    __slots__ = ("schema", "page_bytes", "slots", "dirty")
 
     def __init__(self, schema: Schema, page_bytes: int):
         self.schema = schema
         self.page_bytes = page_bytes
         self.slots: List[Optional[Row]] = []
+        #: Diverged from the durable copy since the last flush.
+        self.dirty = False
 
     @property
     def capacity(self) -> int:
@@ -93,6 +95,7 @@ class HeapFile:
             slot = page.free_slot()
             if slot is not None:
                 page.slots[slot] = tuple(row)
+                page.dirty = True
                 return RowId(number, slot)
         page = _HeapPage(self.schema, self.page_bytes)
         self._pages.append(page)
@@ -100,6 +103,7 @@ class HeapFile:
         if slot is None:
             raise PageError(f"page of {self.page_bytes} bytes holds no records")
         page.slots[slot] = tuple(row)
+        page.dirty = True
         return RowId(len(self._pages) - 1, slot)
 
     def insert_many(self, rows) -> List[RowId]:
@@ -109,7 +113,9 @@ class HeapFile:
     def delete(self, rid: RowId) -> Row:
         """Remove and return the row at ``rid``; raises on a dead slot."""
         row = self.fetch(rid)
-        self._pages[rid.page_number].slots[rid.slot] = None
+        page = self._pages[rid.page_number]
+        page.slots[rid.slot] = None
+        page.dirty = True
         return row
 
     def delete_where(self, keep_if_false: Callable[[Row], bool]) -> int:
@@ -119,6 +125,7 @@ class HeapFile:
             for i, row in enumerate(page.slots):
                 if row is not None and keep_if_false(row):
                     page.slots[i] = None
+                    page.dirty = True
                     deleted += 1
         return deleted
 
@@ -126,7 +133,9 @@ class HeapFile:
         """Overwrite the row at ``rid`` in place."""
         self.schema.validate_row(row)
         self.fetch(rid)
-        self._pages[rid.page_number].slots[rid.slot] = tuple(row)
+        page = self._pages[rid.page_number]
+        page.slots[rid.slot] = tuple(row)
+        page.dirty = True
 
     def vacuum(self) -> None:
         """Compact live rows to the front, dropping empty pages.
@@ -171,3 +180,45 @@ class HeapFile:
         out = Relation(name or self.name, self.schema, page_bytes=self.page_bytes)
         out.insert_many(self.scan())
         return out
+
+    # -- durability ---------------------------------------------------------
+
+    def dirty_page_numbers(self) -> List[int]:
+        """Pages whose in-memory image has diverged since the last flush."""
+        return [n for n, page in enumerate(self._pages) if page.dirty]
+
+    def flush_dirty(self, cache=None, disk_id: int = 0) -> int:
+        """Write every dirty page out; returns how many were flushed.
+
+        With ``cache`` (a :class:`repro.direct.cache.DiskCache`), each
+        dirty page's dense image is pushed through the cache's write
+        port as a ``<name>:heap:<n>`` frame with a disk copy, charging
+        the same port/interconnect costs as any machine-produced page.
+        Without a cache the flush is pure bookkeeping (the durable copy
+        is assumed current — e.g. after a WAL-driven commit already
+        forced the images).
+        """
+        flushed = 0
+        for number, heap_page in enumerate(self._pages):
+            if not heap_page.dirty:
+                continue
+            if cache is not None:
+                from repro.direct.cache import PageRef
+
+                image = Page(self.schema, self.page_bytes)
+                image.extend(row for row in heap_page.slots if row is not None)
+                image.mark_clean()
+                ref = PageRef(
+                    key=f"{self.name}:heap:{number}",
+                    nbytes=self.page_bytes,
+                    payload=image,
+                    on_disk=True,
+                    disk_id=disk_id,
+                    row_count=image.row_count,
+                )
+                # The frame lands clean: a heap flush *creates* the disk
+                # copy, unlike an intermediate page that still owes one.
+                cache.write_page(ref, lambda: None, dirty=False)
+            heap_page.dirty = False
+            flushed += 1
+        return flushed

@@ -262,6 +262,34 @@ def delete(target: Relation, predicate: Predicate, name: Optional[str] = None) -
     return out
 
 
+def update(
+    target: Relation,
+    predicate: Predicate,
+    set_attr: str,
+    delta,
+    name: Optional[str] = None,
+) -> Relation:
+    """A new relation with ``set_attr += delta`` on rows matching ``predicate``.
+
+    Non-matching rows pass through unchanged, so the result is the whole
+    new content of the target — the same contract the machines' update
+    kernels honor.
+    """
+    predicate.validate(target.schema)
+    test = predicate.compile(target.schema)
+    index = target.schema.index_of(set_attr)
+    out = Relation(
+        name or target.name,
+        target.schema,
+        page_bytes=_result_page_bytes(target),
+    )
+    out.insert_many(
+        row[:index] + (row[index] + delta,) + row[index + 1 :] if test(row) else row
+        for row in target.rows()
+    )
+    return out
+
+
 # ---------------------------------------------------------------------------
 # Set operators
 # ---------------------------------------------------------------------------

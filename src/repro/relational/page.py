@@ -39,7 +39,7 @@ class Page:
     megabyte database" of the benchmark is literally 5.5 MB of page bytes.
     """
 
-    __slots__ = ("schema", "page_bytes", "_rows", "_capacity")
+    __slots__ = ("schema", "page_bytes", "_rows", "_capacity", "dirty")
 
     def __init__(self, schema: Schema, page_bytes: int = DEFAULT_PAGE_BYTES):
         if page_bytes < _HEADER.size + schema.record_width:
@@ -53,6 +53,9 @@ class Page:
         # Both fields are set once and never change, so the division is
         # hoisted out of the append/is_full hot path.
         self._capacity = (page_bytes - _HEADER.size) // schema.record_width
+        #: True when the in-memory image has diverged from the last
+        #: serialized/durable copy; cleared by :meth:`mark_clean`.
+        self.dirty = False
 
     # -- capacity -----------------------------------------------------------
 
@@ -94,6 +97,29 @@ class Page:
             raise PageError(f"page is full ({self.capacity} records)")
         self.schema.validate_row(row)
         self._rows.append(tuple(row))
+        self.dirty = True
+
+    def mutate_row(self, slot: int, row: Row) -> Row:
+        """Overwrite the record in ``slot`` in place; returns the old row.
+
+        This is the page-granularity write the WAL logs (DESIGN.md §14):
+        machine code must only reach it through a logged transaction —
+        the R011 lint rule enforces that — but the page itself just
+        mutates and marks the frame dirty.
+        """
+        self.schema.validate_row(row)
+        if not 0 <= slot < len(self._rows):
+            raise PageError(
+                f"no slot {slot} on page with {self.row_count} records"
+            )
+        old = self._rows[slot]
+        self._rows[slot] = tuple(row)
+        self.dirty = True
+        return old
+
+    def mark_clean(self) -> None:
+        """Record that the current image has been made durable."""
+        self.dirty = False
 
     def try_append(self, row: Row) -> bool:
         """Append ``row`` if there is room; return whether it was stored."""
@@ -126,10 +152,12 @@ class Page:
                 f"({self.row_count}/{self._capacity} records)"
             )
         self._rows.extend(rows)
+        self.dirty = True
 
     def clear(self) -> None:
         """Drop every record from the page."""
         self._rows.clear()
+        self.dirty = True
 
     # -- access -------------------------------------------------------------
 
@@ -180,12 +208,15 @@ class Page:
             raise PageError(f"page header claims {count} records over capacity {page.capacity}")
         for row in schema.unpack_many(data[_HEADER.size : end]):
             page.append(row)
+        # A page rebuilt from serialized bytes *is* the durable image.
+        page.dirty = False
         return page
 
     def copy(self) -> "Page":
-        """An independent copy of this page."""
+        """An independent copy of this page (dirty state included)."""
         dup = Page(self.schema, self.page_bytes)
         dup._rows = list(self._rows)
+        dup.dirty = self.dirty
         return dup
 
 

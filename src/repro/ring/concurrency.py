@@ -119,6 +119,51 @@ class LockManager:
         self._owners[request.query_name] = request
         return True
 
+    def try_upgrade(self, query_name: str, relation: str) -> bool:
+        """Upgrade ``query_name``'s S lock on ``relation`` to X, or refuse.
+
+        Sole-holder only, and strictly non-blocking: an upgrade that
+        cannot be granted immediately returns False instead of waiting,
+        so the classic upgrade deadlock (two S holders each waiting to
+        upgrade) cannot arise — the refused writer aborts, releases, and
+        retries with X demanded at admission.
+        """
+        request = self._owners.get(query_name)
+        if request is None:
+            raise ConcurrencyError(
+                f"query {query_name!r} holds no locks to upgrade"
+            )
+        if relation in request.exclusive:
+            return True  # already exclusive; nothing to do
+        if relation not in request.shared:
+            raise ConcurrencyError(
+                f"query {query_name!r} holds no S lock on {relation!r}"
+            )
+        held = self._held.get(relation)
+        if held is None or query_name not in held.holders:
+            raise ConcurrencyError(
+                f"lock table corrupt: {query_name!r} owns {relation!r} "
+                f"but the relation's holder entry is missing"
+            )
+        if held.holders != {query_name}:
+            return False
+        held.mode = LockMode.EXCLUSIVE
+        self._owners[query_name] = LockRequest(
+            query_name=query_name,
+            shared=request.shared - {relation},
+            exclusive=request.exclusive | {relation},
+        )
+        witness = active_witness()
+        if witness is not None:
+            # The lock is already held, so no new edge can form; recording
+            # keeps the upgrade visible in the witness's acquisition trail.
+            witness.record(
+                query_name,
+                relation,
+                f"try_upgrade({query_name!r}) S->X {relation!r}",
+            )
+        return True
+
     def release(self, query_name: str) -> None:
         """Drop every lock the query holds.
 

@@ -36,6 +36,7 @@ from repro.query.tree import (
     QueryTree,
     RestrictNode,
     UnionNode,
+    UpdateNode,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
@@ -169,6 +170,10 @@ class InstructionController:
         elif isinstance(node, DeleteNode):
             test = node.predicate.compile(self.operands[0].schema)
             self.unary_kernel = lambda ip_id, page: [r for r in page.rows() if not test(r)]
+            self.unary_cpu_ms = lambda rows: model.restrict_cpu_ms(rows)
+        elif isinstance(node, UpdateNode):
+            apply = node.compile_apply(self.operands[0].schema)
+            self.unary_kernel = lambda ip_id, page: [apply(r) for r in page.rows()]
             self.unary_cpu_ms = lambda rows: model.restrict_cpu_ms(rows)
         elif isinstance(node, AppendNode):
             self.unary_kernel = lambda ip_id, page: list(page.rows())

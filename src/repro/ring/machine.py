@@ -24,15 +24,25 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro import hw
-from repro.errors import FaultError, MachineError
+from repro.errors import CrashError, FaultError, MachineError
 from repro.direct.cache import DiskCache, PageRef
 from repro.direct.exec_model import ExecModel
 from repro.direct.traffic import TrafficMeter
+from repro.recovery.apply import apply_write
+from repro.recovery.txn import Transaction, TransactionManager
 from repro.relational.catalog import Catalog
 from repro.relational.page import Page
 from repro.relational.relation import Relation
 from repro.relational.schema import Row, Schema
-from repro.query.tree import AppendNode, DeleteNode, QueryNode, QueryTree, ScanNode
+from repro.query.tree import (
+    AppendNode,
+    DeleteNode,
+    QueryNode,
+    QueryTree,
+    ScanNode,
+    UpdateNode,
+)
+from repro.ring.concurrency import LockRequest
 from repro.ring.controller import InstructionController
 from repro.ring.master import MasterController
 from repro.ring.network import Ring
@@ -172,6 +182,27 @@ class RingMachine:
         #: Serving runs complete thousands of queries; per-query gauges
         #: would bloat the metrics registry, so serve mode turns them off.
         self.publish_per_query_metrics = True
+        #: Durable-transaction support (None = pre-WAL behavior, byte-identical).
+        self.txn: Optional[TransactionManager] = None
+        self._write_txns: Dict[str, Transaction] = {}
+        #: Aborted attempts per write query (upgrade refusals), for the
+        #: serve layer's abort/retry percentiles.
+        self.write_aborts: Dict[str, int] = {}
+        #: Write queries that must demand X at admission (their optimistic
+        #: S-then-upgrade attempt was refused once).
+        self._force_exclusive: Dict[str, None] = {}
+
+    def attach_recovery(self, tm: TransactionManager) -> None:
+        """Arm durable write transactions through ``tm``.
+
+        Seeds the stable store from the catalog's current images if the
+        caller has not already, and registers the WAL invariants with
+        this run's sanitizer.
+        """
+        if not tm.store.pages:
+            tm.seed_from_catalog(self.catalog)
+        self.txn = tm
+        tm.register_sanitizer(self.sim)
 
     # ------------------------------------------------------------------ host API
 
@@ -191,6 +222,29 @@ class RingMachine:
         self.mc.enqueue(tree)
         self.sim.schedule(0.0, self.mc.try_admit, label="mc.admit")
         return run
+
+    def lock_request_for(self, tree: QueryTree) -> LockRequest:
+        """The lock set the MC demands for ``tree`` at admission.
+
+        With durable transactions armed, single-operator delete/update
+        queries admit *optimistically* with S on their target (readers
+        keep flowing) and upgrade to X at commit; a refused upgrade
+        aborts the attempt and re-queues the query with X demanded here.
+        Without a transaction manager this is exactly
+        :meth:`LockRequest.for_tree` — the pre-WAL behavior.
+        """
+        root = tree.root
+        if (
+            self.txn is not None
+            and isinstance(root, (DeleteNode, UpdateNode))
+            and tree.name not in self._force_exclusive
+        ):
+            return LockRequest(
+                query_name=tree.name,
+                shared=frozenset([root.target_relation]),
+                exclusive=frozenset(),
+            )
+        return LockRequest.for_tree(tree)
 
     def schedule_ip_failure(self, ip_id: int, at_ms: float) -> None:
         """Disable IP ``ip_id`` at simulated time ``at_ms`` (fail-stop).
@@ -255,6 +309,7 @@ class RingMachine:
                 f"fault plan arms {sorted(set(needs_ft))} but the ring machine "
                 "was built with fault_tolerant=False"
             )
+        self._arm_machine_crash(inj)
         kill_spec = inj.armed_spec("ip_kill")
         if kill_spec is None:
             return
@@ -273,6 +328,37 @@ class RingMachine:
                     at_ms = inj.uniform("ip_kill", site, 0.0, kill_spec.window_ms)
                     self.schedule_ip_failure(ip.ip_id, at_ms)
                     planned[ip.ip_id] = None
+
+    def _arm_machine_crash(self, inj) -> None:
+        """Schedule a whole-machine power cut if the plan draws one.
+
+        The strike raises :class:`repro.errors.CrashError` straight out
+        of the event loop — volatile state is unwound with the Python
+        stack, and the crash harness picks recovery up from the stable
+        store.  Requires an attached transaction manager: without
+        durable state there is nothing for a crash to be *survived by*.
+        """
+        spec = inj.armed_spec("machine_crash")
+        if spec is None or spec.rate <= 0:
+            return
+        if self.txn is None:
+            raise FaultError(
+                "fault plan arms machine_crash but no transaction manager "
+                "is attached (attach_recovery); a crash without durable "
+                "state cannot be recovered"
+            )
+        if not inj.decide("machine_crash", "machine", spec.rate):
+            return
+        at_ms = spec.at_ms + inj.uniform("machine_crash", "machine", 0.0, spec.window_ms)
+
+        def crash_now() -> None:
+            inj.count("machine.crash", "machine")
+            raise CrashError(
+                f"machine crash fault at t={self.sim.now:.3f}ms "
+                f"({len(self.txn.active)} transaction(s) in flight)"
+            )
+
+        self.sim.schedule_at(at_ms, crash_now, label="fault.machine_crash")
 
     def _maybe_arm_ic_failure(self, tree: QueryTree, first_ic: InstructionController) -> None:
         """Draw (per activation) whether this query attempt loses an IC."""
@@ -322,6 +408,11 @@ class RingMachine:
             del self._ics[other.ic_id]
             self._free_ic_ids.append(other.ic_id)
         self._query_rows.pop(tree.name, None)
+        txn = self._write_txns.pop(tree.name, None)
+        if txn is not None:
+            # Partial staged pages are real logged writes; roll them back
+            # (CLR chain) before the fresh attempt begins a new txn.
+            self.txn.abort(txn)
         if inj is not None:
             inj.count("ic.failover", tree.name)
         # Locks are still held and the admission slot is still consumed:
@@ -351,6 +442,10 @@ class RingMachine:
         unfinished = [r.tree.name for r in self._runs if r.completed_at is None]
         if unfinished:
             raise MachineError(f"ring machine drained with unfinished queries: {unfinished}")
+        if self.txn is not None:
+            # Clean shutdown: force the log, flush every dirty page, and
+            # checkpoint — the sanitizer's dirty-page leak check runs next.
+            self.txn.shutdown()
         self.sim.finalize_sanitizer()
         self.sim.finalize_faults()
         elapsed = self.sim.now
@@ -424,7 +519,9 @@ class RingMachine:
         root = run.tree.root
         schema = root.output_schema(self.catalog)
         out = Relation(f"{run.tree.name}.result", schema, page_bytes=self.page_bytes)
-        out.insert_many(self._query_rows.get(run.tree.name, []))
+        # Result shipping, not base data: this relation is born and dies
+        # with the answer, so there is nothing for the WAL to recover.
+        out.insert_many(self._query_rows.get(run.tree.name, []))  # repro: allow[R011]
         return out
 
     # ------------------------------------------------------------------ activation
@@ -443,6 +540,18 @@ class RingMachine:
 
     def activate_query(self, tree: QueryTree) -> None:
         """MC admission: build one IC per operator node and seed leaves."""
+        root = tree.root
+        if (
+            self.txn is not None
+            and isinstance(root, (AppendNode, DeleteNode, UpdateNode))
+            and tree.name not in self._write_txns
+        ):
+            self._write_txns[tree.name] = self.txn.begin(
+                tree.name,
+                root.target_relation,
+                root.output_schema(self.catalog),
+                append=isinstance(root, AppendNode),
+            )
         by_node: Dict[int, InstructionController] = {}
         for node in tree.nodes():
             if isinstance(node, ScanNode):
@@ -468,11 +577,11 @@ class RingMachine:
                         ),
                         label=f"seed.{ic.ic_id}",
                     )
-                elif isinstance(ic.node, DeleteNode):
-                    raise MachineError("delete nodes have no child operands")
-        # Delete nodes scan their target relation as operand 0.
+                elif isinstance(ic.node, (DeleteNode, UpdateNode)):
+                    raise MachineError("delete/update nodes have no child operands")
+        # Delete/update nodes scan their target relation as operand 0.
         for node_id, ic in by_node.items():
-            if isinstance(ic.node, DeleteNode):
+            if isinstance(ic.node, (DeleteNode, UpdateNode)):
                 self.sim.schedule(
                     0.0,
                     lambda i=ic, n=ic.node.target_relation: i.seed_base_operand(
@@ -503,7 +612,7 @@ class RingMachine:
         return node.children
 
     def _operand_specs(self, node: QueryNode) -> List[Tuple[str, Schema, bool]]:
-        if isinstance(node, DeleteNode):
+        if isinstance(node, (DeleteNode, UpdateNode)):
             relation = self.catalog.get(node.target_relation)
             return [(node.target_relation, relation.schema, True)]
         specs: List[Tuple[str, Schema, bool]] = []
@@ -750,6 +859,11 @@ class RingMachine:
                 if ic.dead:
                     return  # the query attempt was failed over; rows discarded
                 self._query_rows.setdefault(ic.tree.name, []).extend(rows)
+                txn = self._write_txns.get(ic.tree.name)
+                if txn is not None:
+                    # Arrival-order partial writes: each filled page is
+                    # WAL-logged immediately (undo must erase it on abort).
+                    self.txn.stage_rows(txn, rows)
 
             self.outer_ring.send(nbytes, to_host, query=ic.tree.name)
             return
@@ -810,13 +924,54 @@ class RingMachine:
 
     # ------------------------------------------------------------------ completion
 
+    def _abort_write_attempt(self, tree: QueryTree) -> None:
+        """A refused lock upgrade: undo, release, and re-queue with X.
+
+        The attempt's staged pages are rolled back through the WAL (CLR
+        chain), its locks drop, and the query re-enters the MC queue
+        demanding X at admission — so the retry cannot be refused again,
+        and FIFO admission bounds the delay (no starvation).
+        """
+        txn = self._write_txns.pop(tree.name, None)
+        if txn is not None:
+            self.txn.abort(txn)
+        self._query_rows.pop(tree.name, None)
+        self.write_aborts[tree.name] = self.write_aborts.get(tree.name, 0) + 1
+        self._force_exclusive[tree.name] = None
+        inj = self.sim.faults
+        if inj is not None:
+            inj.count("txn.upgrade_abort", tree.name)
+        if self.sim.tracer.enabled:
+            self.sim.tracer.instant(
+                f"abort.{tree.name}", "txn", self.sim.now, "queries"
+            )
+        self.mc.locks.release(tree.name)
+        self.mc.enqueue(tree)
+        self.sim.schedule(0.0, self.mc.try_admit, label="mc.admit")
+
     def _finalize_query(self, root_ic: InstructionController) -> None:
         if root_ic.dead:
             return  # a failover superseded this completion notice
         tree = root_ic.tree
         rows = self._query_rows.get(tree.name, [])
         node = tree.root
-        if isinstance(node, DeleteNode):
+        txn = self._write_txns.get(tree.name)
+        if txn is not None:
+            if (
+                isinstance(node, (DeleteNode, UpdateNode))
+                and tree.name not in self._force_exclusive
+                and not self.mc.locks.try_upgrade(tree.name, node.target_relation)
+            ):
+                self._abort_write_attempt(tree)
+                return
+            del self._write_txns[tree.name]
+            self._force_exclusive.pop(tree.name, None)
+            _, all_rows = apply_write(
+                self.catalog, node, rows, self.page_bytes, tm=self.txn, txn=txn
+            )
+            self._query_rows[tree.name] = all_rows
+            self._base_pages.pop(node.target_relation, None)
+        elif isinstance(node, (DeleteNode, UpdateNode)):
             updated = Relation(node.target_relation, root_ic.result_schema, page_bytes=4096)
             updated.insert_many(rows)
             self.catalog.replace(updated)

@@ -57,7 +57,7 @@ class MasterController:
         """
         while self.query_queue:
             tree = self.query_queue[0]
-            request = LockRequest.for_tree(tree)
+            request = self.machine.lock_request_for(tree)
             needed_ics = len(tree.operators())
             if needed_ics > self.machine.total_ics:
                 raise MachineError(

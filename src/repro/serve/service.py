@@ -56,6 +56,10 @@ class ServeConfig:
     max_inflight: int = 8
     queue_limit: int = 64
     policy: str = "fifo"
+    #: Fraction of arrivals that are write transactions (ring only: the
+    #: MC lock manager serializes conflicting writers; DIRECT and
+    #: dataflow have no lock manager, so concurrent writes are unsafe).
+    write_mix: float = 0.0
     # Bursty / diurnal shape knobs (ignored by poisson).
     burst_on_ms: float = 200.0
     burst_off_ms: float = 800.0
@@ -73,6 +77,15 @@ class ServeConfig:
             raise WorkloadError(f"duration_ms must be positive, got {self.duration_ms}")
         if self.think_ms <= 0:
             raise WorkloadError(f"think_ms must be positive, got {self.think_ms}")
+        if not 0.0 <= self.write_mix <= 1.0:
+            raise WorkloadError(
+                f"write_mix must be in [0, 1], got {self.write_mix}"
+            )
+        if self.write_mix > 0.0 and self.machine != "ring":
+            raise WorkloadError(
+                "write_mix needs the ring machine's lock manager; "
+                f"{self.machine!r} cannot serialize concurrent writers"
+            )
 
 
 def _build_machine(config: ServeConfig, catalog: Any) -> Any:
@@ -140,7 +153,15 @@ def serve(config: ServeConfig) -> Dict[str, object]:
         zipf_s=config.zipf_s,
         mix=config.mix,
         users=config.users,
+        write_mix=config.write_mix,
     )
+    tm = None
+    if config.write_mix > 0.0:
+        from repro.recovery.store import StableStore
+        from repro.recovery.txn import TransactionManager
+
+        tm = TransactionManager(StableStore(), config.page_bytes)
+        machine.attach_recovery(tm)
 
     latency = LatencyRecorder()
     offered_at: Dict[str, float] = {}
@@ -173,8 +194,32 @@ def serve(config: ServeConfig) -> Dict[str, object]:
         utilization=_machine_utilization(report),
         events_processed=sim.events_processed,
     )
+    if tm is not None:
+        slo["writes"] = _write_report(machine, tm)
     _publish_serve_metrics(sim, slo)
     return slo
+
+
+def _write_report(machine: Any, tm: Any) -> Dict[str, object]:
+    """Abort/retry summary for a write-mix serving run.
+
+    A refused lock upgrade aborts the attempt and re-queues the query
+    with X demanded up front, so each committed write carries a retry
+    count; the percentiles below are nearest-rank over those counts.
+    """
+    from repro.serve.slo import percentile
+
+    write_aborts: Dict[str, int] = getattr(machine, "write_aborts", {})
+    retries = sorted(write_aborts.get(name, 0) for name in tm.committed_names)
+    attempts = tm.commits + tm.aborts
+    return {
+        "commits": tm.commits,
+        "aborts": tm.aborts,
+        "abort_rate": round(tm.aborts / attempts, 6) if attempts else 0.0,
+        "retries_p50": percentile(retries, 50.0),
+        "retries_p99": percentile(retries, 99.0),
+        "retries_max": retries[-1] if retries else 0,
+    }
 
 
 # ---------------------------------------------------------------------- loops

@@ -22,6 +22,7 @@ from repro.query.cost import CostModel
 from repro.query.tree import QueryTree
 from repro.relational.predicate import attr
 from repro.workload.generator import BenchmarkDatabase
+from repro.workload.updates import write_query
 from repro.workload.zipf import ZipfGenerator
 
 #: Default shape mix: (restrict-only, one join, two-join chain).
@@ -38,6 +39,7 @@ class SessionWorkload:
         zipf_s: float = 0.8,
         mix: Sequence[float] = DEFAULT_MIX,
         users: int = 1000,
+        write_mix: float = 0.0,
     ) -> None:
         if not 0.0 < selectivity <= 1.0:
             raise WorkloadError(f"selectivity must be in (0, 1], got {selectivity}")
@@ -45,9 +47,12 @@ class SessionWorkload:
             raise WorkloadError(f"mix must be 3 nonnegative weights, got {mix!r}")
         if users < 1:
             raise WorkloadError(f"need at least one user session, got {users}")
+        if not 0.0 <= write_mix <= 1.0:
+            raise WorkloadError(f"write_mix must be in [0, 1], got {write_mix}")
         self.db = db
         self.selectivity = selectivity
         self.users = users
+        self.write_mix = write_mix
         self._relations = list(db.relation_names)  # size order: rank 1 = biggest
         self._rel_zipf = ZipfGenerator(len(self._relations), zipf_s)
         self._user_zipf = ZipfGenerator(users, zipf_s)
@@ -94,6 +99,18 @@ class SessionWorkload:
         self._per_session_seq[session] += 1
         self._queries_built += 1
         name = f"s{session:05d}q{self._per_session_seq[session]}"
+
+        # Write draws only consume randomness when the write mix is
+        # armed, so a ``write_mix=0`` session replays the exact RNG
+        # sequence (and therefore the exact bytes) of a build without
+        # this feature.
+        if self.write_mix > 0.0 and rng.random() < self.write_mix:
+            tree = write_query(
+                self.db.catalog, self._relations, rng, self._rel_zipf, name
+            )
+            tree.validate(self.db.catalog)
+            estimate = self._cost.estimate_root(tree)
+            return tree, session, float(estimate.pages)
 
         u = rng.random()
         if u <= self._mix_cdf[0]:

@@ -208,6 +208,47 @@ def _spans_overhead_entry() -> dict:
     }
 
 
+def _wal_overhead_entry() -> dict:
+    """Write-transaction durability cost on the ring machine.
+
+    The same mixed-stream shape runs twice, crash-free: a read-only
+    stream (``write_fraction=0``) and a half-write stream with the WAL
+    armed — update locking, page logging, commit forces, and fuzzy
+    checkpoints all live.  ``overhead_frac`` is the wall-time ratio; the
+    ``events_per_sec`` of the combined pair sits under the trajectory's
+    >20% regression gate like every other row.
+    """
+    from repro.recovery.harness import run_crash_trial
+
+    start = time.perf_counter()
+    base = run_crash_trial(
+        machine="ring", seed=7, write_fraction=0.0, crash_rate=0.0, queries=10
+    )
+    base_wall = time.perf_counter() - start
+
+    start = time.perf_counter()
+    walled = run_crash_trial(
+        machine="ring", seed=7, write_fraction=0.5, crash_rate=0.0, queries=10
+    )
+    wal_wall = time.perf_counter() - start
+
+    events = base.events + walled.events
+    wall = base_wall + wal_wall
+    return {
+        "experiment": "wal_overhead",
+        "wall_s": round(wall, 4),
+        "sim_events": events,
+        "events_per_sec": round(events / wall) if wall > 0 else 0,
+        "points": 2,
+        "rows": 0,
+        "read_events_per_sec": round(base.events / base_wall) if base_wall > 0 else 0,
+        "write_events_per_sec": round(walled.events / wal_wall) if wal_wall > 0 else 0,
+        "overhead_frac": round(wal_wall / base_wall - 1.0, 4) if base_wall > 0 else 0.0,
+        "commits": walled.commits,
+        "aborts": walled.aborts,
+    }
+
+
 def run_bench(
     quick: bool = True,
     scale: Optional[float] = None,
@@ -218,6 +259,8 @@ def run_bench(
     entries = [_sim_core_entry()] if not only or "sim_core" in only else []
     if not only or "spans_overhead" in only:
         entries.append(_spans_overhead_entry())
+    if not only or "wal_overhead" in only:
+        entries.append(_wal_overhead_entry())
     used_scale = None
     for case in bench_cases():
         if only and case.name not in only:

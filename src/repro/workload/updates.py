@@ -1,0 +1,131 @@
+"""Write-transaction workload templates (UPDATE / DELETE / INSERT).
+
+The paper's benchmark (Section 3.2) is read-only; the durability work
+needs *update packets* too.  This module builds a deterministic mixed
+stream of read and write queries over the benchmark database:
+
+* **UPDATE** — ``v += delta`` (or ``a += delta``) on a ``key``-range,
+  the single-node :class:`~repro.query.tree.UpdateNode` template;
+* **DELETE** — a thin ``key``-range delete (small enough that a long
+  run never drains a relation);
+* **INSERT** — the INSERT ... SELECT template
+  (:func:`repro.query.builder.insert_from`): a restricted scan of a
+  sibling relation appended into the target, exactly like Section
+  2.1's append example (the paper has no row-literal packet);
+* **READ** — a one-restrict scan, the benchmark's smallest shape.
+
+Target relations are Zipf-skewed (hot relations absorb most writes,
+the usual OLTP shape) and every draw comes off one seeded
+:class:`random.Random`, so the stream is byte-deterministic in
+``(seed, count, write_fraction)``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from repro.errors import WorkloadError
+from repro.relational.catalog import Catalog
+from repro.relational.predicate import attr
+from repro.query.builder import delete_from, insert_from, scan, update_set
+from repro.query.tree import QueryTree
+from repro.sim.random import RandomStreams
+from repro.workload.zipf import ZipfGenerator
+
+__all__ = ["mixed_update_workload", "write_query"]
+
+#: Relative frequency of the three write templates (update-heavy, like
+#: any OLTP trace: most writes touch values, few add or remove rows).
+_WRITE_TEMPLATE_WEIGHTS = (("update", 6), ("delete", 2), ("insert", 2))
+
+
+def _pick_template(rng: random.Random) -> str:
+    total = sum(w for _, w in _WRITE_TEMPLATE_WEIGHTS)
+    roll = rng.randrange(total)
+    for name, weight in _WRITE_TEMPLATE_WEIGHTS:
+        roll -= weight
+        if roll < 0:
+            return name
+    raise AssertionError("unreachable")
+
+
+def write_query(
+    catalog: Catalog,
+    relation_names: Sequence[str],
+    rng: random.Random,
+    zipf: ZipfGenerator,
+    name: str,
+) -> QueryTree:
+    """One write query: template and operands drawn from ``rng``."""
+    target = relation_names[(zipf.draw(rng) - 1) % len(relation_names)]
+    rows = catalog.get(target).cardinality
+    template = _pick_template(rng)
+    if template == "update":
+        span = max(1, rows // 8)
+        lo = rng.randrange(max(1, rows - span + 1))
+        if rng.random() < 0.5:
+            return update_set(
+                target, attr("key") >= lo, "v", rng.uniform(-5.0, 5.0), name=name
+            )
+        return update_set(
+            target,
+            (attr("key") >= lo) & (attr("key") < lo + span),
+            "a",
+            rng.randrange(1, 4),
+            name=name,
+        )
+    if template == "delete":
+        # Thin slice: at most ~2% of the relation goes per delete, so a
+        # long stream never drains its target.
+        span = max(1, rows // 50)
+        lo = rng.randrange(max(1, rows))
+        return delete_from(
+            target, (attr("key") >= lo) & (attr("key") < lo + span), name=name
+        )
+    # insert: a thin restricted scan of a sibling appended into target
+    # (all benchmark relations share one schema, so arity always checks).
+    source = relation_names[rng.randrange(len(relation_names))]
+    src_rows = catalog.get(source).cardinality
+    span = max(1, src_rows // 50)
+    lo = rng.randrange(max(1, src_rows))
+    return insert_from(
+        source, (attr("key") >= lo) & (attr("key") < lo + span), target, name=name
+    )
+
+
+def mixed_update_workload(
+    catalog: Catalog,
+    relation_names: Sequence[str],
+    seed: int = 0,
+    count: int = 12,
+    write_fraction: float = 0.5,
+    zipf_skew: float = 1.0,
+) -> List[QueryTree]:
+    """A deterministic stream of ``count`` read and write queries.
+
+    ``write_fraction`` of the stream (rounded per-draw, not per-batch)
+    are write transactions; the rest are one-restrict reads.  Trees are
+    validated against ``catalog`` before returning.
+    """
+    if not relation_names:
+        raise WorkloadError("mixed_update_workload needs at least one relation")
+    if not 0.0 <= write_fraction <= 1.0:
+        raise WorkloadError(
+            f"write_fraction must be in [0, 1], got {write_fraction}"
+        )
+    rng = RandomStreams(seed).stream("workload.updates")
+    zipf = ZipfGenerator(len(relation_names), s=zipf_skew)
+    out: List[QueryTree] = []
+    for i in range(count):
+        name = f"mix-{i:03d}"
+        if rng.random() < write_fraction:
+            tree = write_query(catalog, relation_names, rng, zipf, name)
+        else:
+            rel = relation_names[(zipf.draw(rng) - 1) % len(relation_names)]
+            rows = catalog.get(rel).cardinality
+            cutoff = max(1, rng.randrange(max(1, rows // 4)))
+            tree = scan(rel).restrict(attr("key") < cutoff).tree(name)
+        tree.validate(catalog)
+        out.append(tree)
+    return out

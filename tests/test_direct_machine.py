@@ -153,12 +153,17 @@ class TestValidationAndErrors:
         with pytest.raises(MachineError):
             machine.submit(scan("r").tree())
 
-    def test_delete_not_supported_on_direct(self, pair_schema):
+    def test_delete_executes_on_direct(self, pair_schema):
+        # Write packets used to be ring-only; DIRECT runs them now
+        # (serially — it has no lock manager; see DESIGN.md §14).
         catalog = Catalog()
-        catalog.register(Relation.from_rows("r", pair_schema, [(1, 1)], page_bytes=64))
+        catalog.register(
+            Relation.from_rows("r", pair_schema, [(1, 1), (2, 2)], page_bytes=64)
+        )
         machine = DirectMachine(catalog, processors=1, page_bytes=64)
-        with pytest.raises(MachineError):
-            machine.submit(delete_from("r", attr("k") == 1))
+        machine.submit(delete_from("r", attr("k") == 1, name="del"))
+        machine.run()
+        assert list(catalog.get("r").rows()) == [(2, 2)]
 
 
 class TestSmallQueries:

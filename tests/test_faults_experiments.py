@@ -38,6 +38,7 @@ class TestChaosSweep:
             fault_classes=("ring_drop", "disk_read_error"),
             scale=0.02,
             workers=1,
+            workloads=("read",),
         )
         # The ring machine owns a storage hierarchy too, so it gets both
         # fault classes; DIRECT only the storage one: (2 + 1) x 2 rates.
@@ -47,6 +48,22 @@ class TestChaosSweep:
         assert all(row["recoveries"] > 0 for row in faulted)
         clean = [row for row in result.rows if row["rate"] == 0]
         assert all(row["recoveries"] == 0 for row in clean)
+
+    def test_write_cells_match_oracle(self):
+        # The write grid runs the mixed update stream with the WAL armed;
+        # soft faults may abort and retry transactions, but the recovered
+        # store must stay byte-identical to the interpreter replay.
+        result = chaos_sweep.run(
+            machines=("ring", "direct"),
+            rates=(0.0, 0.05),
+            fault_classes=("ring_drop", "disk_read_error"),
+            scale=0.02,
+            workers=1,
+            workloads=("write",),
+        )
+        assert len(result.rows) == 6
+        assert all(row["workload"] == "write" for row in result.rows)
+        assert all(row["all_correct"] for row in result.rows)
 
     def test_parallel_byte_identical_to_serial(self):
         kwargs = dict(
